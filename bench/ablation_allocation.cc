@@ -1,0 +1,83 @@
+// Ablation: the paper's optimal inter-layer allocation against the two
+// strawmen of §2.3 — equal share per layer, and everything on the base
+// layer — on the T1 and T2 workloads. The optimal scheme should show
+// higher buffering efficiency and fewer distribution-caused drops; the
+// base-only scheme starves enhancement layers, the equal-share scheme
+// wastes buffer in layers that get dropped.
+//
+// A second panel ablates the fig-10 monotonicity constraint (state
+// sequence ordered by total with vs without the per-layer clamp).
+#include <cstdio>
+
+#include "app/experiment.h"
+#include "bench_util.h"
+#include "core/baseline_policies.h"
+
+using namespace qa;
+using namespace qa::app;
+
+namespace {
+
+void run_panel(const char* title, bool with_cbr) {
+  bench::banner(title);
+  bench::TablePrinter t({"policy", "drops", "poor_dist", "efficiency",
+                         "mean_layers", "stall_s", "pkt_losses"},
+                        14);
+  t.print_header();
+  for (core::AllocationPolicy policy : core::kAllPolicies) {
+    ExperimentParams p =
+        with_cbr ? ExperimentParams::t2(4) : ExperimentParams::t1(2);
+    p.allocation = policy;
+    const ExperimentResult r = run_experiment(p);
+    t.print_row(
+        {core::policy_name(policy), bench::fmt(r.metrics.drops().size(), 0),
+         r.metrics.drops().empty()
+             ? "-"
+             : bench::pct(r.metrics.poor_distribution_fraction(), 1),
+         r.metrics.drops().empty()
+             ? "-"
+             : bench::pct(r.metrics.mean_efficiency()),
+         bench::fmt(r.metrics.mean_quality(
+                        TimePoint::from_sec(5),
+                        TimePoint::from_sec(p.duration_sec)),
+                    2),
+         bench::fmt(r.client_base_stall.sec(), 3),
+         bench::fmt(r.qa_losses, 0)});
+  }
+}
+
+void monotone_panel() {
+  bench::banner("Ablation: fig-10 monotonicity constraint on/off (T2)");
+  bench::TablePrinter t(
+      {"constraint", "drops", "poor_dist", "efficiency", "stall_s"}, 14);
+  t.print_header();
+  for (bool monotone : {true, false}) {
+    ExperimentParams p = ExperimentParams::t2(4);
+    p.monotone = monotone;
+    const ExperimentResult r = run_experiment(p);
+    t.print_row({monotone ? "on" : "off",
+                 bench::fmt(r.metrics.drops().size(), 0),
+                 r.metrics.drops().empty()
+                     ? "-"
+                     : bench::pct(r.metrics.poor_distribution_fraction(), 1),
+                 r.metrics.drops().empty()
+                     ? "-"
+                     : bench::pct(r.metrics.mean_efficiency()),
+                 bench::fmt(r.client_base_stall.sec(), 3)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  run_panel("Ablation: allocation policy on T1 (steady cross traffic)",
+            /*with_cbr=*/false);
+  run_panel("Ablation: allocation policy on T2 (CBR bandwidth step)",
+            /*with_cbr=*/true);
+  monotone_panel();
+  std::printf(
+      "\nExpected: 'optimal' dominates on efficiency and distribution-"
+      "caused\ndrops, matching the motivation of §2.3; the strawmen buffer "
+      "the same\ntotals but cannot convert them into layer protection.\n");
+  return 0;
+}

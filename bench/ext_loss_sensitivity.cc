@@ -1,0 +1,154 @@
+// Extension study: sensitivity of quality adaptation to the LOSS PROCESS.
+//
+// The paper's scenario model (§4) covers backoffs that are either
+// clustered or spaced a full recovery apart. Real drop-tail herds also
+// produce mid-recovery re-backoffs, which is the regime where our Table-2
+// classification diverges from the paper's. This bench quantifies that:
+// the same adapter runs against
+//   (a) a pure sawtooth (backoffs only at the cap — the paper's implicit
+//       fig-1 model),
+//   (b) sawtooth + occasional double backoffs (scenario-2-like),
+//   (c) Poisson mid-recovery backoffs (near-random Internet loss, §3),
+//   (d) bursty Gilbert-Elliott-timed backoffs,
+// and, on the full simulator, a RED vs drop-tail bottleneck (RED
+// de-bursts the loss process).
+#include <cstdio>
+
+#include "app/experiment.h"
+#include "bench_util.h"
+#include "tracedrive/bandwidth_trace.h"
+#include "util/rng.h"
+
+using namespace qa;
+using namespace qa::core;
+
+namespace {
+
+struct Row {
+  std::string name;
+  tracedrive::TraceRunResult result;
+};
+
+AimdTrajectory sawtooth_with_doubles(double every_nth, Rng& rng) {
+  AimdTrajectory traj(4'000, 1'200);
+  traj.set_rate_cap(9'000);
+  double rate = 4'000, t = 0;
+  int n = 0;
+  while (t < 120) {
+    const double t_hit = t + (9'000 - rate) / 1'200;
+    if (t_hit >= 120) break;
+    traj.add_backoff(t_hit);
+    rate = 4'500;
+    t = t_hit;
+    if (every_nth > 0 && ++n % static_cast<int>(every_nth) == 0) {
+      traj.add_backoff(t + 0.01);
+      rate = 2'250;
+    }
+    (void)rng;
+  }
+  return traj;
+}
+
+AimdTrajectory gilbert_timed(Rng& rng) {
+  // Backoff bursts: quiet stretches (exp mean 6 s) then 2-4 backoffs
+  // spaced ~0.3 s apart.
+  AimdTrajectory traj(4'000, 1'200);
+  traj.set_rate_cap(9'000);
+  double t = 0;
+  while (t < 120) {
+    t += rng.exponential(6.0);
+    const int burst = 2 + static_cast<int>(rng.next_below(3));
+    for (int i = 0; i < burst && t < 120; ++i) {
+      traj.add_backoff(t);
+      t += 0.3 + rng.uniform(0, 0.2);
+    }
+  }
+  return traj;
+}
+
+void report(const std::vector<Row>& rows) {
+  bench::TablePrinter t({"loss process", "drops", "poor_dist", "efficiency",
+                         "changes", "stall_s"},
+                        16);
+  t.print_header();
+  for (const Row& r : rows) {
+    int poor = 0;
+    for (const auto& d : r.result.metrics.drops()) {
+      if (d.poor_distribution) ++poor;
+    }
+    const size_t drops = r.result.metrics.drops().size();
+    t.print_row({r.name, bench::fmt(drops, 0),
+                 drops ? bench::pct(static_cast<double>(poor) / drops, 0)
+                       : "-",
+                 drops ? bench::pct(r.result.metrics.mean_efficiency())
+                       : "-",
+                 bench::fmt(r.result.metrics.quality_changes(), 0),
+                 bench::fmt(r.result.base_stall.sec(), 2)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Extension: loss-process sensitivity (trace-driven)");
+  AdapterConfig cfg;
+  cfg.consumption_rate = 1'250;
+  cfg.max_layers = 8;
+  cfg.kmax = 2;
+
+  Rng rng(7);
+  std::vector<Row> rows;
+  rows.push_back({"sawtooth", tracedrive::run_trace(
+                                  sawtooth_with_doubles(0, rng), cfg, 120, 250)});
+  rows.push_back({"saw+doubles", tracedrive::run_trace(
+                                     sawtooth_with_doubles(4, rng), cfg, 120,
+                                     250)});
+  {
+    Rng r2(11);
+    rows.push_back(
+        {"poisson", tracedrive::run_trace(
+                        tracedrive::random_backoff_trajectory(
+                            4'000, 1'200, 9'000, 120, 2.5, r2),
+                        cfg, 120, 250)});
+  }
+  {
+    Rng r3(13);
+    rows.push_back({"bursty(GE)", tracedrive::run_trace(gilbert_timed(r3),
+                                                        cfg, 120, 250)});
+  }
+  report(rows);
+
+  bench::banner("Extension: RED vs drop-tail bottleneck (full simulator, T1)");
+  bench::TablePrinter t({"bottleneck", "drops", "poor_dist", "efficiency",
+                         "changes", "stall_s", "meanQ"},
+                        14);
+  t.print_header();
+  for (const bool red : {false, true}) {
+    app::ExperimentParams p = app::ExperimentParams::t1(2);
+    p.red_bottleneck = red;
+    const app::ExperimentResult r = app::run_experiment(p);
+    int poor = 0;
+    for (const auto& d : r.metrics.drops()) {
+      if (d.poor_distribution) ++poor;
+    }
+    const size_t drops = r.metrics.drops().size();
+    t.print_row(
+        {red ? "RED" : "drop-tail", bench::fmt(drops, 0),
+         drops ? bench::pct(static_cast<double>(poor) / drops, 0) : "-",
+         drops ? bench::pct(r.metrics.mean_efficiency()) : "-",
+         bench::fmt(r.metrics.quality_changes(), 0),
+         bench::fmt(r.client_base_stall.sec(), 2),
+         bench::fmt(r.metrics.mean_quality(TimePoint::from_sec(5),
+                                           TimePoint::from_sec(40)),
+                    2)});
+  }
+
+  std::printf(
+      "\nReading: a pure sawtooth (the paper's implicit model) produces ZERO\n"
+      "drops; mid-recovery and bursty backoffs create deficits outside the\n"
+      "scenario model and their drops classify as distribution-caused —\n"
+      "the root of the Table-2 divergence (EXPERIMENTS.md). RED de-bursts\n"
+      "the loss process (poor%% falls) but its random early losses hit the\n"
+      "flow more often, trading smoothness for classification purity.\n");
+  return 0;
+}

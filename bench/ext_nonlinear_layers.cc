@@ -1,0 +1,97 @@
+// Extension: non-linear layer spacing (§7 future work).
+//
+// Generalizes the optimal inter-layer allocation to codecs whose base
+// layer is thicker than the enhancements. Prints the per-layer optimal
+// distributions for three encoding profiles at the same total consumption
+// and the survivability difference for a fixed buffer budget.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/nonlinear.h"
+
+using namespace qa;
+using namespace qa::core;
+
+namespace {
+
+void allocation_table(const char* name, const LayerProfile& profile,
+                      double rate, double slope) {
+  bench::banner(std::string("profile: ") + name);
+  std::printf("layers:");
+  for (int i = 0; i < profile.layers(); ++i) {
+    std::printf(" %.1f", profile.rate(i) / 1000);
+  }
+  std::printf(" kB/s (total %.1f), rate before backoff %.1f kB/s\n\n",
+              profile.total() / 1000, rate / 1000);
+
+  bench::TablePrinter t({"k", "scenario", "total_B", "L0", "L1", "L2", "L3"},
+                        10);
+  t.print_header();
+  for (int k = 1; k <= 3; ++k) {
+    for (const Scenario s : {Scenario::kClustered, Scenario::kSpread}) {
+      const double total = nl_total_required(s, k, rate, profile, slope);
+      if (total <= 0) continue;
+      std::vector<std::string> row = {
+          bench::fmt(k, 0), s == Scenario::kClustered ? "S1" : "S2",
+          bench::fmt(total, 0)};
+      for (int layer = 0; layer < 4; ++layer) {
+        row.push_back(layer < profile.layers()
+                          ? bench::fmt(nl_layer_required(s, k, layer, rate,
+                                                         profile, slope),
+                                       0)
+                          : "-");
+      }
+      t.print_row(row);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const double slope = 2'000;   // bytes/s^2 (the headline T1 regime)
+  const double rate = 9'000;    // pre-backoff rate
+
+  // Three encodings of the same 5 kB/s total consumption.
+  allocation_table("linear (4 x 1.25 kB/s)",
+                   LayerProfile({1'250, 1'250, 1'250, 1'250}), rate, slope);
+  allocation_table("fat base (2.5 / 1.25 / 0.75 / 0.5)",
+                   LayerProfile({2'500, 1'250, 750, 500}), rate, slope);
+  allocation_table("geometric (2.67 / 1.33 / 0.67 / 0.33)",
+                   LayerProfile({2'667, 1'333, 667, 333}), rate, slope);
+
+  bench::banner("Survivability of a 4 kB budget, rate collapse to 1 kB/s");
+  bench::TablePrinter t({"profile", "ideal-split", "equal-split"}, 24);
+  t.print_header();
+  const std::vector<LayerProfile> profiles = {
+      LayerProfile({1'250, 1'250, 1'250, 1'250}),
+      LayerProfile({2'500, 1'250, 750, 500}),
+      LayerProfile({2'667, 1'333, 667, 333}),
+  };
+  const char* names[] = {"linear", "fat base", "geometric"};
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    const LayerProfile& p = profiles[i];
+    const double h = p.total() - 1'000;
+    std::vector<double> ideal(static_cast<size_t>(p.layers()));
+    double scale_total = 0;
+    for (int l = 0; l < p.layers(); ++l) {
+      ideal[static_cast<size_t>(l)] = nl_band_share(h, l, p, slope);
+      scale_total += ideal[static_cast<size_t>(l)];
+    }
+    // Scale the ideal profile to the fixed 4 kB budget.
+    for (double& v : ideal) v *= 4'000 / std::max(scale_total, 1.0);
+    std::vector<double> equal(static_cast<size_t>(p.layers()),
+                              4'000.0 / p.layers());
+    t.print_row({names[i],
+                 nl_drain_feasible(1'000, p, ideal, slope) ? "survives"
+                                                           : "drops",
+                 nl_drain_feasible(1'000, p, equal, slope) ? "survives"
+                                                           : "drops"});
+  }
+  std::printf(
+      "\nReading: with non-linear spacing the same byte budget protects the\n"
+      "stream only when distributed by the generalized bands — an equal\n"
+      "split that survives under linear spacing drops layers under the fat-\n"
+      "base and geometric encodings (the §7 extension the paper left open).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 2: layered encoding with receiver buffering — the conceptual
+// overview trace. A quality-adaptive stream starts, adds layers, suffers
+// two backoffs, and bridges the draining phases from receiver buffers.
+//
+// Panels reproduced:
+//   (a) available bandwidth vs consumption rate over time (top graph);
+//   (b) per-packet playout sequence: transmission time vs playout time per
+//       layer — the horizontal gap is the per-packet buffering the paper
+//       draws as horizontal lines.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "tracedrive/bandwidth_trace.h"
+#include "util/csv.h"
+
+using namespace qa;
+using namespace qa::tracedrive;
+
+int main() {
+  bench::banner("Figure 2: layered encoding with receiver buffering");
+
+  // Deterministic trajectory mirroring the figure: bandwidth ramps up past
+  // one then two layers' consumption, with two backoffs along the way. The
+  // cap sits just above the two-layer consumption so buffering stays at the
+  // modest scale the figure draws.
+  core::AimdTrajectory traj(8'000, 4'000);
+  traj.set_rate_cap(25'000);
+  traj.add_backoff(8.0);
+  traj.add_backoff(15.0);
+
+  core::AdapterConfig cfg;
+  cfg.consumption_rate = 10'000;  // C = 10 kB/s per layer
+  cfg.max_layers = 2;             // the figure shows layer 0 and layer 1
+  cfg.kmax = 1;
+  cfg.playout_delay = TimeDelta::seconds(2);
+
+  const auto result = run_trace(traj, cfg, 20.0, /*packet_bytes=*/1000,
+                                /*sample_dt_sec=*/0.1,
+                                /*keep_packet_log=*/true);
+
+  bench::write_series_csv(
+      "fig02_bandwidth.csv", {"transmission_rate", "consumption_rate"},
+      {&result.series.rate, &result.series.consumption});
+
+  {
+    CsvWriter csv(bench::out_path("fig02_packets.csv"),
+                  {"layer", "layer_seq", "tx_time_sec", "playout_time_sec"});
+    for (const auto& p : result.packet_log) {
+      csv.row({static_cast<double>(p.layer),
+               static_cast<double>(p.layer_seq), p.t, p.playout});
+    }
+    std::printf("  wrote %s (%zu packets)\n",
+                bench::out_path("fig02_packets.csv").c_str(),
+                result.packet_log.size());
+  }
+
+  // Summarize the buffering the playout lines encode: mean arrival->playout
+  // gap per layer in each phase.
+  bench::TablePrinter table(
+      {"layer", "pkts", "mean_gap_s", "max_gap_s"}, 12);
+  table.print_header();
+  for (int layer = 0; layer < cfg.max_layers; ++layer) {
+    RunningStats gap;
+    for (const auto& p : result.packet_log) {
+      if (p.layer == layer) gap.add(p.playout - p.t);
+    }
+    table.print_row({bench::fmt(layer, 0), bench::fmt(gap.count(), 0),
+                     bench::fmt(gap.mean(), 3), bench::fmt(gap.max(), 3)});
+  }
+
+  std::printf(
+      "\nPaper shape: base layer holds more buffering than the enhancement\n"
+      "layer; draining phases after each backoff consume the buffers while\n"
+      "playback continues. Base stall time: %.3f s (expected 0 after the\n"
+      "startup delay); layer count finished at %d.\n",
+      result.base_stall.sec(),
+      static_cast<int>(result.series.layers.points().back().value));
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Figures 3-5: the closed-form geometry of filling/draining and the
+// optimal inter-layer buffer distribution.
+//
+//   fig 3 — one congestion-control cycle: filling area (triangle abc) and
+//           draining area (triangle cde) for a given rate/consumption;
+//   fig 4 — the optimal per-layer distribution after a single backoff
+//           (bands of the deficit triangle, base layer largest);
+//   fig 5 — the sequential filling / reverse draining pattern, regenerated
+//           by replaying a deterministic single-backoff trajectory through
+//           the real adapter and recording per-layer buffers.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/buffer_math.h"
+#include "tracedrive/bandwidth_trace.h"
+
+using namespace qa;
+using namespace qa::core;
+using namespace qa::tracedrive;
+
+int main() {
+  const AimdModel model{10'000.0, 20'000.0};  // C = 10 kB/s, S = 20 kB/s^2
+
+  bench::banner("Figure 3: filling and draining geometry of one AIMD cycle");
+  {
+    const double rate_peak = 55'000;  // rate at the backoff instant
+    const int na = 4;                 // 40 kB/s total consumption
+    const double consumption = na * model.consumption_rate;
+    const double fill_height = rate_peak - consumption;
+    const double drain_height = consumption - rate_peak / 2;
+    bench::TablePrinter t({"quantity", "value"}, 34);
+    t.print_header();
+    t.print_row({"peak rate R (kB/s)", bench::fmt(rate_peak / 1000)});
+    t.print_row({"consumption n_a*C (kB/s)", bench::fmt(consumption / 1000)});
+    t.print_row({"filling phase length (s)",
+                 bench::fmt(fill_height / model.slope, 3)});
+    t.print_row({"spare data stored (bytes, tri abc)",
+                 bench::fmt(triangle_area(fill_height, model.slope), 1)});
+    t.print_row({"draining phase length (s)",
+                 bench::fmt(drain_height / model.slope, 3)});
+    t.print_row({"deficit from buffer (bytes, tri cde)",
+                 bench::fmt(triangle_area(drain_height, model.slope), 1)});
+  }
+
+  bench::banner("Figure 4: optimal inter-layer allocation, single backoff");
+  {
+    const double rate = 55'000;
+    const int na = 4;
+    const double height =
+        na * model.consumption_rate - rate / 2;  // 12.5 kB/s deficit
+    const int nb = buffering_layers(height, model.consumption_rate);
+    std::printf("R=%.0f kB/s, n_a=%d, deficit height %.1f kB/s -> n_b=%d "
+                "buffering layers\n\n",
+                rate / 1000, na, height / 1000, nb);
+    bench::TablePrinter t({"layer", "optimal_bytes", "share"}, 16);
+    t.print_header();
+    const double total = triangle_area(height, model.slope);
+    for (int i = 0; i < na; ++i) {
+      const double share = band_share(height, i, model.consumption_rate,
+                                      model.slope);
+      t.print_row({bench::fmt(i, 0), bench::fmt(share, 1),
+                   bench::pct(total > 0 ? share / total : 0, 1)});
+    }
+    t.print_row({"total", bench::fmt(total, 1), "100%"});
+  }
+
+  bench::banner("Figure 5: sequential filling and reverse draining");
+  {
+    // Ramp to a plateau, then one backoff: the adapter should fill buffers
+    // bottom-up (L0 first) and drain the deficit from the lowest layers'
+    // buffers while the network feeds the upper layers.
+    core::AimdTrajectory traj(30'000, 20'000);
+    traj.set_rate_cap(58'000);
+    traj.add_backoff(15.0);
+
+    AdapterConfig cfg;
+    cfg.consumption_rate = 10'000;
+    cfg.max_layers = 5;
+    cfg.kmax = 1;  // fig 5 predates smoothing
+    cfg.playout_delay = TimeDelta::seconds(1);
+    const auto result = run_trace(traj, cfg, 25.0);
+
+    std::vector<std::string> names = {"rate", "consumption"};
+    std::vector<const TimeSeries*> series = {&result.series.rate,
+                                             &result.series.consumption};
+    for (int i = 0; i < cfg.max_layers; ++i) {
+      names.push_back("buf_L" + std::to_string(i));
+      series.push_back(&result.series.layer_buffer[static_cast<size_t>(i)]);
+    }
+    bench::write_series_csv("fig05_fill_drain.csv", names, series);
+
+    // Filling order: time each layer's buffer first exceeded a few packets
+    // (single-packet jitter around the consumption parity is not filling).
+    bench::TablePrinter t({"layer", "first_buffered_s", "peak_bytes"}, 18);
+    t.print_header();
+    for (int i = 0; i < cfg.max_layers; ++i) {
+      double first = -1, peak = 0;
+      for (const auto& pt :
+           result.series.layer_buffer[static_cast<size_t>(i)].points()) {
+        if (pt.value > 2'500 && first < 0) first = pt.t.sec();
+        peak = std::max(peak, pt.value);
+      }
+      t.print_row({bench::fmt(i, 0),
+                   first < 0 ? "never" : bench::fmt(first, 2),
+                   bench::fmt(peak, 0)});
+    }
+    std::printf("\nPaper shape: lower layers begin buffering earlier and "
+                "hold more data;\nafter the backoff the buffers drain while "
+                "playback (base stall %.3f s) continues.\n",
+                result.base_stall.sec());
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 6: the revised draining algorithm with smoothing — two
+// consecutive filling/draining phases where, thanks to Kmax > 1, the
+// server keeps buffering past the single-backoff requirement instead of
+// adding a layer, and walks the optimal-state path backwards on backoffs.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "tracedrive/bandwidth_trace.h"
+
+using namespace qa;
+using namespace qa::tracedrive;
+
+int main() {
+  bench::banner("Figure 6: filling/draining with smoothing (Kmax=2)");
+
+  // Two fill/drain phases: backoffs at 12 s and (double) at 20/20.6 s.
+  core::AimdTrajectory traj(35'000, 20'000);
+  traj.set_rate_cap(52'000);
+  traj.add_backoff(12.0);
+  traj.add_backoff(20.0);
+  traj.add_backoff(20.6);
+
+  core::AdapterConfig cfg;
+  cfg.consumption_rate = 10'000;
+  cfg.max_layers = 6;
+  cfg.kmax = 2;
+  cfg.playout_delay = TimeDelta::seconds(1);
+
+  const auto result = run_trace(traj, cfg, 30.0);
+
+  std::vector<std::string> names = {"rate", "consumption", "total_buffer"};
+  std::vector<const TimeSeries*> series = {&result.series.rate,
+                                           &result.series.consumption,
+                                           &result.series.total_buffer};
+  for (int i = 0; i < 4; ++i) {
+    names.push_back("buf_L" + std::to_string(i));
+    series.push_back(&result.series.layer_buffer[static_cast<size_t>(i)]);
+  }
+  bench::write_series_csv("fig06_smoothing.csv", names, series);
+
+  // The fig-6 claim: after the first drain the stream does NOT immediately
+  // add a layer once a single backoff's worth is buffered — it keeps
+  // buffering (Kmax=2). Measure total buffering just before each backoff.
+  auto buffer_at = [&](double t) {
+    return result.series.total_buffer.step_value_at(TimePoint::from_sec(t));
+  };
+  bench::TablePrinter t({"instant", "total_buffer_B", "layers"}, 20);
+  t.print_header();
+  for (double at : {11.9, 13.5, 19.9, 21.5, 29.0}) {
+    t.print_row({bench::fmt(at, 1), bench::fmt(buffer_at(at), 0),
+                 bench::fmt(result.series.layers.step_value_at(
+                                TimePoint::from_sec(at)),
+                            0)});
+  }
+  std::printf(
+      "\nQuality changes over 30 s: %d (adds %zu, drops %zu); base stall "
+      "%.3f s.\nPaper shape: buffers deepen between backoffs, drain on each "
+      "backoff, and\nthe layer count stays smooth despite three backoffs.\n",
+      result.metrics.quality_changes(), result.metrics.adds().size(),
+      result.metrics.drops().size(), result.base_stall.sec());
+  return 0;
+}

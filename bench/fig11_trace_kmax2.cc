@@ -1,0 +1,98 @@
+// Figure 11: the paper's headline 40-second trace. One quality-adaptive
+// RAP flow shares a drop-tail bottleneck with 9 plain RAP flows and 10
+// TCP flows (40 ms RTT), smoothing factor Kmax = 2. Reproduces all five
+// panels as CSV series:
+//   1. total transmission rate + consumption rate of the active layers,
+//   2. transmit rate breakdown per layer,
+//   3. per-layer bandwidth share (same data, separate columns),
+//   4. per-layer buffer drain rate,
+//   5. per-layer accumulated receiver buffering.
+//
+// Parameter note (DESIGN.md §3): the headline run uses the paper's literal
+// 800 Kb/s bottleneck with ns-2-style deep drop-tail queueing (the ~0.5 s
+// of queueing delay is what gives the paper its multi-second AIMD cycles)
+// and C scaled to the 20-flow fair share; a 10x-scaled 8 Mb/s variant with
+// the paper's printed C = 10 kB/s follows for completeness.
+#include <cstdio>
+
+#include "app/experiment.h"
+#include "bench_util.h"
+
+using namespace qa;
+using namespace qa::app;
+
+namespace {
+
+void report(const char* tag, const ExperimentResult& r,
+            const ExperimentParams& p) {
+  bench::banner(std::string("fig 11 run: ") + tag);
+
+  std::vector<std::string> names = {"rate", "consumption", "total_buffer"};
+  std::vector<const TimeSeries*> series = {&r.series.rate,
+                                           &r.series.consumption,
+                                           &r.series.total_buffer};
+  for (int i = 0; i < p.stream_layers; ++i) {
+    names.push_back("send_L" + std::to_string(i));
+    series.push_back(&r.series.layer_send_rate[static_cast<size_t>(i)]);
+  }
+  for (int i = 0; i < p.stream_layers; ++i) {
+    names.push_back("drain_L" + std::to_string(i));
+    series.push_back(&r.series.layer_drain_rate[static_cast<size_t>(i)]);
+  }
+  for (int i = 0; i < p.stream_layers; ++i) {
+    names.push_back("buf_L" + std::to_string(i));
+    series.push_back(&r.series.layer_buffer[static_cast<size_t>(i)]);
+  }
+  bench::write_series_csv(std::string("fig11_") + tag + ".csv", names,
+                          series);
+
+  double max_layers = 0, max_buf = 0;
+  for (const auto& pt : r.series.layers.points()) {
+    max_layers = std::max(max_layers, pt.value);
+  }
+  for (const auto& pt : r.series.total_buffer.points()) {
+    max_buf = std::max(max_buf, pt.value);
+  }
+  bench::TablePrinter t({"metric", "value"}, 30);
+  t.print_header();
+  t.print_row({"mean QA rate (kB/s)", bench::fmt(r.qa_mean_rate_bps / 1000)});
+  t.print_row({"mean quality (layers)",
+               bench::fmt(r.metrics.mean_quality(
+                              TimePoint::from_sec(5),
+                              TimePoint::from_sec(p.duration_sec)),
+                          2)});
+  t.print_row({"max quality (layers)", bench::fmt(max_layers, 0)});
+  t.print_row({"layer adds", bench::fmt(r.metrics.adds().size(), 0)});
+  t.print_row({"layer drops", bench::fmt(r.metrics.drops().size(), 0)});
+  t.print_row({"backoffs", bench::fmt(r.qa_backoffs, 0)});
+  t.print_row({"peak total buffering (B)", bench::fmt(max_buf, 0)});
+  t.print_row({"buffering efficiency e",
+               bench::pct(r.metrics.mean_efficiency())});
+  t.print_row({"base stall (s)", bench::fmt(r.client_base_stall.sec(), 3)});
+}
+
+}  // namespace
+
+int main() {
+  // Headline configuration: the paper-literal 800 Kb/s bottleneck.
+  ExperimentParams p = ExperimentParams::t1(/*kmax=*/2);
+  ExperimentResult r = run_experiment(p);
+  report("800kbps", r, p);
+
+  // 10x-scaled variant with the paper's printed C = 10 kB/s (the figure
+  // scale only fits a link this fast; see DESIGN.md §3). The queue scales
+  // with the link to preserve the ~0.5 s queueing-delay regime.
+  ExperimentParams big = p;
+  big.bottleneck = Rate::megabits_per_sec(8);
+  big.bottleneck_queue_bytes = 500'000;
+  big.layer_rate = Rate::kilobytes_per_sec(10);
+  big.packet_size = 1000;
+  ExperimentResult rb = run_experiment(big);
+  report("8mbps", rb, big);
+
+  std::printf(
+      "\nPaper shape: most of the bandwidth variation is absorbed by the\n"
+      "lowest layers' buffers; spikes in a layer's bandwidth mark buffer\n"
+      "filling; playback (base layer) is never interrupted.\n");
+  return 0;
+}

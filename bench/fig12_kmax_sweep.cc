@@ -1,0 +1,68 @@
+// Figure 12: effect of the smoothing factor Kmax on quality and buffering.
+// The same fig-11 workload is repeated for Kmax in {2, 3, 4}; higher Kmax
+// must (a) reduce the number of quality changes, (b) increase the total
+// amount of buffering, and (c) push more buffering into higher layers.
+#include <cstdio>
+
+#include "app/experiment.h"
+#include "bench_util.h"
+
+using namespace qa;
+using namespace qa::app;
+
+int main() {
+  bench::banner("Figure 12: effect of Kmax on buffering and quality");
+
+  bench::TablePrinter t({"Kmax", "quality_chg", "mean_layers", "max_buf_B",
+                         "upper_buf_pct", "drops", "stall_s"},
+                        14);
+  t.print_header();
+
+  for (int kmax : {2, 3, 4}) {
+    ExperimentParams p = ExperimentParams::t1(kmax);
+    const ExperimentResult r = run_experiment(p);
+
+    double max_buf = 0;
+    for (const auto& pt : r.series.total_buffer.points()) {
+      max_buf = std::max(max_buf, pt.value);
+    }
+    // Share of buffering held above the base layer, averaged over the
+    // second half of the run (fig 12's "more buffering for higher layers").
+    double upper = 0, total = 0;
+    const size_t n = r.series.total_buffer.size();
+    for (size_t i = n / 2; i < n; ++i) {
+      const double tot = r.series.total_buffer.points()[i].value;
+      const double base = r.series.layer_buffer[0].points()[i].value;
+      total += tot;
+      upper += tot - base;
+    }
+
+    t.print_row({bench::fmt(kmax, 0),
+                 bench::fmt(r.metrics.quality_changes(), 0),
+                 bench::fmt(r.metrics.mean_quality(
+                                TimePoint::from_sec(5),
+                                TimePoint::from_sec(p.duration_sec)),
+                            2),
+                 bench::fmt(max_buf, 0),
+                 bench::pct(total > 0 ? upper / total : 0, 1),
+                 bench::fmt(r.metrics.drops().size(), 0),
+                 bench::fmt(r.client_base_stall.sec(), 3)});
+
+    // Per-layer buffer series for the figure's lower panels.
+    std::vector<std::string> names = {"total_buffer", "layers"};
+    std::vector<const TimeSeries*> series = {&r.series.total_buffer,
+                                             &r.series.layers};
+    for (int i = 0; i < 4; ++i) {
+      names.push_back("buf_L" + std::to_string(i));
+      series.push_back(&r.series.layer_buffer[static_cast<size_t>(i)]);
+    }
+    bench::write_series_csv(
+        "fig12_kmax" + std::to_string(kmax) + ".csv", names, series);
+  }
+
+  std::printf(
+      "\nPaper shape: larger Kmax -> fewer quality changes, more total\n"
+      "buffering, and a larger share of it in the higher layers (the cost\n"
+      "is a longer wait before the best short-term quality appears).\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Micro-benchmarks (google-benchmark) for the hot paths: the closed-form
+// buffer math, the per-packet filling decision, the periodic drain plan,
+// the state-sequence construction, and the raw simulator event loop.
+// These quantify that the per-packet QA decision is cheap enough for a
+// server handling many thousands of packets per second per stream.
+#include <benchmark/benchmark.h>
+
+#include "core/buffer_math.h"
+#include "core/draining_policy.h"
+#include "core/filling_policy.h"
+#include "core/quality_adapter.h"
+#include "core/state_sequence.h"
+#include "sim/scheduler.h"
+#include "tracedrive/bandwidth_trace.h"
+
+namespace qa::core {
+namespace {
+
+const AimdModel kModel{10'000.0, 20'000.0};
+
+void BM_TotalBufRequired(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        total_buf_required(Scenario::kSpread, k, 90'000, 5, kModel));
+  }
+}
+BENCHMARK(BM_TotalBufRequired)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_LayerBufRequired(benchmark::State& state) {
+  for (auto _ : state) {
+    for (int layer = 0; layer < 5; ++layer) {
+      benchmark::DoNotOptimize(
+          layer_buf_required(Scenario::kSpread, 3, layer, 90'000, 5, kModel));
+    }
+  }
+}
+BENCHMARK(BM_LayerBufRequired);
+
+void BM_PickFillLayer(benchmark::State& state) {
+  const int na = static_cast<int>(state.range(0));
+  std::vector<double> bufs(static_cast<size_t>(na));
+  for (int i = 0; i < na; ++i) bufs[static_cast<size_t>(i)] = 1000.0 * i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pick_fill_layer(bufs, na, 12'000.0 * na, kModel, 4));
+  }
+}
+BENCHMARK(BM_PickFillLayer)->Arg(2)->Arg(5)->Arg(8);
+
+void BM_StateSequenceBuild(benchmark::State& state) {
+  const int kmax = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    StateSequence seq(90'000, 5, kModel, kmax);
+    benchmark::DoNotOptimize(seq.states().size());
+  }
+}
+BENCHMARK(BM_StateSequenceBuild)->Arg(2)->Arg(5)->Arg(8);
+
+void BM_DrainPlan(benchmark::State& state) {
+  std::vector<double> bufs = {9'000, 4'000, 1'500, 500, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        plan_drain_period(bufs, 5, 30'000, 60'000, kModel, 4, 0.25));
+  }
+}
+BENCHMARK(BM_DrainPlan);
+
+void BM_AdapterSendOpportunity(benchmark::State& state) {
+  AdapterConfig cfg;
+  cfg.consumption_rate = 10'000;
+  cfg.max_layers = 8;
+  cfg.kmax = static_cast<int>(state.range(0));
+  cfg.playout_delay = TimeDelta::zero();
+  QualityAdapter adapter(cfg);
+  adapter.begin(TimePoint::origin());
+  double t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adapter.on_send_opportunity(
+        TimePoint::from_sec(t), 45'000, 20'000, 1000));
+    t += 1000.0 / 45'000;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdapterSendOpportunity)->Arg(2)->Arg(5);
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sched.schedule_at(TimePoint::from_ns(i * 997 % 10'000),
+                        [&fired] { ++fired; });
+    }
+    sched.run_until(TimePoint::from_sec(1));
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerThroughput);
+
+void BM_TraceDrivenSecond(benchmark::State& state) {
+  // Cost of one simulated second of trace-driven quality adaptation.
+  const auto traj =
+      AimdTrajectory::sawtooth(30'000, 20'000, 50'000, 1.0);
+  AdapterConfig cfg;
+  cfg.consumption_rate = 10'000;
+  cfg.max_layers = 6;
+  cfg.kmax = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracedrive::run_trace(traj, cfg, 1.0));
+  }
+}
+BENCHMARK(BM_TraceDrivenSecond);
+
+// Sensitivity: drain planning period length (DESIGN.md §7).
+void BM_DrainPlanPeriodSweep(benchmark::State& state) {
+  const double period = static_cast<double>(state.range(0)) / 1000.0;
+  std::vector<double> bufs = {9'000, 4'000, 1'500, 500, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        plan_drain_period(bufs, 5, 30'000, 60'000, kModel, 4, period));
+  }
+}
+BENCHMARK(BM_DrainPlanPeriodSweep)->Arg(50)->Arg(250)->Arg(1000);
+
+}  // namespace
+}  // namespace qa::core
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Table 1: buffering efficiency. For each drop event the efficiency is
+// e = (buf_total - buf_dropped_layer) / buf_total; the table reports the
+// average across all drops, for Kmax in {2, 3, 4, 5, 8} under:
+//   T1 — the fig-11 workload (10 RAP + 10 TCP),
+//   T2 — the fig-13 workload (T1 + a CBR burst).
+// The paper reports 96-99.99% everywhere; the reproduction should stay
+// above ~95% in every cell (a dropped layer carries almost no buffer).
+#include <cstdio>
+
+#include "app/experiment.h"
+#include "bench_util.h"
+
+using namespace qa;
+using namespace qa::app;
+
+int main() {
+  bench::banner("Table 1: buffering efficiency e (average over drop events)");
+
+  const int kmaxes[] = {2, 3, 4, 5, 8};
+  std::vector<std::string> headers = {"test"};
+  for (int k : kmaxes) headers.push_back("Kmax=" + std::to_string(k));
+  bench::TablePrinter t(headers, 12);
+  t.print_header();
+
+  // Paper values for reference.
+  t.print_row({"T1(paper)", "99.77%", "99.97%", "99.84%", "99.85%",
+               "99.99%"});
+  t.print_row({"T2(paper)", "99.15%", "99.81%", "99.92%", "99.80%",
+               "96.07%"});
+
+  for (const bool with_cbr : {false, true}) {
+    std::vector<std::string> row = {with_cbr ? "T2(ours)" : "T1(ours)"};
+    for (int kmax : kmaxes) {
+      ExperimentParams p =
+          with_cbr ? ExperimentParams::t2(kmax) : ExperimentParams::t1(kmax);
+      const ExperimentResult r = run_experiment(p);
+      if (r.metrics.drops().empty()) {
+        row.push_back("no-drops");
+      } else {
+        row.push_back(bench::pct(r.metrics.mean_efficiency()));
+      }
+    }
+    t.print_row(row);
+  }
+
+  std::printf(
+      "\nPaper shape: the optimal allocation leaves almost nothing in a\n"
+      "dropped layer (e close to 100%%); sudden bandwidth collapses (T2 at\n"
+      "high Kmax) cost a little efficiency because deep buffering shifts\n"
+      "data into higher layers.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Table 2: percentage of layer drops caused by poor buffer DISTRIBUTION —
+// drops that would not have happened had the same total buffering been
+// divided differently among the layers. A drop is classified that way when
+// the total buffered bytes at the drop instant were sufficient for the
+// recovery deficit yet a layer was still lost.
+// The paper reports 0% for T1 at every Kmax and small percentages for T2.
+#include <cstdio>
+
+#include "app/experiment.h"
+#include "bench_util.h"
+
+using namespace qa;
+using namespace qa::app;
+
+int main() {
+  bench::banner("Table 2: drops due to poor buffer distribution");
+
+  const int kmaxes[] = {2, 3, 4, 5, 8};
+  std::vector<std::string> headers = {"test"};
+  for (int k : kmaxes) headers.push_back("Kmax=" + std::to_string(k));
+  bench::TablePrinter t(headers, 14);
+  t.print_header();
+
+  t.print_row({"T1(paper)", "0%", "0%", "0%", "0%", "0%"});
+  t.print_row({"T2(paper)", "2.4%", "0%", "4.8%", "11%", "-"});
+
+  for (const bool with_cbr : {false, true}) {
+    std::vector<std::string> row = {with_cbr ? "T2(ours)" : "T1(ours)"};
+    for (int kmax : kmaxes) {
+      ExperimentParams p =
+          with_cbr ? ExperimentParams::t2(kmax) : ExperimentParams::t1(kmax);
+      const ExperimentResult r = run_experiment(p);
+      if (r.metrics.drops().empty()) {
+        row.push_back("no-drops");
+      } else {
+        int poor = 0;
+        for (const auto& d : r.metrics.drops()) {
+          if (d.poor_distribution) ++poor;
+        }
+        row.push_back(bench::pct(r.metrics.poor_distribution_fraction(), 0) +
+                      "(" + std::to_string(poor) + "/" +
+                      std::to_string(r.metrics.drops().size()) + ")");
+      }
+    }
+    t.print_row(row);
+  }
+
+  std::printf(
+      "\nPaper shape: T1 is perfectly distribution-optimal (0%%), T2 small.\n"
+      "Ours: drop counts are tiny (the mechanism rarely drops at all) and\n"
+      "the survivors are margin-layer flaps at the top of the sawtooth,\n"
+      "which this classification counts as distribution-caused because the\n"
+      "aggregate would have sufficed. The per-drop efficiency (Table 1,\n"
+      "~100%%) shows the dropped layers carried almost nothing — the\n"
+      "paper's substantive claim. See EXPERIMENTS.md for the loss-process\n"
+      "difference that drives the classification gap.\n");
+  return 0;
+}

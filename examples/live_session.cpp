@@ -1,0 +1,61 @@
+// Live (non-interactive) session — the paper's conclusion suggests the
+// mechanism also fits live delivery where the client tolerates a short
+// delay. In live mode the receiver cannot buffer more than the delay
+// tolerance allows, so the smoothing factor IS the delay budget: the
+// Kmax-state buffering requirement divided by the consumption rate is the
+// implied end-to-end lateness. This example streams a "live" event at
+// three smoothing levels and reports the implied delay budget next to the
+// achieved smoothness.
+//
+//   $ ./live_session
+#include <cstdio>
+
+#include "core/state_sequence.h"
+#include "tracedrive/bandwidth_trace.h"
+#include "util/rng.h"
+
+using namespace qa;
+using namespace qa::core;
+
+int main() {
+  // A live-ish channel: ~6 kB/s fair share with near-random losses.
+  Rng rng(99);
+  const auto traj = tracedrive::random_backoff_trajectory(
+      4'000, 1'200, 9'000, 180.0, 3.0, rng);
+
+  std::printf("live event, 3 minutes, C = 1.25 kB/s per layer\n\n");
+  std::printf("  %4s %14s %9s %9s %9s %8s\n", "Kmax", "delay_budget_s",
+              "changes", "meanQ", "stalls_s", "drops");
+
+  for (int kmax : {1, 2, 3}) {
+    AdapterConfig cfg;
+    cfg.consumption_rate = 1'250;
+    cfg.max_layers = 6;
+    cfg.kmax = kmax;
+    cfg.playout_delay = TimeDelta::millis(1500);
+    const auto result = tracedrive::run_trace(traj, cfg, 180.0, 250);
+
+    // Implied delay budget: the deepest Kmax-state buffering at the mean
+    // operating point, expressed as seconds of the base layer's media.
+    const double mean_rate = 6'000;
+    const int mean_layers = 4;
+    const StateSequence seq(mean_rate, mean_layers,
+                            AimdModel{1'250, 1'200}, kmax);
+    const double deepest =
+        seq.states().empty() ? 0.0 : seq.states().back().total;
+    const double delay_budget = deepest / (mean_layers * 1'250.0);
+
+    std::printf("  %4d %14.1f %9d %9.2f %9.3f %8zu\n", kmax, delay_budget,
+                result.metrics.quality_changes(),
+                result.metrics.mean_quality(TimePoint::from_sec(5),
+                                            TimePoint::from_sec(180)),
+                result.base_stall.sec(), result.metrics.drops().size());
+  }
+
+  std::printf(
+      "\nReading: each extra unit of Kmax buys smoother quality at the\n"
+      "price of a deeper receiver buffer — in a live session that buffer\n"
+      "is watched latency. Pick Kmax from the delay the audience accepts\n"
+      "(the paper's closing suggestion).\n");
+  return 0;
+}

@@ -1,0 +1,191 @@
+#include "app/experiment.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "cbr/cbr.h"
+#include "sim/topology.h"
+#include "tcp/tcp_sink.h"
+#include "tcp/tcp_source.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace qa::app {
+
+ExperimentParams ExperimentParams::t1(int kmax, uint64_t seed) {
+  ExperimentParams p;
+  p.kmax = kmax;
+  p.seed = seed;
+  return p;
+}
+
+ExperimentParams ExperimentParams::t2(int kmax, uint64_t seed) {
+  ExperimentParams p;
+  p.kmax = kmax;
+  p.seed = seed;
+  p.duration_sec = 90;
+  p.with_cbr = true;
+  return p;
+}
+
+ExperimentResult run_experiment(const ExperimentParams& params) {
+  QA_CHECK(params.rap_flows >= 1);
+  QA_CHECK(params.duration_sec > 0);
+
+  sim::Network net;
+  Rng rng(params.seed);
+
+  const int pairs =
+      params.rap_flows + params.tcp_flows + (params.with_cbr ? 1 : 0);
+  sim::DumbbellParams topo;
+  topo.pairs = pairs;
+  topo.bottleneck_bw = params.bottleneck;
+  topo.rtt = params.rtt;
+  topo.bottleneck_queue_bytes = params.bottleneck_queue_bytes;
+  topo.red = params.red_bottleneck;
+  topo.red_seed = params.seed * 977 + 13;
+  const sim::Dumbbell d = sim::build_dumbbell(net, topo);
+
+  // --- The quality-adaptive flow (pair 0). -------------------------------
+  SessionConfig scfg;
+  scfg.adapter.consumption_rate = params.layer_rate.bps();
+  scfg.adapter.max_layers = params.stream_layers;
+  scfg.adapter.kmax = params.kmax;
+  scfg.adapter.allocation = params.allocation;
+  scfg.adapter.monotone = params.monotone;
+  scfg.adapter.playout_delay = params.playout_delay;
+  scfg.rap.packet_size = params.packet_size;
+  scfg.rap.initial_rate = params.layer_rate;  // start near one layer's worth
+  scfg.rap.initial_rtt = params.rtt;
+  scfg.stream_layers = params.stream_layers;
+  scfg.layer_rate = params.layer_rate;
+  scfg.keep_client_packet_log = params.keep_client_packet_log;
+  Session session(net, d.left[0], d.right[0], scfg);
+
+  // --- Competing plain RAP flows (pairs 1..rap_flows-1). -----------------
+  std::vector<rap::RapSource*> rap_competitors;
+  for (int i = 1; i < params.rap_flows; ++i) {
+    rap::RapParams rp;
+    rp.packet_size = params.packet_size;
+    rp.initial_rate = params.layer_rate;
+    rp.initial_rtt = params.rtt;
+    rp.start_time =
+        TimePoint::from_sec(rng.uniform(0.0, 1.0));  // desynchronize
+    const sim::FlowId flow = net.allocate_flow_id();
+    auto* src = net.adopt_agent(
+        d.left[i], flow,
+        std::make_unique<rap::RapSource>(&net.scheduler(), d.left[i],
+                                         d.right[i]->id(), flow, rp));
+    net.adopt_agent(d.right[i], flow,
+                    std::make_unique<rap::RapSink>(&net.scheduler(),
+                                                   d.right[i]));
+    rap_competitors.push_back(src);
+  }
+
+  // --- Competing TCP flows. ----------------------------------------------
+  std::vector<tcp::TcpSource*> tcp_sources;
+  for (int i = 0; i < params.tcp_flows; ++i) {
+    const int pair = params.rap_flows + i;
+    tcp::TcpParams tp;
+    tp.mss_bytes = params.packet_size;
+    tp.initial_rtt = params.rtt;
+    tp.start_time = TimePoint::from_sec(rng.uniform(0.0, 1.0));
+    const sim::FlowId flow = net.allocate_flow_id();
+    auto* src = net.adopt_agent(
+        d.left[pair], flow,
+        std::make_unique<tcp::TcpSource>(&net.scheduler(), d.left[pair],
+                                         d.right[pair]->id(), flow, tp));
+    net.adopt_agent(d.right[pair], flow,
+                    std::make_unique<tcp::TcpSink>(&net.scheduler(),
+                                                   d.right[pair]));
+    tcp_sources.push_back(src);
+  }
+
+  // --- Optional CBR step (fig 13). ----------------------------------------
+  if (params.with_cbr) {
+    const int pair = pairs - 1;
+    cbr::CbrParams cp;
+    cp.rate = params.bottleneck * params.cbr_fraction;
+    cp.packet_size = params.packet_size;
+    cp.start_time = TimePoint::from_sec(params.cbr_start_sec);
+    cp.stop_time = TimePoint::from_sec(params.cbr_stop_sec);
+    const sim::FlowId flow = net.allocate_flow_id();
+    net.adopt_agent(d.left[pair], flow,
+                    std::make_unique<cbr::CbrSource>(&net.scheduler(),
+                                                     d.left[pair],
+                                                     d.right[pair]->id(),
+                                                     flow, cp));
+    net.adopt_agent(d.right[pair], flow, std::make_unique<cbr::CbrSink>());
+  }
+
+  // --- Series collection. --------------------------------------------------
+  ExperimentResult result;
+  const size_t n_layers = static_cast<size_t>(params.stream_layers);
+  result.series.layer_buffer.resize(n_layers);
+  result.series.layer_send_rate.resize(n_layers);
+  result.series.layer_drain_rate.resize(n_layers);
+
+  std::vector<double> prev_buf(n_layers, 0.0);
+  const double dt = params.sample_dt_sec;
+  const int samples = static_cast<int>(params.duration_sec / dt);
+  RunningStats qa_rate_stats;
+
+  for (int s = 1; s <= samples; ++s) {
+    const TimePoint at = TimePoint::from_sec(s * dt);
+    net.scheduler().schedule_at(at, [&, at] {
+      auto& adapter = session.server().adapter();
+      const auto& recv = adapter.receiver();
+      const double rate = session.rap_source().rate().bps();
+      const int na = adapter.active_layers();
+      result.series.rate.add(at, rate);
+      result.series.consumption.add(
+          at, static_cast<double>(na) * adapter.config().consumption_rate);
+      result.series.layers.add(at, na);
+      result.series.total_buffer.add(at, recv.total_buffer());
+      qa_rate_stats.add(rate);
+      const std::vector<double> sent = session.server().take_window_sent();
+      for (size_t i = 0; i < n_layers; ++i) {
+        const double buf = recv.buffer(static_cast<int>(i));
+        result.series.layer_buffer[i].add(at, buf);
+        result.series.layer_send_rate[i].add(at, sent[i] / dt);
+        result.series.layer_drain_rate[i].add(
+            at, std::max(0.0, (prev_buf[i] - buf) / dt));
+        prev_buf[i] = buf;
+      }
+    });
+  }
+
+  net.run(TimePoint::from_sec(params.duration_sec));
+
+  // --- Final bookkeeping. ---------------------------------------------------
+  session.client().sync();
+  auto& adapter = session.server().adapter();
+  result.metrics = adapter.metrics();
+  result.qa_packets_sent = session.rap_source().packets_sent();
+  result.qa_losses = session.rap_source().losses_detected();
+  result.qa_backoffs = session.rap_source().backoffs();
+  result.qa_mean_rate_bps = qa_rate_stats.mean();
+  result.client_base_stall = session.client().base_stall();
+  result.final_mirror_total_buffer = adapter.receiver().total_buffer();
+  result.final_client_total_buffer = session.client().total_buffer();
+  if (params.keep_client_packet_log) {
+    result.client_packet_log = session.client().packet_log();
+  }
+
+  if (!rap_competitors.empty()) {
+    double sum = 0;
+    for (const auto* src : rap_competitors) sum += src->rate().bps();
+    result.mean_rap_competitor_rate_bps =
+        sum / static_cast<double>(rap_competitors.size());
+  }
+  if (!tcp_sources.empty()) {
+    double sum = 0;
+    for (const auto* src : tcp_sources) {
+      sum += src->cwnd_segments() * params.packet_size / src->srtt().sec();
+    }
+    result.mean_tcp_rate_bps = sum / static_cast<double>(tcp_sources.size());
+  }
+  return result;
+}
+
+}  // namespace qa::app

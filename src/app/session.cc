@@ -1,0 +1,30 @@
+#include "app/session.h"
+
+#include "core/layered_video.h"
+
+namespace qa::app {
+
+Session::Session(sim::Network& net, sim::Node* server_host,
+                 sim::Node* client_host, const SessionConfig& cfg)
+    : flow_(net.allocate_flow_id()) {
+  rap_source_ = net.adopt_agent(
+      server_host, flow_,
+      std::make_unique<rap::RapSource>(&net.scheduler(), server_host,
+                                       client_host->id(), flow_, cfg.rap));
+  rap_sink_ = net.adopt_agent(
+      client_host, flow_,
+      std::make_unique<rap::RapSink>(&net.scheduler(), client_host,
+                                     cfg.rap.ack_size));
+
+  server_ = std::make_unique<VideoServer>(
+      &net.scheduler(), rap_source_, cfg.adapter,
+      core::LayeredVideo::linear("stream", cfg.stream_layers, cfg.layer_rate),
+      cfg.server);
+  client_ = std::make_unique<VideoClient>(
+      &net.scheduler(), cfg.layer_rate.bps(), cfg.stream_layers,
+      cfg.adapter.playout_delay, cfg.keep_client_packet_log);
+  rap_sink_->set_consumer(
+      [this](const sim::Packet& p) { client_->on_data(p); });
+}
+
+}  // namespace qa::app

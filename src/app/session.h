@@ -1,0 +1,45 @@
+// Session: one quality-adaptive streaming pair (server host -> client host)
+// wired onto an existing network. Owns nothing network-side; the Network
+// owns the agents, the session owns the app objects.
+#pragma once
+
+#include <memory>
+
+#include "app/video_client.h"
+#include "app/video_server.h"
+#include "rap/rap_sink.h"
+#include "rap/rap_source.h"
+#include "sim/network.h"
+
+namespace qa::app {
+
+struct SessionConfig {
+  core::AdapterConfig adapter;
+  rap::RapParams rap;
+  VideoServerOptions server;
+  int stream_layers = 8;
+  Rate layer_rate = Rate::kilobytes_per_sec(10);
+  bool keep_client_packet_log = false;
+};
+
+// A server on `server_host` streaming to `client_host` over RAP.
+class Session {
+ public:
+  Session(sim::Network& net, sim::Node* server_host, sim::Node* client_host,
+          const SessionConfig& cfg);
+
+  VideoServer& server() { return *server_; }
+  VideoClient& client() { return *client_; }
+  rap::RapSource& rap_source() { return *rap_source_; }
+  rap::RapSink& rap_sink() { return *rap_sink_; }
+  sim::FlowId flow_id() const { return flow_; }
+
+ private:
+  sim::FlowId flow_;
+  rap::RapSource* rap_source_;  // owned by the network
+  rap::RapSink* rap_sink_;      // owned by the network
+  std::unique_ptr<VideoServer> server_;
+  std::unique_ptr<VideoClient> client_;
+};
+
+}  // namespace qa::app

@@ -1,0 +1,82 @@
+#include "app/video_client.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace qa::app {
+
+VideoClient::VideoClient(sim::Scheduler* sched, double consumption_rate,
+                         int max_layers, TimeDelta playout_delay,
+                         bool keep_packet_log)
+    : sched_(sched),
+      model_(consumption_rate, max_layers),
+      keep_log_(keep_packet_log) {
+  QA_CHECK(sched_ != nullptr);
+  // Playout start is finalized at the first arrival; store the delay by
+  // setting a far-future placeholder until then.
+  playout_delay_ = playout_delay;
+}
+
+void VideoClient::on_data(const sim::Packet& p) {
+  if (p.layer < 0) return;  // not a video packet
+  const TimePoint now = sched_->now();
+  if (!started_) {
+    started_ = true;
+    first_arrival_ = now;
+    // Playout begins after the startup delay, but like a real player only
+    // once a minimum base-layer reserve exists (a quarter of the delay's
+    // worth of data); the far-future placeholder is replaced below.
+    model_.set_playout_start(now + TimeDelta::seconds(1'000'000));
+    model_.add_layer(now);
+    layers_seen_ = 1;
+  }
+  model_.advance(now);
+  maybe_start_playout(now);
+  // Layers are added by the server in order; the first packet of a new top
+  // layer activates it client-side.
+  while (p.layer >= layers_seen_) {
+    model_.add_layer(now);
+    ++layers_seen_;
+  }
+  model_.credit(p.layer, static_cast<double>(p.size_bytes));
+  ++packets_;
+
+  if (keep_log_) {
+    const double queued_ahead =
+        model_.buffer(p.layer) - static_cast<double>(p.size_bytes);
+    // Before playout begins the model's start time is a placeholder; use
+    // the expected start (first arrival + startup delay) for estimates.
+    const TimePoint expected_start =
+        playing_ ? model_.playout_start() : first_arrival_ + playout_delay_;
+    const TimePoint earliest = std::max(now, expected_start);
+    log_.push_back(PacketRecord{
+        p.layer, p.layer_seq, now,
+        earliest + TimeDelta::from_sec(std::max(0.0, queued_ahead) /
+                                       model_.consumption_rate())});
+  }
+}
+
+void VideoClient::sync() {
+  if (!started_) return;
+  model_.advance(sched_->now());
+  maybe_start_playout(sched_->now());
+}
+
+void VideoClient::maybe_start_playout(TimePoint now) {
+  if (playing_ || now - first_arrival_ < playout_delay_ ||
+      model_.buffer(0) <
+          0.25 * model_.consumption_rate() * playout_delay_.sec()) {
+    return;
+  }
+  playing_ = true;
+  model_.set_playout_start(now);
+}
+
+double VideoClient::buffer(int layer) const { return model_.buffer(layer); }
+
+double VideoClient::total_buffer() const { return model_.total_buffer(); }
+
+TimeDelta VideoClient::base_stall() const { return model_.base_stall_time(); }
+
+}  // namespace qa::app

@@ -1,0 +1,62 @@
+// VideoClient: the receiver-side ground truth.
+//
+// The client consumes the packets a RapSink delivers, maintains its own
+// per-layer playout buffers (the same ReceiverModel the server mirrors,
+// fed by *arrivals* instead of transmissions) and records the user-visible
+// outcomes: base-layer stalls, per-packet arrival→playout latency, and the
+// playout sequence needed for fig-2 style plots. Integration tests compare
+// these buffers against the server's mirror to bound the mirror's error.
+#pragma once
+
+#include <vector>
+
+#include "core/receiver_model.h"
+#include "sim/packet.h"
+#include "sim/scheduler.h"
+
+namespace qa::app {
+
+class VideoClient {
+ public:
+  struct PacketRecord {
+    int layer;
+    int64_t layer_seq;
+    TimePoint arrival;
+    // Estimated playout instant: arrival plus the time to play the bytes
+    // already queued in front of this packet in its layer.
+    TimePoint playout;
+  };
+
+  VideoClient(sim::Scheduler* sched, double consumption_rate, int max_layers,
+              TimeDelta playout_delay, bool keep_packet_log = false);
+
+  // Hook for RapSink::set_consumer.
+  void on_data(const sim::Packet& p);
+
+  // Brings consumption up to the current simulated time.
+  void sync();
+
+  int layers_seen() const { return layers_seen_; }
+  double buffer(int layer) const;
+  double total_buffer() const;
+  TimeDelta base_stall() const;
+  int64_t packets_received() const { return packets_; }
+  const std::vector<PacketRecord>& packet_log() const { return log_; }
+  const core::ReceiverModel& model() const { return model_; }
+
+ private:
+  void maybe_start_playout(TimePoint now);
+
+  sim::Scheduler* sched_;
+  core::ReceiverModel model_;
+  TimeDelta playout_delay_ = TimeDelta::zero();
+  bool started_ = false;
+  bool playing_ = false;
+  TimePoint first_arrival_;
+  int layers_seen_ = 0;
+  int64_t packets_ = 0;
+  bool keep_log_;
+  std::vector<PacketRecord> log_;
+};
+
+}  // namespace qa::app

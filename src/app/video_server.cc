@@ -1,0 +1,111 @@
+#include "app/video_server.h"
+
+#include "util/logging.h"
+
+namespace qa::app {
+
+VideoServer::VideoServer(sim::Scheduler* sched, rap::RapSource* rap,
+                         core::AdapterConfig adapter_cfg,
+                         core::LayeredVideo video, VideoServerOptions options)
+    : sched_(sched),
+      rap_(rap),
+      video_(std::move(video)),
+      options_(options),
+      adapter_([&] {
+        // The stream defines how many layers exist and their consumption
+        // rate; keep the adapter consistent with it.
+        adapter_cfg.max_layers = video_.layers();
+        adapter_cfg.consumption_rate = video_.mean_layer_rate().bps();
+        return adapter_cfg;
+      }()),
+      next_layer_seq_(static_cast<size_t>(video_.layers()), 0),
+      layer_bytes_(static_cast<size_t>(video_.layers()), 0),
+      window_sent_(static_cast<size_t>(video_.layers()), 0.0) {
+  QA_CHECK(sched_ != nullptr && rap_ != nullptr);
+  rap_->set_payload_tagger([this](sim::Packet& p) { tag_packet(p); });
+  rap_->set_listener(this);
+}
+
+void VideoServer::tag_packet(sim::Packet& p) {
+  const TimePoint now = sched_->now();
+  if (!begun_) {
+    begun_ = true;
+    adapter_.begin(now);
+  }
+  // Retransmissions of important layers preempt new data: the hole they
+  // fill is already scheduled for playout. The adapter still accounts the
+  // slot (the bytes restore what the loss debited).
+  if (!retx_queue_.empty()) {
+    const PendingRetx rt = retx_queue_.front();
+    retx_queue_.pop_front();
+    p.layer = rt.layer;
+    p.layer_seq = rt.layer_seq;
+    ++retransmissions_;
+    layer_bytes_[static_cast<size_t>(rt.layer)] += p.size_bytes;
+    window_sent_[static_cast<size_t>(rt.layer)] +=
+        static_cast<double>(p.size_bytes);
+    // Restore the mirror bytes the loss debit removed.
+    adapter_.on_retransmit(now, rt.layer, static_cast<double>(p.size_bytes));
+    return;
+  }
+
+  const int layer = adapter_.on_send_opportunity(
+      now, rap_->rate().bps(), rap_->slope_bps_per_sec(),
+      static_cast<double>(p.size_bytes));
+  if (layer == core::QualityAdapter::kPaddingSlot) {
+    // Buffer targets are met and no layer can be added: the slot carries
+    // padding so the congestion-control loop keeps its pacing while the
+    // receiver's buffers stay bounded (paper footnote 2).
+    p.layer = -1;
+    ++padding_packets_;
+    return;
+  }
+  QA_CHECK(layer >= 0 && layer < video_.layers());
+  p.layer = static_cast<int16_t>(layer);
+  p.layer_seq = next_layer_seq_[static_cast<size_t>(layer)]++;
+  layer_bytes_[static_cast<size_t>(layer)] += p.size_bytes;
+  window_sent_[static_cast<size_t>(layer)] +=
+      static_cast<double>(p.size_bytes);
+}
+
+void VideoServer::on_ack(const sim::Packet&) {
+  // The sender-side mirror credits at send time; ACKs need no action here.
+  // (RTT/slope bookkeeping lives inside RapSource.)
+}
+
+void VideoServer::on_loss(const sim::Packet& data_pkt) {
+  if (data_pkt.layer < 0) return;
+  adapter_.on_packet_lost(sched_->now(), data_pkt.layer,
+                          static_cast<double>(data_pkt.size_bytes));
+  if (data_pkt.layer < options_.retransmit_below_layer &&
+      data_pkt.layer < adapter_.active_layers()) {
+    // Worth resending only if the receiver still holds roughly an RTT of
+    // that layer's media ahead of the hole; otherwise playout has passed.
+    const double lead_needed =
+        adapter_.config().consumption_rate * rap_->srtt().sec();
+    if (adapter_.receiver().buffer(data_pkt.layer) >= lead_needed) {
+      retx_queue_.push_back(PendingRetx{data_pkt.layer, data_pkt.layer_seq});
+    } else {
+      ++retx_abandoned_;
+    }
+  }
+}
+
+void VideoServer::on_backoff(Rate new_rate) {
+  if (!begun_) return;
+  adapter_.on_backoff(sched_->now(), new_rate.bps(),
+                      rap_->slope_bps_per_sec());
+}
+
+std::vector<double> VideoServer::take_window_sent() {
+  std::vector<double> out = window_sent_;
+  std::fill(window_sent_.begin(), window_sent_.end(), 0.0);
+  return out;
+}
+
+int64_t VideoServer::bytes_sent(int layer) const {
+  QA_CHECK(layer >= 0 && layer < video_.layers());
+  return layer_bytes_[static_cast<size_t>(layer)];
+}
+
+}  // namespace qa::app

@@ -1,0 +1,78 @@
+// VideoServer: a stored layered stream + RAP transport + QualityAdapter.
+//
+// The server owns the paper's sender-side machinery: RAP paces packets and
+// reports ACKs/losses/backoffs; for every transmission slot the server asks
+// the QualityAdapter which layer the packet should carry and tags it with a
+// per-layer sequence number. Everything the adapter needs (rate, slope,
+// losses, backoffs) is forwarded from RAP.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/layered_video.h"
+#include "core/quality_adapter.h"
+#include "rap/rap_source.h"
+
+namespace qa::app {
+
+struct VideoServerOptions {
+  // Selective retransmission of the most important information (§1.3):
+  // lost packets of layers 0..retransmit_below_layer-1 are resent in the
+  // next transmission slots, provided the receiver still has enough
+  // buffered media ahead of the hole to play the retransmission in time.
+  // 0 disables retransmission (the paper's evaluated configuration).
+  int retransmit_below_layer = 0;
+};
+
+class VideoServer : public rap::RapListener {
+ public:
+  // Wires itself into `rap` (payload tagger + listener). `rap` must outlive
+  // the server.
+  VideoServer(sim::Scheduler* sched, rap::RapSource* rap,
+              core::AdapterConfig adapter_cfg, core::LayeredVideo video,
+              VideoServerOptions options = {});
+
+  // RapListener:
+  void on_ack(const sim::Packet& data_pkt) override;
+  void on_loss(const sim::Packet& data_pkt) override;
+  void on_backoff(Rate new_rate) override;
+
+  core::QualityAdapter& adapter() { return adapter_; }
+  const core::QualityAdapter& adapter() const { return adapter_; }
+  const core::LayeredVideo& video() const { return video_; }
+  rap::RapSource& rap() { return *rap_; }
+
+  // Bytes sent per layer since the last call (for rate-series probes).
+  std::vector<double> take_window_sent();
+  int64_t bytes_sent(int layer) const;
+  // Slots carrying padding because every buffer target was met.
+  int64_t padding_packets() const { return padding_packets_; }
+  // Retransmissions performed / abandoned as undeliverable in time.
+  int64_t retransmissions() const { return retransmissions_; }
+  int64_t retransmissions_abandoned() const { return retx_abandoned_; }
+
+ private:
+  void tag_packet(sim::Packet& p);
+
+  sim::Scheduler* sched_;
+  rap::RapSource* rap_;
+  core::LayeredVideo video_;
+  VideoServerOptions options_;
+  core::QualityAdapter adapter_;
+  bool begun_ = false;
+  std::vector<int64_t> next_layer_seq_;
+  std::vector<int64_t> layer_bytes_;
+  std::vector<double> window_sent_;
+  int64_t padding_packets_ = 0;
+  int64_t retransmissions_ = 0;
+  int64_t retx_abandoned_ = 0;
+  struct PendingRetx {
+    int16_t layer;
+    int64_t layer_seq;
+  };
+  std::deque<PendingRetx> retx_queue_;
+};
+
+}  // namespace qa::app

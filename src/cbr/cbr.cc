@@ -1,0 +1,40 @@
+#include "cbr/cbr.h"
+
+#include "util/logging.h"
+
+namespace qa::cbr {
+
+CbrSource::CbrSource(sim::Scheduler* sched, sim::Node* local, sim::NodeId peer,
+                     sim::FlowId flow, CbrParams params)
+    : sched_(sched), local_(local), peer_(peer), flow_(flow), params_(params) {
+  QA_CHECK(params_.rate.bps() > 0);
+  QA_CHECK(params_.packet_size > 0);
+}
+
+void CbrSource::start() {
+  const TimeDelta defer = params_.start_time > sched_->now()
+                              ? params_.start_time - sched_->now()
+                              : TimeDelta::zero();
+  sched_->schedule_after(defer, [this] { send_next(); });
+}
+
+void CbrSource::send_next() {
+  if (params_.stop_time > TimePoint::origin() &&
+      sched_->now() >= params_.stop_time) {
+    return;
+  }
+  sim::Packet p;
+  p.src = local_->id();
+  p.dst = peer_;
+  p.flow_id = flow_;
+  p.type = sim::PacketType::kData;
+  p.size_bytes = params_.packet_size;
+  p.seq = next_seq_++;
+  p.ts_sent = sched_->now();
+  local_->send(p);
+  ++sent_;
+  sched_->schedule_after(params_.rate.transmit_time(params_.packet_size),
+                         [this] { send_next(); });
+}
+
+}  // namespace qa::cbr

@@ -1,0 +1,54 @@
+// Constant-bit-rate source and counting sink, for the responsiveness
+// experiment (fig 13: a CBR burst at half the bottleneck bandwidth).
+#pragma once
+
+#include "sim/flow.h"
+#include "sim/node.h"
+#include "sim/scheduler.h"
+#include "util/units.h"
+
+namespace qa::cbr {
+
+struct CbrParams {
+  Rate rate = Rate::kilobytes_per_sec(50);
+  int32_t packet_size = 1000;
+  TimePoint start_time;               // first packet
+  TimePoint stop_time;                // stop sending at/after this (0 = never)
+};
+
+class CbrSource : public sim::Agent {
+ public:
+  CbrSource(sim::Scheduler* sched, sim::Node* local, sim::NodeId peer,
+            sim::FlowId flow, CbrParams params);
+
+  void start() override;
+  void on_packet(const sim::Packet&) override {}  // CBR ignores feedback
+
+  int64_t packets_sent() const { return sent_; }
+
+ private:
+  void send_next();
+
+  sim::Scheduler* sched_;
+  sim::Node* local_;
+  sim::NodeId peer_;
+  sim::FlowId flow_;
+  CbrParams params_;
+  int64_t next_seq_ = 0;
+  int64_t sent_ = 0;
+};
+
+// Sink that counts arrivals (no ACKs — CBR is open loop).
+class CbrSink : public sim::Agent {
+ public:
+  CbrSink() = default;
+  void on_packet(const sim::Packet& p) override {
+    if (p.type == sim::PacketType::kData) ++received_;
+  }
+  int64_t packets_received() const { return received_; }
+
+ private:
+  int64_t received_ = 0;
+};
+
+}  // namespace qa::cbr

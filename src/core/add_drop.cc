@@ -1,0 +1,56 @@
+#include "core/add_drop.h"
+
+#include "core/state_sequence.h"
+#include "util/logging.h"
+
+namespace qa::core {
+
+bool should_add_layer(const std::vector<double>& layer_buf, int active_layers,
+                      double rate, const AimdModel& model,
+                      const AddDropConfig& cfg) {
+  QA_CHECK(active_layers >= 1);
+  if (active_layers >= cfg.max_layers) return false;
+  // Condition 1 (§2.1): instantaneous rate covers existing + new layer, so
+  // the new layer can play out immediately with no inter-layer skew.
+  const double new_consumption =
+      static_cast<double>(active_layers + 1) * model.consumption_rate;
+  if (rate < new_consumption) return false;
+  // Smoothed condition 2 (§2.1 extended to Kmax per §3.1): buffering
+  // sufficient to survive Kmax backoffs in both scenarios *with the new
+  // layer playing*. Evaluating the prospective (na+1)-layer configuration
+  // matters: judged against the current configuration, a sawtooth peak
+  // (R >> n_a*C) makes k1 flip high enough that the spread-scenario
+  // requirements vanish and layers get added with no protection, only to
+  // be shed at the next trough.
+  //
+  // The newcomer starts empty; its own optimal share (the triangle tip) is
+  // credited because the filling phase supplies the top layer first after
+  // the add. Crediting cancels out of every top-suffix sum, so the check
+  // reduces to suffix domination of the EXISTING layers' buffers over the
+  // enlarged configuration's targets for those layers.
+  const int n_new = active_layers + 1;
+  const StateSequence seq(rate, n_new, model, cfg.kmax, cfg.monotone);
+  for (const BufferState& st : seq.states()) {
+    if (!StateSequence::suffix_dominates(layer_buf, st.raw_targets,
+                                         active_layers)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int drop_decision(double rate_post_backoff, int active_layers,
+                  double total_buf, const AimdModel& model) {
+  return layers_to_keep(rate_post_backoff, active_layers, total_buf, model);
+}
+
+bool draining_buffers_sufficient(double rate, int active_layers,
+                                 double total_buf, const AimdModel& model) {
+  const double consumption =
+      static_cast<double>(active_layers) * model.consumption_rate;
+  if (rate >= consumption) return true;  // not draining
+  const double required = triangle_area(consumption - rate, model.slope);
+  return total_buf >= required;
+}
+
+}  // namespace qa::core

@@ -1,0 +1,63 @@
+#include "core/analytic_model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace qa::core {
+
+AimdTrajectory::AimdTrajectory(double initial_rate, double slope)
+    : initial_rate_(initial_rate), slope_(slope) {
+  QA_CHECK(initial_rate_ > 0);
+  QA_CHECK(slope_ > 0);
+}
+
+void AimdTrajectory::add_backoff(double t_sec) {
+  QA_CHECK(backoffs_.empty() || t_sec > backoffs_.back());
+  backoffs_.push_back(t_sec);
+}
+
+void AimdTrajectory::set_rate_cap(double cap) {
+  QA_CHECK(cap >= 0);
+  cap_ = cap;
+}
+
+double AimdTrajectory::rate_at(double t_sec) const {
+  double rate = initial_rate_;
+  double t_prev = 0;
+  const auto clamp = [this](double r) {
+    return cap_ > 0 ? std::min(r, cap_) : r;
+  };
+  for (double tb : backoffs_) {
+    if (tb > t_sec) break;
+    rate = clamp(rate + slope_ * (tb - t_prev));
+    rate /= 2.0;
+    t_prev = tb;
+  }
+  return clamp(rate + slope_ * (t_sec - t_prev));
+}
+
+int AimdTrajectory::backoffs_before(double t_sec) const {
+  return static_cast<int>(
+      std::upper_bound(backoffs_.begin(), backoffs_.end(), t_sec) -
+      backoffs_.begin());
+}
+
+AimdTrajectory AimdTrajectory::sawtooth(double initial_rate, double slope,
+                                        double cap, double duration_sec) {
+  QA_CHECK(cap > initial_rate);
+  AimdTrajectory traj(initial_rate, slope);
+  traj.set_rate_cap(cap);
+  double rate = initial_rate;
+  double t = 0;
+  while (true) {
+    const double t_hit = t + (cap - rate) / slope;
+    if (t_hit >= duration_sec) break;
+    traj.add_backoff(t_hit);
+    rate = cap / 2.0;
+    t = t_hit;
+  }
+  return traj;
+}
+
+}  // namespace qa::core

@@ -1,0 +1,49 @@
+// Deterministic AIMD rate trajectories.
+//
+// The conceptual figures of the paper (2–6) and the trace-driven harness
+// need a transmission-rate signal with exactly placed backoffs, independent
+// of any packet network: rate rises linearly at slope S and halves at each
+// backoff instant, optionally capped by a link bandwidth (in which case the
+// sawtooth of fig 1 emerges by inserting a backoff at every cap crossing).
+#pragma once
+
+#include <vector>
+
+namespace qa::core {
+
+class AimdTrajectory {
+ public:
+  // Rates in bytes/s, slope in bytes/s per second.
+  AimdTrajectory(double initial_rate, double slope);
+
+  // Adds a multiplicative backoff at absolute time `t_sec` (strictly after
+  // any previously added backoff).
+  void add_backoff(double t_sec);
+
+  // Caps the linear growth (e.g. at a link bandwidth). 0 = uncapped.
+  void set_rate_cap(double cap);
+
+  // Instantaneous rate at time t (piecewise linear, halving at backoffs).
+  double rate_at(double t_sec) const;
+
+  // Backoffs at or before `t_sec` (count), for scenario bookkeeping.
+  int backoffs_before(double t_sec) const;
+
+  const std::vector<double>& backoff_times() const { return backoffs_; }
+  double slope() const { return slope_; }
+  double initial_rate() const { return initial_rate_; }
+  double rate_cap() const { return cap_; }
+
+  // Classic sawtooth (fig 1): starts at `initial_rate`, grows at `slope`,
+  // and backs off every time the rate reaches `cap`, until `duration_sec`.
+  static AimdTrajectory sawtooth(double initial_rate, double slope,
+                                 double cap, double duration_sec);
+
+ private:
+  double initial_rate_;
+  double slope_;
+  double cap_ = 0;
+  std::vector<double> backoffs_;  // ascending
+};
+
+}  // namespace qa::core

@@ -1,0 +1,21 @@
+#include "core/baseline_policies.h"
+
+namespace qa::core {
+
+const char* policy_name(AllocationPolicy policy) {
+  switch (policy) {
+    case AllocationPolicy::kOptimal: return "optimal";
+    case AllocationPolicy::kEqualShare: return "equal-share";
+    case AllocationPolicy::kBaseOnly: return "base-only";
+  }
+  return "?";
+}
+
+std::optional<AllocationPolicy> parse_policy(const std::string& name) {
+  for (AllocationPolicy p : kAllPolicies) {
+    if (name == policy_name(p)) return p;
+  }
+  return std::nullopt;
+}
+
+}  // namespace qa::core

@@ -1,0 +1,28 @@
+// Helpers around the §2.3 baseline (strawman) allocation policies.
+//
+// The strawmen themselves are implemented inside filling_policy /
+// draining_policy behind the AllocationPolicy enum; this header provides
+// naming/parsing for benches, examples and reports.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/filling_policy.h"
+
+namespace qa::core {
+
+// "optimal", "equal-share", "base-only".
+const char* policy_name(AllocationPolicy policy);
+
+// Inverse of policy_name; nullopt for unknown names.
+std::optional<AllocationPolicy> parse_policy(const std::string& name);
+
+// All policies, for sweep-style benches.
+inline constexpr AllocationPolicy kAllPolicies[] = {
+    AllocationPolicy::kOptimal,
+    AllocationPolicy::kEqualShare,
+    AllocationPolicy::kBaseOnly,
+};
+
+}  // namespace qa::core

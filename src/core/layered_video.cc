@@ -1,0 +1,46 @@
+#include "core/layered_video.h"
+
+#include "util/logging.h"
+
+namespace qa::core {
+
+LayeredVideo::LayeredVideo(std::string name, std::vector<Rate> rates)
+    : name_(std::move(name)), rates_(std::move(rates)) {
+  QA_CHECK_MSG(!rates_.empty(), "a stream needs at least a base layer");
+  for (const Rate& r : rates_) QA_CHECK(r.bps() > 0);
+}
+
+LayeredVideo LayeredVideo::linear(std::string name, int layers, Rate per_layer) {
+  QA_CHECK(layers >= 1);
+  return LayeredVideo(std::move(name),
+                      std::vector<Rate>(static_cast<size_t>(layers), per_layer));
+}
+
+LayeredVideo LayeredVideo::with_rates(std::string name, std::vector<Rate> rates) {
+  return LayeredVideo(std::move(name), std::move(rates));
+}
+
+Rate LayeredVideo::layer_rate(int layer) const {
+  QA_CHECK(layer >= 0 && layer < layers());
+  return rates_[static_cast<size_t>(layer)];
+}
+
+Rate LayeredVideo::cumulative_rate(int n) const {
+  QA_CHECK(n >= 0 && n <= layers());
+  Rate sum = Rate::zero();
+  for (int i = 0; i < n; ++i) sum = sum + rates_[static_cast<size_t>(i)];
+  return sum;
+}
+
+Rate LayeredVideo::mean_layer_rate() const {
+  return cumulative_rate(layers()) / static_cast<double>(layers());
+}
+
+bool LayeredVideo::is_linear() const {
+  for (const Rate& r : rates_) {
+    if (r != rates_.front()) return false;
+  }
+  return true;
+}
+
+}  // namespace qa::core

@@ -1,0 +1,41 @@
+// Description of a stored, layered-encoded video stream.
+//
+// The paper's model (§2): a stream is encoded into `layers` cumulative
+// layers; layer i can only be decoded when layers 0..i-1 are present; each
+// layer has a constant consumption (decode) rate. The analysis assumes
+// linear spacing — every layer consumes the same rate C — which this type
+// represents directly; a non-linear profile (paper §7 future work) is
+// supported for the extension experiments, in which case the QA formulas
+// use the mean layer rate as C.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace qa::core {
+
+class LayeredVideo {
+ public:
+  // Linear spacing: `layers` layers, each consuming `per_layer`.
+  static LayeredVideo linear(std::string name, int layers, Rate per_layer);
+  // Explicit per-layer rates (non-linear extension).
+  static LayeredVideo with_rates(std::string name, std::vector<Rate> rates);
+
+  const std::string& name() const { return name_; }
+  int layers() const { return static_cast<int>(rates_.size()); }
+  Rate layer_rate(int layer) const;
+  // Sum of the first n layers' consumption rates.
+  Rate cumulative_rate(int n) const;
+  // Mean per-layer rate; equals every layer's rate for linear spacing.
+  Rate mean_layer_rate() const;
+  bool is_linear() const;
+
+ private:
+  LayeredVideo(std::string name, std::vector<Rate> rates);
+  std::string name_;
+  std::vector<Rate> rates_;
+};
+
+}  // namespace qa::core

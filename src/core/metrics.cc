@@ -1,0 +1,27 @@
+#include "core/metrics.h"
+
+namespace qa::core {
+
+double AdapterMetrics::mean_efficiency() const {
+  if (drops_.empty()) return 1.0;
+  double sum = 0;
+  for (const DropEvent& e : drops_) {
+    if (e.total_buf <= 0) {
+      sum += 1.0;  // nothing buffered at all: nothing was wasted
+      continue;
+    }
+    sum += (e.total_buf - e.dropped_buf) / e.total_buf;
+  }
+  return sum / static_cast<double>(drops_.size());
+}
+
+double AdapterMetrics::poor_distribution_fraction() const {
+  if (drops_.empty()) return 0.0;
+  int poor = 0;
+  for (const DropEvent& e : drops_) {
+    if (e.poor_distribution) ++poor;
+  }
+  return static_cast<double>(poor) / static_cast<double>(drops_.size());
+}
+
+}  // namespace qa::core

@@ -1,0 +1,66 @@
+// Evaluation metrics of §5: buffering efficiency per drop event (Table 1),
+// classification of drops caused by poor buffer distribution (Table 2),
+// and quality-change statistics (fig 12).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace qa::core {
+
+struct DropEvent {
+  TimePoint time;
+  int layer = 0;             // index of the dropped (top) layer
+  double dropped_buf = 0;    // bytes still buffered for it at drop time
+  double total_buf = 0;      // total active-layer buffering just before
+  double required_buf = 0;   // buffering recovery needed at that instant
+  // True when total buffering was sufficient for recovery yet a layer was
+  // still lost: only a different inter-layer distribution could have saved
+  // it (Table 2's numerator).
+  bool poor_distribution = false;
+};
+
+struct AddEvent {
+  TimePoint time;
+  int new_active_layers = 0;
+};
+
+class AdapterMetrics {
+ public:
+  void record_drop(const DropEvent& e) { drops_.push_back(e); }
+  void record_add(const AddEvent& e) { adds_.push_back(e); }
+  void record_layer_count(TimePoint t, int layers) {
+    layer_series_.add(t, layers);
+  }
+
+  const std::vector<DropEvent>& drops() const { return drops_; }
+  const std::vector<AddEvent>& adds() const { return adds_; }
+  const TimeSeries& layer_series() const { return layer_series_; }
+
+  // Table 1: e = (buf_total - buf_drop) / buf_total averaged over drops.
+  // Returns 1.0 when no layer was ever dropped (vacuously efficient).
+  double mean_efficiency() const;
+
+  // Table 2: fraction of drop events flagged poor_distribution.
+  double poor_distribution_fraction() const;
+
+  // Fig 12: number of quality (layer count) changes.
+  int quality_changes() const {
+    return static_cast<int>(drops_.size() + adds_.size());
+  }
+
+  // Mean number of active layers weighted by time over [from, to).
+  double mean_quality(TimePoint from, TimePoint to) const {
+    return layer_series_.time_average(from, to);
+  }
+
+ private:
+  std::vector<DropEvent> drops_;
+  std::vector<AddEvent> adds_;
+  TimeSeries layer_series_;
+};
+
+}  // namespace qa::core

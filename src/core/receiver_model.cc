@@ -1,0 +1,152 @@
+#include "core/receiver_model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace qa::core {
+
+ReceiverModel::ReceiverModel(double consumption_rate, int max_layers)
+    : consumption_rate_(consumption_rate),
+      layers_(static_cast<size_t>(max_layers)) {
+  QA_CHECK(consumption_rate_ > 0);
+  QA_CHECK(max_layers >= 1);
+}
+
+void ReceiverModel::advance(TimePoint now) {
+  QA_CHECK(now >= clock_);
+  if (now == clock_) return;
+  for (int i = 0; i < active_; ++i) {
+    Layer& l = layers_[static_cast<size_t>(i)];
+    const TimePoint consume_from =
+        std::max({clock_, l.active_from, playout_start_});
+    if (now <= consume_from) continue;
+    const double want = consumption_rate_ * (now - consume_from).sec();
+    if (l.buf >= want) {
+      l.buf -= want;
+      l.empty_state = false;
+      // Healthy interval: the starvation balance heals at C/5 so isolated
+      // jitter decays while a persistent >=20% shortfall keeps growing.
+      l.missed = std::max(0.0, l.missed - 0.2 * want);
+    } else {
+      // Ran dry part-way through the interval: consume what is there and
+      // record the underflow. (Data arriving during the dry spell was
+      // credited before advance() and so is already reflected in buf; the
+      // residual `want - buf` is playout the client could not perform.)
+      const double missing = want - l.buf;
+      l.buf = 0;
+      l.missed += missing;
+      if (!l.empty_state) {
+        l.empty_state = true;
+        ++l.underflows;
+        l.underflow_flag = true;
+      }
+      if (i == 0) {
+        base_stall_ += TimeDelta::from_sec(missing / consumption_rate_);
+      }
+    }
+  }
+  clock_ = now;
+}
+
+int ReceiverModel::add_layer(TimePoint now) {
+  QA_CHECK_MSG(active_ < static_cast<int>(layers_.size()),
+               "stream has no more layers to add");
+  Layer& l = layers_[static_cast<size_t>(active_)];
+  l = Layer{};  // reset any state from a previous activation
+  l.active = true;
+  // advance() clamps consumption to playout_start_ as well, so the layer
+  // start needs no clamping here (playout_start_ may legitimately move
+  // while a client waits for its startup buffer target).
+  l.active_from = now;
+  return active_++;
+}
+
+double ReceiverModel::drop_top_layer(TimePoint now) {
+  advance(now);
+  QA_CHECK_MSG(active_ > 1, "the base layer is never dropped");
+  Layer& l = layers_[static_cast<size_t>(active_ - 1)];
+  const double residual = l.buf;
+  l.active = false;
+  l.buf = 0;
+  --active_;
+  return residual;
+}
+
+void ReceiverModel::credit(int layer, double bytes) {
+  QA_CHECK(layer >= 0 && layer < active_);
+  QA_CHECK(bytes >= 0);
+  Layer& l = layers_[static_cast<size_t>(layer)];
+  l.buf += bytes;
+  if (l.buf > 0) l.empty_state = false;
+}
+
+void ReceiverModel::debit_loss(int layer, double bytes) {
+  QA_CHECK(layer >= 0 && layer < static_cast<int>(layers_.size()));
+  if (layer >= active_) return;  // layer dropped since the packet was sent
+  Layer& l = layers_[static_cast<size_t>(layer)];
+  l.buf = std::max(0.0, l.buf - bytes);
+}
+
+double ReceiverModel::buffer(int layer) const {
+  QA_CHECK(layer >= 0 && layer < static_cast<int>(layers_.size()));
+  return layers_[static_cast<size_t>(layer)].buf;
+}
+
+std::vector<double> ReceiverModel::buffers() const {
+  std::vector<double> out(static_cast<size_t>(active_));
+  for (int i = 0; i < active_; ++i) {
+    out[static_cast<size_t>(i)] = layers_[static_cast<size_t>(i)].buf;
+  }
+  return out;
+}
+
+double ReceiverModel::total_buffer() const {
+  double sum = 0;
+  for (int i = 0; i < active_; ++i) {
+    sum += layers_[static_cast<size_t>(i)].buf;
+  }
+  return sum;
+}
+
+int64_t ReceiverModel::underflow_events(int layer) const {
+  QA_CHECK(layer >= 0 && layer < static_cast<int>(layers_.size()));
+  return layers_[static_cast<size_t>(layer)].underflows;
+}
+
+int64_t ReceiverModel::total_underflow_events() const {
+  int64_t sum = 0;
+  for (const Layer& l : layers_) sum += l.underflows;
+  return sum;
+}
+
+std::vector<int> ReceiverModel::take_starving(double threshold_bytes) {
+  std::vector<int> out;
+  for (int i = 0; i < active_; ++i) {
+    Layer& l = layers_[static_cast<size_t>(i)];
+    if (l.missed >= threshold_bytes) {
+      l.missed = 0;
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+double ReceiverModel::missed_bytes(int layer) const {
+  QA_CHECK(layer >= 0 && layer < static_cast<int>(layers_.size()));
+  return layers_[static_cast<size_t>(layer)].missed;
+}
+
+std::vector<int> ReceiverModel::take_underflows() {
+  std::vector<int> out;
+  for (int i = 0; i < static_cast<int>(layers_.size()); ++i) {
+    Layer& l = layers_[static_cast<size_t>(i)];
+    if (l.underflow_flag) {
+      l.underflow_flag = false;
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace qa::core

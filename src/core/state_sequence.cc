@@ -1,0 +1,153 @@
+#include "core/state_sequence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace qa::core {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+StateSequence::StateSequence(double rate, int active_layers,
+                             const AimdModel& model, int kmax, bool monotone)
+    : active_layers_(active_layers) {
+  QA_CHECK(active_layers >= 1);
+  QA_CHECK(kmax >= 1);
+
+  const int k1 = min_backoffs_to_drain(rate, active_layers,
+                                       model.consumption_rate);
+  for (const Scenario scenario : {Scenario::kClustered, Scenario::kSpread}) {
+    for (int k = 1; k <= kmax; ++k) {
+      // Scenario 2 with k <= k1 has no spread triangles: it is either empty
+      // or identical to scenario 1 at k (both are the first triangle), so
+      // only keep the scenario-1 copy.
+      if (scenario == Scenario::kSpread && k <= k1) continue;
+      const double total =
+          total_buf_required(scenario, k, rate, active_layers, model);
+      if (total <= kEps) continue;
+      BufferState st;
+      st.scenario = scenario;
+      st.k = k;
+      st.total = total;
+      st.raw_targets.reserve(static_cast<size_t>(active_layers));
+      for (int layer = 0; layer < active_layers; ++layer) {
+        st.raw_targets.push_back(
+            layer_buf_required(scenario, k, layer, rate, active_layers, model));
+      }
+      st.adjusted_targets = st.raw_targets;
+      states_.push_back(std::move(st));
+    }
+  }
+
+  std::sort(states_.begin(), states_.end(),
+            [](const BufferState& a, const BufferState& b) {
+              if (std::abs(a.total - b.total) > kEps) return a.total < b.total;
+              // Ties: scenario 1 first (it is the more flexible allocation).
+              return static_cast<int>(a.scenario) < static_cast<int>(b.scenario);
+            });
+
+  if (monotone) apply_monotone_constraint();
+}
+
+void StateSequence::apply_monotone_constraint() {
+  const size_t n_layers = static_cast<size_t>(active_layers_);
+  std::vector<double> floor(n_layers, 0.0);  // previous state's allocation
+
+  for (size_t idx = 0; idx < states_.size(); ++idx) {
+    BufferState& st = states_[idx];
+
+    if (st.scenario == Scenario::kClustered) {
+      // Scenario-1 states keep their optimal allocation; per-layer
+      // monotonicity vs the previous state holds by construction (bands
+      // grow with the deficit height, and preceding scenario-2 states were
+      // capped at this state's targets).
+      for (size_t i = 0; i < n_layers; ++i) {
+        st.adjusted_targets[i] = std::max(st.raw_targets[i], floor[i]);
+      }
+    } else {
+      // Cap: the next scenario-1 state's raw targets (if any).
+      std::vector<double> cap(n_layers,
+                              std::numeric_limits<double>::infinity());
+      for (size_t j = idx + 1; j < states_.size(); ++j) {
+        if (states_[j].scenario == Scenario::kClustered) {
+          cap = states_[j].raw_targets;
+          break;
+        }
+      }
+      auto& adj = st.adjusted_targets;
+      double sum = 0;
+      for (size_t i = 0; i < n_layers; ++i) {
+        adj[i] = std::clamp(st.raw_targets[i], floor[i], std::max(floor[i], cap[i]));
+        sum += adj[i];
+      }
+      // Redistribute so the state's total requirement is preserved.
+      if (sum < st.total - kEps) {
+        // Add the shortfall bottom-up (lower layers buffer most
+        // efficiently), respecting caps; any remainder goes top-down
+        // ignoring caps (higher layers may always hold extra).
+        double deficit = st.total - sum;
+        for (size_t i = 0; i < n_layers && deficit > kEps; ++i) {
+          const double room = std::max(0.0, cap[i] - adj[i]);
+          const double add = std::min(room, deficit);
+          adj[i] += add;
+          deficit -= add;
+        }
+        for (size_t ri = n_layers; ri-- > 0 && deficit > kEps;) {
+          adj[ri] += deficit;
+          deficit = 0;
+        }
+      } else if (sum > st.total + kEps) {
+        // Remove the excess top-down, never dipping below the floor.
+        double excess = sum - st.total;
+        for (size_t ri = n_layers; ri-- > 0 && excess > kEps;) {
+          const double slack = std::max(0.0, adj[ri] - floor[ri]);
+          const double cut = std::min(slack, excess);
+          adj[ri] -= cut;
+          excess -= cut;
+        }
+        // Any remaining excess means the floors alone exceed this state's
+        // total: the state is subsumed by what is already buffered; keep
+        // the floors (never drain during filling).
+      }
+    }
+    floor = st.adjusted_targets;
+  }
+}
+
+int StateSequence::last_covered(double total_buf) const {
+  int last = -1;
+  for (size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i].total <= total_buf + kEps) last = static_cast<int>(i);
+  }
+  return last;
+}
+
+bool StateSequence::suffix_dominates(const std::vector<double>& layer_buf,
+                                     const std::vector<double>& targets,
+                                     int active_layers) {
+  QA_CHECK(layer_buf.size() >= static_cast<size_t>(active_layers));
+  QA_CHECK(targets.size() >= static_cast<size_t>(active_layers));
+  double buf_cum = 0, target_cum = 0;
+  for (int i = active_layers - 1; i >= 0; --i) {
+    buf_cum += layer_buf[static_cast<size_t>(i)];
+    target_cum += targets[static_cast<size_t>(i)];
+    if (buf_cum + kEps < target_cum) return false;
+  }
+  return true;
+}
+
+bool StateSequence::all_targets_met(const std::vector<double>& layer_buf) const {
+  for (const BufferState& st : states_) {
+    if (!suffix_dominates(layer_buf, st.raw_targets, active_layers_)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qa::core

@@ -1,0 +1,66 @@
+// The ordered sequence of optimal buffer states (§3.2, §4, figs 8–10).
+//
+// For a given rate, layer count and smoothing factor Kmax, the filling phase
+// traverses the optimal buffer states {scenario, k} in increasing order of
+// total required buffering; the draining phase walks the same sequence in
+// reverse. Raw per-layer targets for scenario-2 states are not per-layer
+// monotone along that order (fig 9: reaching some states would require
+// draining a layer mid-fill), so each scenario-2 state's allocation is
+// constrained to lie between the previous state's allocation (floor — never
+// drain while filling) and the next scenario-1 state's allocation (cap —
+// higher-layer buffer can substitute for lower-layer buffer, not vice
+// versa), redistributing to preserve the state's total (fig 10).
+#pragma once
+
+#include <vector>
+
+#include "core/buffer_math.h"
+
+namespace qa::core {
+
+struct BufferState {
+  Scenario scenario = Scenario::kClustered;
+  int k = 0;                             // number of backoffs survived
+  double total = 0;                      // total required buffering (bytes)
+  std::vector<double> raw_targets;       // optimal per-layer shares (bytes)
+  std::vector<double> adjusted_targets;  // after the monotonicity constraint
+};
+
+class StateSequence {
+ public:
+  // Builds the sequence for scenario-1 and scenario-2 states with
+  // k = 1..kmax each (zero-total and duplicate states skipped), ordered by
+  // ascending total. `monotone` disables the fig-10 adjustment for the
+  // ablation study (adjusted == raw then).
+  StateSequence(double rate, int active_layers, const AimdModel& model,
+                int kmax, bool monotone = true);
+
+  const std::vector<BufferState>& states() const { return states_; }
+  int active_layers() const { return active_layers_; }
+
+  // Index of the deepest (largest-total) state whose total requirement is
+  // covered by `total_buf`; -1 when even the first state is not covered.
+  int last_covered(double total_buf) const;
+
+  // True when the buffering suffices for every state in the sequence —
+  // i.e. the stream can survive kmax backoffs in both scenarios (smoothed
+  // add condition, §3.1). Sufficiency honors the substitution direction of
+  // §4 (buffered data for a higher layer can compensate for a lower layer,
+  // never the reverse): for each state, every top-suffix of the buffer
+  // vector must dominate the same suffix of the state's raw targets.
+  bool all_targets_met(const std::vector<double>& layer_buf) const;
+
+  // Sufficiency check for one target vector under the substitution rule
+  // above. Exposed for the filling policy's fallback scan.
+  static bool suffix_dominates(const std::vector<double>& layer_buf,
+                               const std::vector<double>& targets,
+                               int active_layers);
+
+ private:
+  void apply_monotone_constraint();
+
+  int active_layers_;
+  std::vector<BufferState> states_;
+};
+
+}  // namespace qa::core

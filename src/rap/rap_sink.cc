@@ -1,0 +1,35 @@
+#include "rap/rap_sink.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace qa::rap {
+
+RapSink::RapSink(sim::Scheduler* sched, sim::Node* local, int32_t ack_size)
+    : sched_(sched), local_(local), ack_size_(ack_size) {
+  QA_CHECK(sched_ != nullptr && local_ != nullptr);
+}
+
+void RapSink::on_packet(const sim::Packet& p) {
+  if (p.type != sim::PacketType::kData) return;
+  ++received_;
+  bytes_ += p.size_bytes;
+  highest_seq_ = std::max(highest_seq_, p.seq);
+
+  if (consumer_) consumer_(p);
+
+  sim::Packet ack;
+  ack.src = local_->id();
+  ack.dst = p.src;
+  ack.flow_id = p.flow_id;
+  ack.type = sim::PacketType::kAck;
+  ack.size_bytes = ack_size_;
+  ack.seq = received_;      // ACK stream's own sequence
+  ack.ack_seq = p.seq;      // the data packet being acknowledged
+  ack.ts_sent = sched_->now();
+  ack.ts_echo = p.ts_sent;  // echo for sender-side RTT sampling
+  local_->send(ack);
+}
+
+}  // namespace qa::rap

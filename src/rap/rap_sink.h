@@ -1,0 +1,38 @@
+// RAP receiver: acknowledges every data packet and hands the payload to an
+// optional consumer (the video client).
+#pragma once
+
+#include <functional>
+
+#include "sim/flow.h"
+#include "sim/node.h"
+#include "sim/scheduler.h"
+
+namespace qa::rap {
+
+class RapSink : public sim::Agent {
+ public:
+  RapSink(sim::Scheduler* sched, sim::Node* local, int32_t ack_size = 40);
+
+  void on_packet(const sim::Packet& p) override;
+
+  // Consumer sees every received data packet (in arrival order).
+  void set_consumer(std::function<void(const sim::Packet&)> consumer) {
+    consumer_ = std::move(consumer);
+  }
+
+  int64_t packets_received() const { return received_; }
+  int64_t bytes_received() const { return bytes_; }
+  int64_t highest_seq() const { return highest_seq_; }
+
+ private:
+  sim::Scheduler* sched_;
+  sim::Node* local_;
+  int32_t ack_size_;
+  std::function<void(const sim::Packet&)> consumer_;
+  int64_t received_ = 0;
+  int64_t bytes_ = 0;
+  int64_t highest_seq_ = -1;
+};
+
+}  // namespace qa::rap

@@ -1,0 +1,145 @@
+// RAP — Rate Adaptation Protocol sender (Rejaie, Handley, Estrin,
+// INFOCOM '99), the TCP-friendly congestion controller the quality
+// adaptation paper assumes.
+//
+// RAP is rate-based: fixed-size packets are paced by an inter-packet gap
+// (IPG). The AIMD loop mirrors TCP's:
+//   * additive increase: once per SRTT "step", rate += PacketSize/SRTT
+//     (one extra packet per RTT each RTT), so the linear slope is
+//     S = P/SRTT^2 bytes/s per second;
+//   * multiplicative decrease: on congestion detection the rate halves.
+// Losses are detected from the ACK stream (a packet is lost once three
+// packets sent after it have been ACKed) or by a conservative timeout.
+// All losses within one flight ("cluster") trigger a single backoff, like
+// TCP's one-halving-per-window rule.
+//
+// The paper evaluates the RAP variant *without* fine-grain adaptation; the
+// optional short/long RTT-ratio fine-grain scaling is implemented behind a
+// flag (off by default) for the sensitivity extensions.
+//
+// The sender exposes hooks for the quality-adaptation layer:
+//   * a payload tagger invoked for every outgoing data packet (fills the
+//     layer / layer_seq fields from the stored video),
+//   * a listener notified of ACKs, detected losses (with the original layer
+//     tag) and backoffs,
+//   * accessors for the instantaneous rate R and the AIMD slope S that the
+//     QA formulas need.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "sim/flow.h"
+#include "sim/node.h"
+#include "sim/scheduler.h"
+#include "util/units.h"
+
+namespace qa::rap {
+
+class RapListener {
+ public:
+  virtual ~RapListener() = default;
+  // A data packet was acknowledged (the original packet is passed back).
+  virtual void on_ack(const sim::Packet& data_pkt) {}
+  // A data packet was declared lost (original layer tagging preserved).
+  virtual void on_loss(const sim::Packet& data_pkt) {}
+  // The AIMD loop halved the rate. `new_rate` is the post-backoff rate.
+  virtual void on_backoff(Rate new_rate) {}
+  // Rate changed by additive increase (once per SRTT step).
+  virtual void on_rate_increase(Rate new_rate) {}
+};
+
+struct RapParams {
+  int32_t packet_size = 1000;      // bytes, data packets
+  int32_t ack_size = 40;           // bytes
+  Rate initial_rate = Rate::kilobytes_per_sec(5);
+  Rate min_rate = Rate::bytes_per_sec(500);   // 1 pkt / 2 s floor
+  TimeDelta initial_rtt = TimeDelta::millis(100);
+  bool fine_grain = false;         // short/long RTT ratio scaling of IPG
+  TimePoint start_time;            // when to begin transmitting
+};
+
+class RapSource : public sim::Agent {
+ public:
+  RapSource(sim::Scheduler* sched, sim::Node* local, sim::NodeId peer,
+            sim::FlowId flow, RapParams params);
+
+  void start() override;
+  void on_packet(const sim::Packet& p) override;  // receives ACKs
+
+  // QA hooks.
+  void set_payload_tagger(std::function<void(sim::Packet&)> tagger) {
+    tagger_ = std::move(tagger);
+  }
+  void set_listener(RapListener* listener) { listener_ = listener; }
+
+  // Congestion controller state, as the QA formulas consume it.
+  Rate rate() const { return rate_; }
+  TimeDelta srtt() const { return srtt_; }
+  // Slope of linear increase S in bytes/s per second: one packet per SRTT,
+  // gained every SRTT.
+  double slope_bps_per_sec() const;
+  int32_t packet_size() const { return params_.packet_size; }
+
+  // Run statistics.
+  int64_t packets_sent() const { return packets_sent_; }
+  int64_t losses_detected() const { return losses_; }
+  int64_t backoffs() const { return backoffs_; }
+
+ private:
+  struct HistoryEntry {
+    sim::Packet pkt;      // as sent (keeps layer tagging for loss reports)
+    bool acked = false;
+    bool lost = false;
+  };
+
+  void send_next();
+  void schedule_step();
+  void step();  // per-SRTT additive increase
+  void process_ack(const sim::Packet& ack);
+  void detect_losses_from_ack(int64_t acked_seq);
+  void check_timeouts();
+  void backoff(int64_t trigger_seq);
+  void update_rtt(TimeDelta sample);
+  void set_rate(Rate r);
+  TimeDelta current_ipg() const;
+  TimeDelta rto() const;
+  void prune_history();
+  HistoryEntry* find_entry(int64_t seq);
+
+  sim::Scheduler* sched_;
+  sim::Node* local_;
+  sim::NodeId peer_;
+  sim::FlowId flow_;
+  RapParams params_;
+
+  std::function<void(sim::Packet&)> tagger_;
+  RapListener* listener_ = nullptr;
+
+  Rate rate_;
+  TimeDelta srtt_;
+  TimeDelta rttvar_;
+  bool have_rtt_sample_ = false;
+  TimeDelta srtt_short_;  // fine-grain EWMA (faster)
+
+  int64_t next_seq_ = 0;
+  int64_t highest_acked_ = -1;
+  // Cluster-loss suppression: losses with seq <= recovery_until_seq_ belong
+  // to an already-handled congestion event.
+  int64_t recovery_until_seq_ = -1;
+  bool backoff_since_step_ = false;
+  // Additive increase requires positive feedback: a step with no ACKs
+  // (e.g. a path blackout) must not raise the rate.
+  bool ack_since_step_ = false;
+
+  std::deque<HistoryEntry> history_;  // ascending seq
+
+  sim::EventId send_timer_ = sim::kInvalidEventId;
+  sim::EventId step_timer_ = sim::kInvalidEventId;
+
+  int64_t packets_sent_ = 0;
+  int64_t losses_ = 0;
+  int64_t backoffs_ = 0;
+};
+
+}  // namespace qa::rap

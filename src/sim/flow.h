@@ -1,0 +1,24 @@
+// Agent interface: anything that terminates packets at a node.
+//
+// An agent is registered on a node under a flow id; the node dispatches
+// arriving packets with that flow id to it. Agents send by calling
+// Node::send (routing is the node's job, timing the scheduler's).
+#pragma once
+
+#include "sim/packet.h"
+
+namespace qa::sim {
+
+class Agent {
+ public:
+  virtual ~Agent() = default;
+
+  // Called when a packet addressed to this agent's node+flow arrives.
+  virtual void on_packet(const Packet& p) = 0;
+
+  // Called once when the simulation run starts (after wiring is complete);
+  // agents start their timers here.
+  virtual void start() {}
+};
+
+}  // namespace qa::sim

@@ -1,0 +1,58 @@
+#include "sim/link.h"
+
+#include <utility>
+
+#include "sim/loss_model.h"
+#include "sim/node.h"
+#include "util/logging.h"
+
+namespace qa::sim {
+
+Link::Link(std::string name, Scheduler* sched, Node* to, Rate bandwidth,
+           TimeDelta prop_delay, std::unique_ptr<PacketQueue> queue)
+    : name_(std::move(name)),
+      sched_(sched),
+      to_(to),
+      bandwidth_(bandwidth),
+      prop_delay_(prop_delay),
+      queue_(std::move(queue)) {
+  QA_CHECK(sched_ != nullptr);
+  QA_CHECK(to_ != nullptr);
+  QA_CHECK(queue_ != nullptr);
+  QA_CHECK(bandwidth_.bps() > 0);
+}
+
+void Link::set_loss_model(std::unique_ptr<LossModel> model) {
+  loss_model_ = std::move(model);
+}
+
+void Link::submit(const Packet& p) {
+  if (queue_->enqueue(p)) {
+    maybe_start_tx();
+  }
+}
+
+void Link::maybe_start_tx() {
+  if (busy_ || queue_->empty()) return;
+  busy_ = true;
+  Packet p = queue_->dequeue();
+  const TimeDelta tx_time = bandwidth_.transmit_time(p.size_bytes);
+  sched_->schedule_after(tx_time, [this, p] { on_tx_complete(p); });
+}
+
+void Link::on_tx_complete(const Packet& p) {
+  busy_ = false;
+  if (tx_observer_) tx_observer_(p);
+  const bool lost =
+      loss_model_ && loss_model_->should_drop(p, sched_->now());
+  if (lost) {
+    ++wire_drops_;
+  } else {
+    ++delivered_;
+    bytes_delivered_ += p.size_bytes;
+    sched_->schedule_after(prop_delay_, [this, p] { to_->deliver(p); });
+  }
+  maybe_start_tx();
+}
+
+}  // namespace qa::sim

@@ -1,0 +1,76 @@
+// Unidirectional link: serialization at a fixed bandwidth, a bounded queue
+// in front of the transmitter, and a fixed propagation delay.
+//
+// The link drains its queue one packet at a time: when idle and the queue is
+// non-empty it dequeues, waits size/bandwidth (serialization), then hands the
+// packet to the destination node after the propagation delay. An optional
+// LossModel can drop packets "on the wire" after serialization, for
+// controlled-loss experiments.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/loss_model.h"
+#include "sim/packet.h"
+#include "sim/queue.h"
+#include "sim/scheduler.h"
+#include "util/units.h"
+
+namespace qa::sim {
+
+class Node;
+
+class Link {
+ public:
+  Link(std::string name, Scheduler* sched, Node* to, Rate bandwidth,
+       TimeDelta prop_delay, std::unique_ptr<PacketQueue> queue);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  // Entry point used by nodes: queue the packet for transmission. Drops are
+  // accounted by the queue.
+  void submit(const Packet& p);
+
+  // Installs a wire loss model (applied after serialization). Pass nullptr
+  // to clear.
+  void set_loss_model(std::unique_ptr<LossModel> model);
+
+  const std::string& name() const { return name_; }
+  Rate bandwidth() const { return bandwidth_; }
+  TimeDelta prop_delay() const { return prop_delay_; }
+  PacketQueue& queue() { return *queue_; }
+  const PacketQueue& queue() const { return *queue_; }
+  Node* to() const { return to_; }
+
+  int64_t packets_delivered() const { return delivered_; }
+  int64_t bytes_delivered() const { return bytes_delivered_; }
+  int64_t wire_drops() const { return wire_drops_; }
+
+  // Observer for every packet that finishes serialization (pre wire-loss);
+  // used by probes to measure per-flow throughput at the bottleneck.
+  void set_tx_observer(std::function<void(const Packet&)> obs) {
+    tx_observer_ = std::move(obs);
+  }
+
+ private:
+  void maybe_start_tx();
+  void on_tx_complete(const Packet& p);
+
+  std::string name_;
+  Scheduler* sched_;
+  Node* to_;
+  Rate bandwidth_;
+  TimeDelta prop_delay_;
+  std::unique_ptr<PacketQueue> queue_;
+  std::unique_ptr<LossModel> loss_model_;
+  std::function<void(const Packet&)> tx_observer_;
+  bool busy_ = false;
+  int64_t delivered_ = 0;
+  int64_t bytes_delivered_ = 0;
+  int64_t wire_drops_ = 0;
+};
+
+}  // namespace qa::sim

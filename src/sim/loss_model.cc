@@ -1,0 +1,26 @@
+#include "sim/loss_model.h"
+
+#include <algorithm>
+
+namespace qa::sim {
+
+DeterministicLoss::DeterministicLoss(std::vector<int64_t> indices)
+    : indices_(std::move(indices)) {
+  std::sort(indices_.begin(), indices_.end());
+}
+
+bool DeterministicLoss::should_drop(const Packet&, TimePoint) {
+  const int64_t idx = count_++;
+  return std::binary_search(indices_.begin(), indices_.end(), idx);
+}
+
+bool GilbertElliottLoss::should_drop(const Packet&, TimePoint) {
+  if (bad_) {
+    if (rng_.bernoulli(params_.p_bad_to_good)) bad_ = false;
+  } else {
+    if (rng_.bernoulli(params_.p_good_to_bad)) bad_ = true;
+  }
+  return rng_.bernoulli(bad_ ? params_.loss_bad : params_.loss_good);
+}
+
+}  // namespace qa::sim

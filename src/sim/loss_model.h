@@ -1,0 +1,66 @@
+// Wire loss models for controlled-loss experiments.
+//
+// The paper's headline experiments get losses from drop-tail queue overflow;
+// these models exist for unit tests (deterministic loss placement) and for
+// the trace-driven/synthetic-loss studies motivated by §3 ("real networks
+// exhibit near-random loss patterns").
+#pragma once
+
+#include <vector>
+
+#include "sim/packet.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace qa::sim {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  // Returns true when the packet should be dropped on the wire.
+  virtual bool should_drop(const Packet& p, TimePoint now) = 0;
+};
+
+// Drops each packet independently with probability p.
+class BernoulliLoss : public LossModel {
+ public:
+  BernoulliLoss(double p, Rng rng) : p_(p), rng_(rng) {}
+  bool should_drop(const Packet&, TimePoint) override { return rng_.bernoulli(p_); }
+
+ private:
+  double p_;
+  Rng rng_;
+};
+
+// Drops the packets whose (0-based) transmission index over this link is in
+// `indices`. Exactly reproducible loss placement for unit tests.
+class DeterministicLoss : public LossModel {
+ public:
+  explicit DeterministicLoss(std::vector<int64_t> indices);
+  bool should_drop(const Packet& p, TimePoint now) override;
+
+ private:
+  std::vector<int64_t> indices_;  // sorted
+  int64_t count_ = 0;
+};
+
+// Simple two-state Gilbert-Elliott burst-loss model: independent loss
+// probability differs between Good and Bad states.
+class GilbertElliottLoss : public LossModel {
+ public:
+  struct Params {
+    double p_good_to_bad = 0.01;
+    double p_bad_to_good = 0.3;
+    double loss_good = 0.0;
+    double loss_bad = 0.5;
+  };
+  GilbertElliottLoss(Params params, Rng rng) : params_(params), rng_(rng) {}
+  bool should_drop(const Packet&, TimePoint) override;
+
+ private:
+  Params params_;
+  Rng rng_;
+  bool bad_ = false;
+};
+
+}  // namespace qa::sim

@@ -1,0 +1,41 @@
+#include "sim/network.h"
+
+namespace qa::sim {
+
+Node* Network::add_node(const std::string& name) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(id, name));
+  return nodes_.back().get();
+}
+
+Link* Network::add_link(Node* from, Node* to, Rate bandwidth,
+                        TimeDelta prop_delay,
+                        std::unique_ptr<PacketQueue> queue) {
+  const std::string name = from->name() + "->" + to->name();
+  links_.push_back(std::make_unique<Link>(name, &sched_, to, bandwidth,
+                                          prop_delay, std::move(queue)));
+  Link* link = links_.back().get();
+  from->add_route(to->id(), link);
+  return link;
+}
+
+std::pair<Link*, Link*> Network::add_duplex_link(Node* a, Node* b,
+                                                 Rate bandwidth,
+                                                 TimeDelta prop_delay,
+                                                 int64_t queue_bytes) {
+  Link* ab = add_link(a, b, bandwidth, prop_delay,
+                      std::make_unique<DropTailQueue>(queue_bytes));
+  Link* ba = add_link(b, a, bandwidth, prop_delay,
+                      std::make_unique<DropTailQueue>(queue_bytes));
+  return {ab, ba};
+}
+
+void Network::run(TimePoint until) {
+  if (!started_) {
+    started_ = true;
+    for (auto& agent : agents_) agent->start();
+  }
+  sched_.run_until(until);
+}
+
+}  // namespace qa::sim

@@ -1,0 +1,68 @@
+// Network: owner of the scheduler, nodes, links and agents of one run.
+//
+// Everything a simulation needs lives here, so a test or bench constructs a
+// Network, builds a topology into it, attaches agents, and calls run().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/flow.h"
+#include "sim/link.h"
+#include "sim/node.h"
+#include "sim/scheduler.h"
+
+namespace qa::sim {
+
+class Network {
+ public:
+  Network() = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Scheduler& scheduler() { return sched_; }
+  TimePoint now() const { return sched_.now(); }
+
+  Node* add_node(const std::string& name);
+
+  // Creates a unidirectional link from->to and installs the direct route on
+  // `from`. Additional routes (multi-hop) are added via Node::add_route.
+  Link* add_link(Node* from, Node* to, Rate bandwidth, TimeDelta prop_delay,
+                 std::unique_ptr<PacketQueue> queue);
+
+  // Convenience: two unidirectional links with identical parameters.
+  std::pair<Link*, Link*> add_duplex_link(Node* a, Node* b, Rate bandwidth,
+                                          TimeDelta prop_delay,
+                                          int64_t queue_bytes);
+
+  // Takes ownership of an agent and registers it with its node+flow.
+  // Returns the raw pointer for convenience.
+  template <typename T>
+  T* adopt_agent(Node* node, FlowId flow, std::unique_ptr<T> agent) {
+    T* raw = agent.get();
+    node->attach_agent(flow, raw);
+    agents_.push_back(std::move(agent));
+    return raw;
+  }
+
+  // Allocates a fresh flow id (unique within the network).
+  FlowId next_flow_id() { return next_flow_; }
+  FlowId allocate_flow_id() { return next_flow_++; }
+
+  // Starts all agents (in attach order) and runs until `until`.
+  void run(TimePoint until);
+
+  const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
+  const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+
+ private:
+  Scheduler sched_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  FlowId next_flow_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace qa::sim

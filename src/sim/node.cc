@@ -1,0 +1,47 @@
+#include "sim/node.h"
+
+#include "sim/link.h"
+#include "util/logging.h"
+
+namespace qa::sim {
+
+void Node::add_route(NodeId dst, Link* link) {
+  QA_CHECK(link != nullptr);
+  routes_[dst] = link;
+}
+
+void Node::attach_agent(FlowId flow_id, Agent* agent) {
+  QA_CHECK(agent != nullptr);
+  QA_CHECK_MSG(agents_.count(flow_id) == 0,
+               "flow " << flow_id << " already attached to node " << name_);
+  agents_[flow_id] = agent;
+}
+
+void Node::send(const Packet& p) {
+  if (p.dst == id_) {
+    deliver(p);
+    return;
+  }
+  auto it = routes_.find(p.dst);
+  QA_CHECK_MSG(it != routes_.end(),
+               "no route from " << name_ << " to node " << p.dst);
+  ++forwarded_;
+  it->second->submit(p);
+}
+
+void Node::deliver(const Packet& p) {
+  if (p.dst != id_) {
+    send(p);  // transit node: keep forwarding
+    return;
+  }
+  auto it = agents_.find(p.flow_id);
+  if (it == agents_.end()) {
+    QA_LOG(Warn) << "node " << name_ << ": no agent for flow " << p.flow_id
+                 << ", dropping " << p.summary();
+    return;
+  }
+  ++delivered_local_;
+  it->second->on_packet(p);
+}
+
+}  // namespace qa::sim

@@ -1,0 +1,17 @@
+#include "sim/packet.h"
+
+#include <sstream>
+
+namespace qa::sim {
+
+std::string Packet::summary() const {
+  std::ostringstream os;
+  os << (type == PacketType::kAck ? "ACK" : "DATA") << " flow=" << flow_id
+     << " seq=" << seq;
+  if (type == PacketType::kAck) os << " ack=" << ack_seq;
+  if (layer >= 0) os << " layer=" << layer << " lseq=" << layer_seq;
+  os << " " << size_bytes << "B " << src << "->" << dst;
+  return os.str();
+}
+
+}  // namespace qa::sim

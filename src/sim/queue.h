@@ -1,0 +1,106 @@
+// Bounded packet queues for link buffers.
+//
+// DropTailQueue is the paper's setting (FIFO, drop arriving packet when
+// full). RedQueue implements Random Early Detection as an extension so the
+// loss process can be made less bursty in sensitivity experiments.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "sim/packet.h"
+#include "util/rng.h"
+
+namespace qa::sim {
+
+// Observer invoked with every packet the queue drops (tail drop or RED).
+using DropHandler = std::function<void(const Packet&)>;
+
+class PacketQueue {
+ public:
+  virtual ~PacketQueue() = default;
+
+  // Attempts to enqueue; returns false (and reports the drop) when the
+  // packet was discarded.
+  virtual bool enqueue(const Packet& p) = 0;
+  // Removes and returns the head. Precondition: !empty().
+  virtual Packet dequeue() = 0;
+
+  virtual bool empty() const = 0;
+  virtual size_t packets() const = 0;
+  virtual int64_t bytes() const = 0;
+
+  void set_drop_handler(DropHandler h) { on_drop_ = std::move(h); }
+
+  int64_t total_drops() const { return drops_; }
+  int64_t total_enqueued() const { return enqueued_; }
+
+ protected:
+  void report_drop(const Packet& p) {
+    ++drops_;
+    if (on_drop_) {
+      Packet copy = p;
+      copy.dropped = true;
+      on_drop_(copy);
+    }
+  }
+  void count_enqueue() { ++enqueued_; }
+
+ private:
+  DropHandler on_drop_;
+  int64_t drops_ = 0;
+  int64_t enqueued_ = 0;
+};
+
+// FIFO with a byte-capacity limit (packet limit optional, 0 = unlimited).
+class DropTailQueue : public PacketQueue {
+ public:
+  explicit DropTailQueue(int64_t capacity_bytes, size_t capacity_packets = 0);
+
+  bool enqueue(const Packet& p) override;
+  Packet dequeue() override;
+  bool empty() const override { return q_.empty(); }
+  size_t packets() const override { return q_.size(); }
+  int64_t bytes() const override { return bytes_; }
+
+ private:
+  int64_t capacity_bytes_;
+  size_t capacity_packets_;
+  int64_t bytes_ = 0;
+  std::deque<Packet> q_;
+};
+
+// Random Early Detection (Floyd & Jacobson 1993), gentle-less classic
+// variant with EWMA average queue in packets.
+class RedQueue : public PacketQueue {
+ public:
+  struct Params {
+    double min_thresh_pkts = 5;
+    double max_thresh_pkts = 15;
+    double max_p = 0.1;       // drop probability at max threshold
+    double weight = 0.002;    // EWMA weight w_q
+    size_t capacity_packets = 64;
+  };
+
+  RedQueue(Params params, Rng rng);
+
+  bool enqueue(const Packet& p) override;
+  Packet dequeue() override;
+  bool empty() const override { return q_.empty(); }
+  size_t packets() const override { return q_.size(); }
+  int64_t bytes() const override { return bytes_; }
+
+  double average_queue() const { return avg_; }
+
+ private:
+  Params params_;
+  Rng rng_;
+  double avg_ = 0;
+  int64_t count_since_drop_ = -1;
+  int64_t bytes_ = 0;
+  std::deque<Packet> q_;
+};
+
+}  // namespace qa::sim

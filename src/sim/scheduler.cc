@@ -1,0 +1,66 @@
+#include "sim/scheduler.h"
+
+#include <utility>
+
+namespace qa::sim {
+
+EventId Scheduler::schedule_at(TimePoint at, std::function<void()> fn) {
+  QA_CHECK_MSG(at >= now_, "scheduling into the past: at=" << at.sec()
+                                                           << " now=" << now_.sec());
+  const EventId id = ++next_id_;
+  heap_.push(Entry{at, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+EventId Scheduler::schedule_after(TimeDelta delay, std::function<void()> fn) {
+  QA_CHECK(delay >= TimeDelta::zero());
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Scheduler::cancel(EventId id) {
+  if (id != kInvalidEventId) cancelled_.insert(id);
+}
+
+bool Scheduler::pop_next(Entry& out) {
+  while (!heap_.empty()) {
+    // priority_queue::top is const; the function object must be moved out, so
+    // copy the POD part and const_cast the callable (safe: popped right away).
+    Entry& top = const_cast<Entry&>(heap_.top());
+    if (cancelled_.erase(top.id) > 0) {
+      heap_.pop();
+      continue;
+    }
+    out = Entry{top.at, top.seq, top.id, std::move(top.fn)};
+    heap_.pop();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run_until(TimePoint until) {
+  Entry e;
+  while (true) {
+    // Prune cancelled entries from the top so the peeked time is real.
+    while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
+      cancelled_.erase(heap_.top().id);
+      heap_.pop();
+    }
+    if (heap_.empty() || heap_.top().at > until) break;
+    if (!pop_next(e)) break;
+    now_ = e.at;
+    ++executed_;
+    e.fn();
+  }
+  if (now_ < until) now_ = until;
+}
+
+bool Scheduler::run_one() {
+  Entry e;
+  if (!pop_next(e)) return false;
+  now_ = e.at;
+  ++executed_;
+  e.fn();
+  return true;
+}
+
+}  // namespace qa::sim

@@ -1,0 +1,76 @@
+// Discrete-event scheduler.
+//
+// A binary-heap event queue keyed by (time, insertion sequence) so that
+// simultaneous events run in deterministic FIFO order. Events are plain
+// callbacks; `schedule` returns an EventId that can be cancelled (lazy
+// deletion). The scheduler is the single source of simulated time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/time.h"
+
+namespace qa::sim {
+
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `at` (>= now).
+  EventId schedule_at(TimePoint at, std::function<void()> fn);
+  // Schedules `fn` after `delay` (>= 0).
+  EventId schedule_after(TimeDelta delay, std::function<void()> fn);
+
+  // Cancels a pending event. Cancelling an already-fired or invalid id is a
+  // harmless no-op, which keeps timer bookkeeping in agents simple.
+  void cancel(EventId id);
+
+  // Runs events until the queue is empty or simulated time would exceed
+  // `until`. Time ends at exactly `until` even if the queue drains early.
+  void run_until(TimePoint until);
+
+  // Runs a single event if one is pending; returns false when the queue is
+  // empty. Used by tests that single-step the simulation.
+  bool run_one();
+
+  size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    uint64_t seq;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops the next non-cancelled entry, or returns false.
+  bool pop_next(Entry& out);
+
+  TimePoint now_ = TimePoint::origin();
+  uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace qa::sim

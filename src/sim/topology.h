@@ -1,0 +1,42 @@
+// Topology builders.
+//
+// The paper's experiments all use the classic dumbbell: N sources behind
+// router RL, a single bottleneck RL->RR, N sinks behind RR. Access links are
+// fast enough never to be the bottleneck.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace qa::sim {
+
+struct DumbbellParams {
+  int pairs = 1;                      // number of host pairs (left[i] <-> right[i])
+  Rate bottleneck_bw = Rate::megabits_per_sec(8);
+  TimeDelta rtt = TimeDelta::millis(40);      // end-to-end two-way propagation
+  double access_bw_multiple = 20.0;           // access speed vs bottleneck
+  int64_t bottleneck_queue_bytes = 0;         // 0 => one bandwidth-delay product
+  int64_t access_queue_bytes = 1 << 20;
+  // Random Early Detection on the bottleneck instead of drop-tail: a less
+  // bursty loss process (sensitivity study; the paper uses drop-tail).
+  bool red = false;
+  uint64_t red_seed = 42;
+};
+
+struct Dumbbell {
+  std::vector<Node*> left;    // senders
+  std::vector<Node*> right;   // receivers
+  Node* router_left = nullptr;
+  Node* router_right = nullptr;
+  Link* bottleneck = nullptr;          // left -> right direction (data path)
+  Link* bottleneck_reverse = nullptr;  // right -> left (ACK path)
+};
+
+// Builds the dumbbell into `net` and installs all static routes so every
+// left host can reach every right host and vice versa.
+Dumbbell build_dumbbell(Network& net, const DumbbellParams& params);
+
+}  // namespace qa::sim

@@ -1,0 +1,57 @@
+#include "sim/trace.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace qa::sim {
+
+PeriodicSampler::PeriodicSampler(Scheduler* sched, TimeDelta interval,
+                                 std::function<double()> fn)
+    : sched_(sched), interval_(interval), fn_(std::move(fn)) {
+  QA_CHECK(interval_ > TimeDelta::zero());
+}
+
+void PeriodicSampler::start() {
+  sched_->schedule_after(interval_, [this] { tick(); });
+}
+
+void PeriodicSampler::tick() {
+  series_.add(sched_->now(), fn_());
+  sched_->schedule_after(interval_, [this] { tick(); });
+}
+
+LinkRateProbe::LinkRateProbe(Scheduler* sched, Link* link, TimeDelta window)
+    : sched_(sched), window_(window) {
+  QA_CHECK(window_ > TimeDelta::zero());
+  link->set_tx_observer([this](const Packet& p) {
+    window_bytes_[p.flow_id] += p.size_bytes;
+    total_window_bytes_ += p.size_bytes;
+  });
+}
+
+void LinkRateProbe::start() {
+  sched_->schedule_after(window_, [this] { flush_window(); });
+}
+
+void LinkRateProbe::flush_window() {
+  const double secs = window_.sec();
+  for (auto& [flow, bytes] : window_bytes_) {
+    per_flow_[flow].add(sched_->now(), static_cast<double>(bytes) / secs);
+    bytes = 0;
+  }
+  total_.add(sched_->now(), static_cast<double>(total_window_bytes_) / secs);
+  total_window_bytes_ = 0;
+  sched_->schedule_after(window_, [this] { flush_window(); });
+}
+
+const TimeSeries& LinkRateProbe::flow_series(FlowId flow) const {
+  auto it = per_flow_.find(flow);
+  return it == per_flow_.end() ? empty_ : it->second;
+}
+
+QueueProbe::QueueProbe(Scheduler* sched, Link* link, TimeDelta interval)
+    : sampler_(sched, interval,
+               [link] { return static_cast<double>(link->queue().bytes()); }) {}
+
+}  // namespace qa::sim

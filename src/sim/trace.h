@@ -1,0 +1,69 @@
+// Measurement probes.
+//
+// Probes turn simulator activity into TimeSeries that benches print and
+// tests assert on. They observe; they never change behaviour.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/link.h"
+#include "sim/scheduler.h"
+#include "util/stats.h"
+
+namespace qa::sim {
+
+// Samples fn() every `interval` and appends to a TimeSeries.
+class PeriodicSampler {
+ public:
+  PeriodicSampler(Scheduler* sched, TimeDelta interval,
+                  std::function<double()> fn);
+  void start();
+  const TimeSeries& series() const { return series_; }
+
+ private:
+  void tick();
+  Scheduler* sched_;
+  TimeDelta interval_;
+  std::function<double()> fn_;
+  TimeSeries series_;
+};
+
+// Measures per-flow throughput over a link by counting serialized bytes in
+// fixed windows. One probe per link; query any flow's series afterwards.
+class LinkRateProbe {
+ public:
+  LinkRateProbe(Scheduler* sched, Link* link, TimeDelta window);
+  void start();
+
+  // Rate series (bytes/s per window) for one flow; empty series if the flow
+  // never appeared.
+  const TimeSeries& flow_series(FlowId flow) const;
+  // Aggregate series over all flows.
+  const TimeSeries& total_series() const { return total_; }
+
+ private:
+  void flush_window();
+
+  Scheduler* sched_;
+  TimeDelta window_;
+  std::unordered_map<FlowId, int64_t> window_bytes_;
+  std::unordered_map<FlowId, TimeSeries> per_flow_;
+  int64_t total_window_bytes_ = 0;
+  TimeSeries total_;
+  TimeSeries empty_;
+};
+
+// Records queue occupancy (bytes) of a link periodically.
+class QueueProbe {
+ public:
+  QueueProbe(Scheduler* sched, Link* link, TimeDelta interval);
+  void start() { sampler_.start(); }
+  const TimeSeries& series() const { return sampler_.series(); }
+
+ private:
+  PeriodicSampler sampler_;
+};
+
+}  // namespace qa::sim

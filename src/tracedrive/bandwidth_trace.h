@@ -1,0 +1,78 @@
+// Trace-driven evaluation harness.
+//
+// The paper evaluates quality adaptation both inside a packet simulator and
+// against recorded bandwidth traces (RAP in ns-2, live Internet runs). This
+// module replays a rate trajectory — deterministic, synthetic-random, or
+// loaded from CSV — against a QualityAdapter without any packet network:
+// packets "depart" exactly at the trajectory's instantaneous rate, and
+// backoff events invoke the adapter's backoff path. It is the fast path for
+// property tests over thousands of random loss patterns and regenerates the
+// conceptual figures (2, 5, 6).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/analytic_model.h"
+#include "core/quality_adapter.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace qa::tracedrive {
+
+// Time series collected from one trace-driven run. Per-layer vectors are
+// indexed by layer and sized to the adapter's max_layers.
+struct RunSeries {
+  TimeSeries rate;                          // transmission rate (bytes/s)
+  TimeSeries consumption;                   // n_a * C (bytes/s)
+  TimeSeries layers;                        // active layer count
+  TimeSeries total_buffer;                  // bytes across active layers
+  std::vector<TimeSeries> layer_buffer;     // bytes per layer
+  std::vector<TimeSeries> layer_send_rate;  // bytes/s delivered per layer
+  std::vector<TimeSeries> layer_drain_rate; // bytes/s drawn from buffer
+};
+
+// One transmitted packet, for fig-2 style sequence/playout plots.
+struct TracePacket {
+  double t = 0;          // transmission time (s)
+  int layer = 0;
+  int64_t layer_seq = 0; // per-layer sequence number
+  double playout = 0;    // estimated playout instant (s)
+};
+
+struct TraceRunResult {
+  RunSeries series;
+  core::AdapterMetrics metrics;
+  int64_t packets_sent = 0;
+  TimeDelta base_stall = TimeDelta::zero();
+  int64_t underflow_events = 0;
+  std::vector<TracePacket> packet_log;  // filled when requested
+};
+
+// Replays `traj` for `duration_sec` against a fresh adapter configured by
+// `cfg`. `packet_bytes` sets the send granularity; `sample_dt_sec` the
+// series sampling period. `keep_packet_log` records every packet with its
+// estimated playout time (arrival + queued-ahead bytes / C).
+TraceRunResult run_trace(const core::AimdTrajectory& traj,
+                         const core::AdapterConfig& cfg, double duration_sec,
+                         double packet_bytes = 1000.0,
+                         double sample_dt_sec = 0.1,
+                         bool keep_packet_log = false);
+
+// Synthetic "near-random loss" trajectory (§3): linear increase at `slope`
+// from `initial_rate`, capped at `cap`, with backoffs forced at every cap
+// crossing plus Poisson-random extra backoffs at `mean_backoff_interval`.
+core::AimdTrajectory random_backoff_trajectory(double initial_rate,
+                                               double slope, double cap,
+                                               double duration_sec,
+                                               double mean_backoff_interval,
+                                               Rng& rng);
+
+// Loads a trajectory from CSV: a header row "initial_rate,slope,cap"
+// (bytes/s, bytes/s^2, bytes/s; cap 0 = uncapped) followed by one ascending
+// backoff time (seconds) per row. Throws std::runtime_error on malformed
+// input. save_trace_csv writes the same format.
+core::AimdTrajectory load_trace_csv(const std::string& path);
+void save_trace_csv(const core::AimdTrajectory& traj, const std::string& path);
+
+}  // namespace qa::tracedrive

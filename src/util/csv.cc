@@ -1,0 +1,58 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace qa {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& columns)
+    : path_(path), out_(path), columns_(columns.size()) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << columns[i];
+  }
+  out_ << '\n';
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void CsvWriter::row(const std::vector<double>& values) {
+  if (values.size() != columns_) {
+    throw std::runtime_error("CsvWriter: row width mismatch in " + path_);
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << format_number(values[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row_mixed(const std::vector<std::string>& values) {
+  if (values.size() != columns_) {
+    throw std::runtime_error("CsvWriter: row width mismatch in " + path_);
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+std::string format_number(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  if (s == "-0") s = "0";
+  return s;
+}
+
+}  // namespace qa

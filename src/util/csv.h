@@ -1,0 +1,42 @@
+// Minimal CSV emission for bench outputs.
+//
+// Benches write each figure's data series to a CSV file so the plots in the
+// paper can be regenerated with any plotting tool; the same writer renders a
+// compact preview table to stdout.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace qa {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row. Throws
+  // std::runtime_error when the file cannot be created.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void row(const std::vector<double>& values);
+  void row_mixed(const std::vector<std::string>& values);
+
+  const std::string& path() const { return path_; }
+  size_t rows_written() const { return rows_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  size_t columns_;
+  size_t rows_ = 0;
+};
+
+// Formats a double with up to `digits` significant fraction digits, trimming
+// trailing zeros ("12.5", "0.001", "3").
+std::string format_number(double v, int digits = 6);
+
+}  // namespace qa

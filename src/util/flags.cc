@@ -1,0 +1,77 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+namespace qa {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // --key value (when the next token is not a flag), else a switch.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "";
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  queried_[name] = true;
+  queried_["no-" + name] = true;
+  return values_.count(name) > 0;
+}
+
+std::optional<std::string> Flags::get(const std::string& name) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Flags::get_or(const std::string& name,
+                          const std::string& def) const {
+  return get(name).value_or(def);
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  const auto v = get(name);
+  return v && !v->empty() ? std::strtod(v->c_str(), nullptr) : def;
+}
+
+int64_t Flags::get_int(const std::string& name, int64_t def) const {
+  const auto v = get(name);
+  return v && !v->empty() ? std::strtoll(v->c_str(), nullptr, 10) : def;
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  queried_[name] = true;
+  queried_["no-" + name] = true;
+  if (values_.count(name)) {
+    const std::string& v = values_.at(name);
+    return v.empty() || v == "1" || v == "true" || v == "yes";
+  }
+  if (values_.count("no-" + name)) return false;
+  return def;
+}
+
+std::vector<std::string> Flags::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (queried_.count(name) == 0) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace qa

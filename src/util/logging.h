@@ -1,0 +1,62 @@
+// Leveled logging with simulated-time stamps, plus check macros.
+//
+// The simulator is single-threaded; the logger is a plain global with a
+// settable level. QA_CHECK aborts with a message on contract violations —
+// run-time enforcement of preconditions per the Core Guidelines (I.5/P.7).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace qa {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global log level; messages below it are skipped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Internal sink; prefer the QA_LOG macro.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+
+}  // namespace qa
+
+#define QA_LOG(level)                                  \
+  if (::qa::log_level() <= ::qa::LogLevel::k##level)   \
+  ::qa::detail::LogLine(::qa::LogLevel::k##level)
+
+// Precondition/invariant check — always on; the simulator is not a
+// latency-critical production path and silent state corruption is worse.
+#define QA_CHECK(expr)                                                   \
+  do {                                                                   \
+    if (!(expr)) ::qa::check_failed(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define QA_CHECK_MSG(expr, msg)                                          \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream qa_check_os;                                    \
+      qa_check_os << msg;                                                \
+      ::qa::check_failed(#expr, __FILE__, __LINE__, qa_check_os.str());  \
+    }                                                                    \
+  } while (0)

@@ -1,0 +1,39 @@
+// Deterministic pseudo-random number generation.
+//
+// xoshiro256** seeded through SplitMix64. Every stochastic component of the
+// simulator (start-time jitter, Bernoulli loss, trace generation) draws from
+// an Rng it is handed explicitly, so a run is fully determined by its seeds.
+#pragma once
+
+#include <cstdint>
+
+namespace qa {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  uint64_t next_u64();
+  // Uniform in [0, 1).
+  double next_double();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [0, n). Precondition: n > 0.
+  uint64_t next_below(uint64_t n);
+  // True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+  // Exponentially distributed with the given mean (> 0).
+  double exponential(double mean);
+  // Standard normal via Box-Muller.
+  double normal(double mean, double stddev);
+
+  // Derive an independent stream; convenient for giving each flow its own
+  // generator from one experiment seed.
+  Rng fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace qa

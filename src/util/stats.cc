@@ -1,0 +1,110 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+namespace qa {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double SampleSet::mean() const {
+  if (xs_.empty()) return 0.0;
+  double s = 0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+double SampleSet::percentile(double p) const {
+  if (xs_.empty()) return 0.0;
+  std::vector<double> sorted = xs_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double SampleSet::min() const {
+  return xs_.empty() ? 0.0 : *std::min_element(xs_.begin(), xs_.end());
+}
+
+double SampleSet::max() const {
+  return xs_.empty() ? 0.0 : *std::max_element(xs_.begin(), xs_.end());
+}
+
+double TimeSeries::step_value_at(TimePoint t, double fallback) const {
+  if (points_.empty() || t < points_.front().t) return fallback;
+  // Binary search for the last point with point.t <= t.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](TimePoint lhs, const Point& rhs) { return lhs < rhs.t; });
+  return std::prev(it)->value;
+}
+
+double TimeSeries::time_average(TimePoint from, TimePoint to) const {
+  if (to <= from || points_.empty()) return 0.0;
+  double area = 0.0;
+  TimePoint cursor = from;
+  double value = step_value_at(from);
+  for (const Point& p : points_) {
+    if (p.t <= from) {
+      continue;
+    }
+    if (p.t >= to) break;
+    area += value * (p.t - cursor).sec();
+    cursor = p.t;
+    value = p.value;
+  }
+  area += value * (to - cursor).sec();
+  return area / (to - from).sec();
+}
+
+std::vector<TimeSeries::Point> TimeSeries::resample(TimePoint from, TimePoint to,
+                                                    TimeDelta step) const {
+  std::vector<Point> out;
+  for (TimePoint t = from; t <= to; t += step) {
+    out.push_back({t, step_value_at(t)});
+  }
+  return out;
+}
+
+double jain_fairness(const std::vector<double>& allocations) {
+  if (allocations.empty()) return 0.0;
+  double sum = 0, sq = 0;
+  for (double x : allocations) {
+    sum += x;
+    sq += x * x;
+  }
+  if (sq <= 0) return 0.0;
+  return sum * sum / (static_cast<double>(allocations.size()) * sq);
+}
+
+int count_changes(const std::vector<TimeSeries::Point>& pts) {
+  int changes = 0;
+  for (size_t i = 1; i < pts.size(); ++i) {
+    if (pts[i].value != pts[i - 1].value) ++changes;
+  }
+  return changes;
+}
+
+}  // namespace qa

@@ -1,0 +1,89 @@
+// Simulated-time types.
+//
+// The simulator keeps time as a 64-bit count of nanoseconds so that event
+// ordering is exact and runs are bit-reproducible; floating point enters
+// only at the edges (rate formulas, reporting). TimeDelta is a duration,
+// TimePoint an absolute instant since simulation start.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <type_traits>
+
+namespace qa {
+
+class TimeDelta {
+ public:
+  constexpr TimeDelta() = default;
+
+  static constexpr TimeDelta nanos(int64_t ns) { return TimeDelta(ns); }
+  static constexpr TimeDelta micros(int64_t us) { return TimeDelta(us * 1'000); }
+  static constexpr TimeDelta millis(int64_t ms) { return TimeDelta(ms * 1'000'000); }
+  static constexpr TimeDelta seconds(int64_t s) { return TimeDelta(s * 1'000'000'000); }
+  // Conversion from a floating-point second count rounds to the nearest
+  // nanosecond; use for rate-derived intervals (e.g. packet spacing).
+  static constexpr TimeDelta from_sec(double s) {
+    return TimeDelta(static_cast<int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr TimeDelta zero() { return TimeDelta(0); }
+  static constexpr TimeDelta infinite() {
+    return TimeDelta(std::numeric_limits<int64_t>::max());
+  }
+
+  constexpr int64_t ns() const { return ns_; }
+  constexpr double sec() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double ms() const { return static_cast<double>(ns_) * 1e-6; }
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_infinite() const { return ns_ == infinite().ns_; }
+
+  constexpr auto operator<=>(const TimeDelta&) const = default;
+  constexpr TimeDelta operator+(TimeDelta o) const { return TimeDelta(ns_ + o.ns_); }
+  constexpr TimeDelta operator-(TimeDelta o) const { return TimeDelta(ns_ - o.ns_); }
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  constexpr TimeDelta operator*(T k) const {
+    if constexpr (std::is_floating_point_v<T>) {
+      return from_sec(sec() * static_cast<double>(k));
+    } else {
+      return TimeDelta(ns_ * static_cast<int64_t>(k));
+    }
+  }
+  constexpr TimeDelta operator/(int64_t k) const { return TimeDelta(ns_ / k); }
+  constexpr double operator/(TimeDelta o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  constexpr TimeDelta& operator+=(TimeDelta o) { ns_ += o.ns_; return *this; }
+  constexpr TimeDelta& operator-=(TimeDelta o) { ns_ -= o.ns_; return *this; }
+
+ private:
+  constexpr explicit TimeDelta(int64_t ns) : ns_(ns) {}
+  int64_t ns_ = 0;
+};
+
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint origin() { return TimePoint(0); }
+  static constexpr TimePoint from_ns(int64_t ns) { return TimePoint(ns); }
+  static constexpr TimePoint from_sec(double s) {
+    return TimePoint(TimeDelta::from_sec(s).ns());
+  }
+
+  constexpr int64_t ns() const { return ns_; }
+  constexpr double sec() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+  constexpr TimePoint operator+(TimeDelta d) const { return TimePoint(ns_ + d.ns()); }
+  constexpr TimePoint operator-(TimeDelta d) const { return TimePoint(ns_ - d.ns()); }
+  constexpr TimeDelta operator-(TimePoint o) const {
+    return TimeDelta::nanos(ns_ - o.ns_);
+  }
+  constexpr TimePoint& operator+=(TimeDelta d) { ns_ += d.ns(); return *this; }
+
+ private:
+  constexpr explicit TimePoint(int64_t ns) : ns_(ns) {}
+  int64_t ns_ = 0;
+};
+
+}  // namespace qa

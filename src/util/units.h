@@ -1,0 +1,52 @@
+// Rate and byte-count units.
+//
+// Rates are stored as double bytes-per-second: the quality-adaptation
+// formulas are geometric (areas of triangles in rate x time space) and are
+// naturally real-valued. Byte counts that the simulator accounts exactly
+// (queue occupancy, packet sizes) stay integral.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace qa {
+
+// A data rate in bytes per second. Strongly typed to keep Kb/s vs KB/s
+// confusion (which the paper's own figures suffer from) out of the code.
+class Rate {
+ public:
+  constexpr Rate() = default;
+  static constexpr Rate bytes_per_sec(double bps) { return Rate(bps); }
+  static constexpr Rate kilobytes_per_sec(double kBps) { return Rate(kBps * 1000.0); }
+  static constexpr Rate kilobits_per_sec(double kbps) { return Rate(kbps * 1000.0 / 8.0); }
+  static constexpr Rate megabits_per_sec(double mbps) { return Rate(mbps * 1e6 / 8.0); }
+  static constexpr Rate zero() { return Rate(0); }
+
+  constexpr double bps() const { return bytes_per_sec_; }
+  constexpr double kBps() const { return bytes_per_sec_ / 1000.0; }
+  constexpr double kbps() const { return bytes_per_sec_ * 8.0 / 1000.0; }
+
+  // Time to serialize `bytes` at this rate.
+  constexpr TimeDelta transmit_time(int64_t bytes) const {
+    return TimeDelta::from_sec(static_cast<double>(bytes) / bytes_per_sec_);
+  }
+  // Bytes delivered over `dt` at this rate.
+  constexpr double bytes_in(TimeDelta dt) const { return bytes_per_sec_ * dt.sec(); }
+
+  constexpr auto operator<=>(const Rate&) const = default;
+  constexpr Rate operator+(Rate o) const { return Rate(bytes_per_sec_ + o.bytes_per_sec_); }
+  constexpr Rate operator-(Rate o) const { return Rate(bytes_per_sec_ - o.bytes_per_sec_); }
+  constexpr Rate operator*(double k) const { return Rate(bytes_per_sec_ * k); }
+  constexpr Rate operator/(double k) const { return Rate(bytes_per_sec_ / k); }
+  constexpr double operator/(Rate o) const { return bytes_per_sec_ / o.bytes_per_sec_; }
+
+ private:
+  constexpr explicit Rate(double bps) : bytes_per_sec_(bps) {}
+  double bytes_per_sec_ = 0;
+};
+
+constexpr Rate operator*(double k, Rate r) { return r * k; }
+
+}  // namespace qa

@@ -1,0 +1,142 @@
+// End-to-end integration: the full stack (RAP + QA + dumbbell + competing
+// traffic) must deliver the paper's core promises on a small workload.
+#include <gtest/gtest.h>
+
+#include "app/experiment.h"
+#include "app/session.h"
+#include "sim/topology.h"
+
+namespace qa::app {
+namespace {
+
+ExperimentParams small_t1() {
+  ExperimentParams p;
+  p.rap_flows = 3;
+  p.tcp_flows = 3;
+  p.bottleneck = Rate::megabits_per_sec(2.4);  // 300 kB/s, ~50 kB/s share
+  p.duration_sec = 30;
+  p.stream_layers = 6;
+  // Scale the stream to the faster link: C = 10 kB/s puts the ~50 kB/s fair
+  // share at 4-5 layers of the 6 available.
+  p.layer_rate = Rate::kilobytes_per_sec(10);
+  p.packet_size = 1000;
+  return p;
+}
+
+TEST(Integration, QaFlowStreamsAndAddsLayers) {
+  const ExperimentResult r = run_experiment(small_t1());
+  EXPECT_GT(r.qa_packets_sent, 500);
+  // Quality climbed past the base layer at some point.
+  double max_layers = 0;
+  for (const auto& pt : r.series.layers.points()) {
+    max_layers = std::max(max_layers, pt.value);
+  }
+  EXPECT_GE(max_layers, 2.0);
+}
+
+TEST(Integration, BaseLayerNeverStallsAfterStartup) {
+  const ExperimentResult r = run_experiment(small_t1());
+  EXPECT_EQ(r.client_base_stall, TimeDelta::zero());
+}
+
+TEST(Integration, CongestionControlStaysFair) {
+  const ExperimentResult r = run_experiment(small_t1());
+  // The QA flow's mean rate should be within a factor ~3 of the fair share
+  // (RAP without fine grain is aggressive but bounded).
+  const double fair = 300'000.0 / 6.0;
+  EXPECT_GT(r.qa_mean_rate_bps, fair / 3);
+  EXPECT_LT(r.qa_mean_rate_bps, fair * 3);
+}
+
+TEST(Integration, MirrorTracksClientBuffers) {
+  const ExperimentResult r = run_experiment(small_t1());
+  // Sender-side mirror leads the client by roughly the in-flight data
+  // (~1 RTT of rate) plus unreported losses; allow a generous bound.
+  const double divergence =
+      std::abs(r.final_mirror_total_buffer - r.final_client_total_buffer);
+  EXPECT_LT(divergence, 20'000.0)
+      << "mirror=" << r.final_mirror_total_buffer
+      << " client=" << r.final_client_total_buffer;
+}
+
+TEST(Integration, DropsAreEfficient) {
+  ExperimentParams p = small_t1();
+  p.duration_sec = 60;
+  const ExperimentResult r = run_experiment(p);
+  if (!r.metrics.drops().empty()) {
+    EXPECT_GT(r.metrics.mean_efficiency(), 0.9);
+  }
+}
+
+TEST(Integration, DeterministicForFixedSeed) {
+  const ExperimentResult a = run_experiment(small_t1());
+  const ExperimentResult b = run_experiment(small_t1());
+  EXPECT_EQ(a.qa_packets_sent, b.qa_packets_sent);
+  EXPECT_EQ(a.qa_backoffs, b.qa_backoffs);
+  EXPECT_DOUBLE_EQ(a.final_mirror_total_buffer, b.final_mirror_total_buffer);
+  ASSERT_EQ(a.series.layers.size(), b.series.layers.size());
+  for (size_t i = 0; i < a.series.layers.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.series.layers.points()[i].value,
+                     b.series.layers.points()[i].value);
+  }
+}
+
+TEST(Integration, DifferentSeedsDiffer) {
+  ExperimentParams p = small_t1();
+  const ExperimentResult a = run_experiment(p);
+  p.seed = 99;
+  const ExperimentResult b = run_experiment(p);
+  EXPECT_NE(a.qa_packets_sent, b.qa_packets_sent);
+}
+
+TEST(Integration, CbrStepForcesAndThenReleasesQuality) {
+  ExperimentParams p = small_t1();
+  p.duration_sec = 60;
+  p.with_cbr = true;
+  p.cbr_start_sec = 20;
+  p.cbr_stop_sec = 40;
+  const ExperimentResult r = run_experiment(p);
+  // Mean quality during the CBR burst is below the mean before it.
+  const double before = r.metrics.layer_series().time_average(
+      TimePoint::from_sec(10), TimePoint::from_sec(20));
+  const double during = r.metrics.layer_series().time_average(
+      TimePoint::from_sec(25), TimePoint::from_sec(40));
+  const double after = r.metrics.layer_series().time_average(
+      TimePoint::from_sec(50), TimePoint::from_sec(60));
+  EXPECT_LT(during, before);
+  EXPECT_GT(after, during);
+  // Even under the burst, the base layer survives. A sub-100ms glitch at
+  // the shock instant is in-flight divergence (the queueing delay balloons
+  // while packets are mid-flight), which no sender-side mechanism can see.
+  EXPECT_LT(r.client_base_stall, TimeDelta::millis(100));
+}
+
+TEST(Integration, ClientPacketLogHasMonotonePlayout) {
+  ExperimentParams p = small_t1();
+  p.duration_sec = 10;
+  p.keep_client_packet_log = true;
+  const ExperimentResult r = run_experiment(p);
+  ASSERT_FALSE(r.client_packet_log.empty());
+  for (const auto& rec : r.client_packet_log) {
+    EXPECT_GE(rec.playout, rec.arrival);
+    EXPECT_GE(rec.layer, 0);
+  }
+}
+
+TEST(Integration, SessionWiringDeliversVideoPackets) {
+  sim::Network net;
+  sim::DumbbellParams topo;
+  topo.pairs = 1;
+  topo.bottleneck_bw = Rate::kilobytes_per_sec(50);
+  sim::Dumbbell d = sim::build_dumbbell(net, topo);
+  SessionConfig cfg;
+  cfg.stream_layers = 4;
+  Session session(net, d.left[0], d.right[0], cfg);
+  net.run(TimePoint::from_sec(5));
+  EXPECT_GT(session.client().packets_received(), 0);
+  EXPECT_GE(session.client().layers_seen(), 1);
+  EXPECT_EQ(session.server().adapter().active_layers() >= 1, true);
+}
+
+}  // namespace
+}  // namespace qa::app

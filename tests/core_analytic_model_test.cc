@@ -1,0 +1,73 @@
+#include "core/analytic_model.h"
+
+#include <gtest/gtest.h>
+
+namespace qa::core {
+namespace {
+
+TEST(AimdTrajectory, LinearGrowthWithoutBackoffs) {
+  AimdTrajectory traj(10'000, 5'000);
+  EXPECT_DOUBLE_EQ(traj.rate_at(0), 10'000.0);
+  EXPECT_DOUBLE_EQ(traj.rate_at(2), 20'000.0);
+}
+
+TEST(AimdTrajectory, BackoffHalvesInstantaneously) {
+  AimdTrajectory traj(10'000, 5'000);
+  traj.add_backoff(2.0);  // rate reaches 20k, halves to 10k
+  EXPECT_DOUBLE_EQ(traj.rate_at(2.0), 10'000.0);
+  EXPECT_DOUBLE_EQ(traj.rate_at(3.0), 15'000.0);
+}
+
+TEST(AimdTrajectory, MultipleBackoffs) {
+  AimdTrajectory traj(40'000, 10'000);
+  traj.add_backoff(1.0);  // 50k -> 25k
+  traj.add_backoff(1.5);  // 30k -> 15k
+  EXPECT_NEAR(traj.rate_at(0.999999999), 50'000.0, 1.0);
+  EXPECT_DOUBLE_EQ(traj.rate_at(1.0), 25'000.0);
+  EXPECT_DOUBLE_EQ(traj.rate_at(1.5), 15'000.0);
+  EXPECT_DOUBLE_EQ(traj.rate_at(2.5), 25'000.0);
+}
+
+TEST(AimdTrajectory, CapLimitsGrowth) {
+  AimdTrajectory traj(10'000, 10'000);
+  traj.set_rate_cap(15'000);
+  EXPECT_DOUBLE_EQ(traj.rate_at(10), 15'000.0);
+}
+
+TEST(AimdTrajectory, BackoffsBefore) {
+  AimdTrajectory traj(10'000, 5'000);
+  traj.add_backoff(1.0);
+  traj.add_backoff(2.0);
+  EXPECT_EQ(traj.backoffs_before(0.5), 0);
+  EXPECT_EQ(traj.backoffs_before(1.0), 1);
+  EXPECT_EQ(traj.backoffs_before(5.0), 2);
+}
+
+TEST(AimdTrajectory, SawtoothPeriodicity) {
+  // From cap/2 back to cap takes (cap/2)/slope seconds.
+  const auto traj = AimdTrajectory::sawtooth(10'000, 5'000, 20'000, 30.0);
+  ASSERT_GT(traj.backoff_times().size(), 3u);
+  // First hit: (20000-10000)/5000 = 2 s; then every 2 s.
+  EXPECT_DOUBLE_EQ(traj.backoff_times()[0], 2.0);
+  EXPECT_DOUBLE_EQ(traj.backoff_times()[1], 4.0);
+  EXPECT_DOUBLE_EQ(traj.backoff_times()[2], 6.0);
+  // Rate oscillates in [cap/2, cap].
+  for (double t = 2.0; t < 29.0; t += 0.25) {
+    EXPECT_GE(traj.rate_at(t), 10'000.0 - 1e-6);
+    EXPECT_LE(traj.rate_at(t), 20'000.0 + 1e-6);
+  }
+}
+
+TEST(AimdTrajectory, SawtoothEndsBeforeDuration) {
+  const auto traj = AimdTrajectory::sawtooth(10'000, 5'000, 20'000, 5.0);
+  for (double tb : traj.backoff_times()) EXPECT_LT(tb, 5.0);
+}
+
+TEST(AimdTrajectoryDeathTest, RejectsNonAscendingBackoffs) {
+  AimdTrajectory traj(10'000, 5'000);
+  traj.add_backoff(2.0);
+  EXPECT_DEATH(traj.add_backoff(1.0), "backoffs_");
+}
+
+}  // namespace
+}  // namespace qa::core

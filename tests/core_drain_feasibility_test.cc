@@ -1,0 +1,143 @@
+#include "core/buffer_math.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace qa::core {
+namespace {
+
+const AimdModel kModel{10'000.0, 20'000.0};
+
+TEST(DrainFeasible, TrivialWhenRateCoversConsumption) {
+  std::vector<double> empty(3, 0.0);
+  EXPECT_TRUE(drain_feasible(30'000, 3, empty, kModel));
+  EXPECT_TRUE(drain_feasible(35'000, 3, empty, kModel));
+}
+
+TEST(DrainFeasible, EmptyBuffersFailUnderDeficit) {
+  std::vector<double> empty(3, 0.0);
+  EXPECT_FALSE(drain_feasible(20'000, 3, empty, kModel));
+}
+
+TEST(DrainFeasible, IdealBandProfileIsExactlyFeasible) {
+  // Give each layer precisely its optimal band share: feasible; remove one
+  // byte from the largest band: infeasible.
+  const double rate = 15'000;
+  const int n = 3;
+  const double height = n * kModel.consumption_rate - rate;  // 15 kB/s
+  std::vector<double> bufs(n);
+  for (int i = 0; i < n; ++i) {
+    bufs[static_cast<size_t>(i)] =
+        band_share(height, i, kModel.consumption_rate, kModel.slope);
+  }
+  EXPECT_TRUE(drain_feasible(rate, n, bufs, kModel));
+  bufs[0] -= 1.0;
+  EXPECT_FALSE(drain_feasible(rate, n, bufs, kModel));
+}
+
+TEST(DrainFeasible, LayerIdentityDoesNotMatter) {
+  // During pure draining any buffered layer can be the one playing from
+  // buffer, so a permuted profile is equally feasible.
+  const double rate = 15'000;
+  const int n = 3;
+  const double height = n * kModel.consumption_rate - rate;
+  std::vector<double> bufs(n);
+  for (int i = 0; i < n; ++i) {
+    bufs[static_cast<size_t>(i)] =
+        band_share(height, i, kModel.consumption_rate, kModel.slope);
+  }
+  std::vector<double> reversed(bufs.rbegin(), bufs.rend());
+  EXPECT_TRUE(drain_feasible(rate, n, reversed, kModel));
+}
+
+TEST(DrainFeasible, OneHugeBufferCannotCoverTwoSimultaneousLevels) {
+  // Deficit height 15 kB/s = 2 levels at C = 10 kB/s: at the start two
+  // layers must play from buffer at once. All bytes in one layer fail.
+  const double rate = 15'000;
+  const int n = 3;
+  std::vector<double> one_huge = {1e9, 0.0, 0.0};
+  EXPECT_FALSE(drain_feasible(rate, n, one_huge, kModel));
+  // Two buffered layers suffice (each capped at C*T anyway).
+  std::vector<double> two = {1e9, 1e9, 0.0};
+  EXPECT_TRUE(drain_feasible(rate, n, two, kModel));
+}
+
+TEST(DrainFeasible, PerLayerCapAtConsumptionTimesRecovery) {
+  // Height 5 kB/s, recovery 0.25 s: one layer may contribute at most
+  // C*T = 2500 B. The required area is 625 B, so a single thin buffer of
+  // 625 B works, but only if its cap (2500) is not the binding constraint.
+  const double rate = 25'000;
+  const int n = 3;
+  std::vector<double> thin = {625.0, 0.0, 0.0};
+  EXPECT_TRUE(drain_feasible(rate, n, thin, kModel));
+  std::vector<double> too_thin = {600.0, 0.0, 0.0};
+  EXPECT_FALSE(drain_feasible(rate, n, too_thin, kModel));
+}
+
+TEST(LayersSustainable, DropsToFeasibleCount) {
+  // 4 layers at rate 15 kB/s: deficit 25 kB/s needs 3 buffering layers'
+  // worth of bands; with nothing buffered only what the rate feeds
+  // directly survives: floor(15k / 10k) = 1 layer... the rule keeps the
+  // largest n with a feasible recovery.
+  std::vector<double> empty(4, 0.0);
+  EXPECT_EQ(layers_sustainable(15'000, 4, empty, kModel), 1);
+  // Rate alone covers two layers: n = 2 feasible with empty buffers.
+  EXPECT_EQ(layers_sustainable(20'000, 4, empty, kModel), 2);
+}
+
+TEST(LayersSustainable, KeepsAllWhenBuffersSuffice) {
+  std::vector<double> deep(4, 1e6);
+  EXPECT_EQ(layers_sustainable(15'000, 4, deep, kModel), 4);
+}
+
+TEST(LayersSustainable, NeverBelowOne) {
+  std::vector<double> empty(5, 0.0);
+  EXPECT_EQ(layers_sustainable(0.0, 5, empty, kModel), 1);
+}
+
+class DrainFeasibilityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DrainFeasibilityProperty, AggregateRuleIsNoStricterThanProfileRule) {
+  // The aggregate sqrt-rule assumes an ideally distributed total, so it
+  // never keeps fewer layers than the per-layer profile rule.
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 300; ++trial) {
+    const double c = rng.uniform(1'000, 30'000);
+    const AimdModel m{c, rng.uniform(2'000, 300'000)};
+    const int na = 1 + static_cast<int>(rng.next_below(7));
+    const double rate = rng.uniform(0.0, 1.2) * c * na;
+    std::vector<double> bufs(static_cast<size_t>(na));
+    double total = 0;
+    for (double& b : bufs) {
+      b = rng.uniform(0, 20'000);
+      total += b;
+    }
+    const int agg = layers_to_keep(rate, na, total, m);
+    const int prof = layers_sustainable(rate, na, bufs, m);
+    EXPECT_GE(agg, prof) << "aggregate rule must be the optimistic one";
+  }
+}
+
+TEST_P(DrainFeasibilityProperty, FeasibilityMonotoneInBuffers) {
+  // Adding bytes anywhere never makes a feasible recovery infeasible.
+  Rng rng(static_cast<uint64_t>(GetParam()) + 500);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double c = rng.uniform(1'000, 30'000);
+    const AimdModel m{c, rng.uniform(2'000, 300'000)};
+    const int na = 1 + static_cast<int>(rng.next_below(6));
+    const double rate = rng.uniform(0.0, 1.0) * c * na;
+    std::vector<double> bufs(static_cast<size_t>(na));
+    for (double& b : bufs) b = rng.uniform(0, 10'000);
+    if (!drain_feasible(rate, na, bufs, m)) continue;
+    const size_t grow = rng.next_below(static_cast<uint64_t>(na));
+    bufs[grow] += rng.uniform(0, 10'000);
+    EXPECT_TRUE(drain_feasible(rate, na, bufs, m));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DrainFeasibilityProperty,
+                         ::testing::Values(3, 6, 9));
+
+}  // namespace
+}  // namespace qa::core

@@ -1,0 +1,153 @@
+#include "core/draining_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace qa::core {
+namespace {
+
+const AimdModel kModel{10'000.0, 20'000.0};
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(DrainingPolicy, NoDeficitWhenRateCoversConsumption) {
+  std::vector<double> bufs = {5'000, 3'000, 1'000};
+  const DrainPlan plan =
+      plan_drain_period(bufs, 3, 35'000, 60'000, kModel, 2, 0.25);
+  EXPECT_DOUBLE_EQ(plan.planned_deficit, 0.0);
+  EXPECT_DOUBLE_EQ(sum(plan.drain_bytes), 0.0);
+  EXPECT_DOUBLE_EQ(plan.shortfall, 0.0);
+}
+
+TEST(DrainingPolicy, DeficitGeometry) {
+  // rate 20k, consumption 30k, slope 20k: gap closes in 0.5 s. Over a
+  // 0.25 s period: 10k*0.25 - 0.5*20k*0.0625 = 2500 - 625 = 1875 bytes.
+  std::vector<double> bufs = {50'000, 50'000, 50'000};
+  const DrainPlan plan =
+      plan_drain_period(bufs, 3, 20'000, 60'000, kModel, 2, 0.25);
+  EXPECT_NEAR(plan.planned_deficit, 1'875.0, 1e-6);
+  EXPECT_NEAR(sum(plan.drain_bytes), 1'875.0, 1e-6);
+  EXPECT_DOUBLE_EQ(plan.shortfall, 0.0);
+}
+
+TEST(DrainingPolicy, DeficitClampedToRecoveryWindow) {
+  // Gap 10k closes in 0.5 s; a 1 s period only drains for the first 0.5 s:
+  // total deficit = 10k^2/(2*20k) = 2500 bytes.
+  std::vector<double> bufs = {50'000, 50'000, 50'000};
+  const DrainPlan plan =
+      plan_drain_period(bufs, 3, 20'000, 60'000, kModel, 2, 1.0);
+  EXPECT_NEAR(plan.planned_deficit, 2'500.0, 1e-6);
+}
+
+TEST(DrainingPolicy, PerLayerDrainCappedAtConsumptionRate) {
+  std::vector<double> bufs = {1e6, 1e6, 1e6};
+  const double period = 0.25;
+  const DrainPlan plan =
+      plan_drain_period(bufs, 3, 5'000, 60'000, kModel, 2, period);
+  for (double d : plan.drain_bytes) {
+    EXPECT_LE(d, kModel.consumption_rate * period + 1e-6);
+  }
+}
+
+TEST(DrainingPolicy, SendPlusDrainEqualsConsumptionPerLayer) {
+  std::vector<double> bufs = {20'000, 10'000, 5'000};
+  const double period = 0.25;
+  const DrainPlan plan =
+      plan_drain_period(bufs, 3, 18'000, 60'000, kModel, 2, period);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(plan.send_bytes[i] + plan.drain_bytes[i],
+                kModel.consumption_rate * period, 1e-6);
+  }
+}
+
+TEST(DrainingPolicy, UpperLayersDrainFirst) {
+  // Plenty of buffer everywhere, small deficit: the top layer should cover
+  // it (regressing the most recent state first), lower layers untouched.
+  std::vector<double> bufs = {20'000, 20'000, 20'000};
+  const DrainPlan plan =
+      plan_drain_period(bufs, 3, 28'000, 60'000, kModel, 2, 0.1);
+  ASSERT_GT(plan.planned_deficit, 0.0);
+  EXPECT_GT(plan.drain_bytes[2], 0.0);
+  EXPECT_DOUBLE_EQ(plan.drain_bytes[0], 0.0);
+}
+
+TEST(DrainingPolicy, ShortfallWhenBuffersInsufficient) {
+  std::vector<double> bufs = {100.0, 0.0, 0.0};
+  const DrainPlan plan =
+      plan_drain_period(bufs, 3, 10'000, 60'000, kModel, 2, 0.25);
+  // deficit over 0.25 s = 20k*0.25 - 625 = 4375; only 100 available.
+  EXPECT_NEAR(plan.planned_deficit, 4'375.0, 1e-6);
+  EXPECT_NEAR(sum(plan.drain_bytes), 100.0, 1e-6);
+  EXPECT_NEAR(plan.shortfall, 4'275.0, 1e-6);
+}
+
+TEST(DrainingPolicy, NeverDrainsMoreThanBuffered) {
+  std::vector<double> bufs = {500.0, 250.0, 125.0};
+  const DrainPlan plan =
+      plan_drain_period(bufs, 3, 5'000, 60'000, kModel, 2, 0.5);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_LE(plan.drain_bytes[i], bufs[i] + 1e-9);
+  }
+}
+
+TEST(DrainingPolicy, EqualShareDrainsEvenly) {
+  std::vector<double> bufs = {10'000, 10'000, 10'000};
+  const DrainPlan plan =
+      plan_drain_period(bufs, 3, 20'000, 60'000, kModel, 2, 0.25, true,
+                        AllocationPolicy::kEqualShare);
+  ASSERT_GT(plan.planned_deficit, 0.0);
+  EXPECT_NEAR(plan.drain_bytes[0], plan.drain_bytes[1], 1.0);
+  EXPECT_NEAR(plan.drain_bytes[1], plan.drain_bytes[2], 1.0);
+}
+
+TEST(DrainingPolicy, BaseOnlyDrainsBaseFirst) {
+  std::vector<double> bufs = {10'000, 10'000, 10'000};
+  const DrainPlan plan =
+      plan_drain_period(bufs, 3, 20'000, 60'000, kModel, 2, 0.25, true,
+                        AllocationPolicy::kBaseOnly);
+  ASSERT_GT(plan.planned_deficit, 0.0);
+  EXPECT_GT(plan.drain_bytes[0], 0.0);
+  EXPECT_DOUBLE_EQ(plan.drain_bytes[2], 0.0);
+}
+
+class DrainingPolicyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DrainingPolicyProperty, ConservationAndBounds) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 300; ++trial) {
+    const double c = rng.uniform(1'000, 40'000);
+    const AimdModel m{c, rng.uniform(2'000, 400'000)};
+    const int na = 1 + static_cast<int>(rng.next_below(6));
+    const double rate = rng.uniform(0.0, 1.2) * c * na;
+    const double rate_ref = rng.uniform(1.0, 3.0) * c * na;
+    const double period = rng.uniform(0.05, 1.0);
+    std::vector<double> bufs(static_cast<size_t>(na));
+    for (double& b : bufs) b = rng.uniform(0, 40'000);
+
+    const DrainPlan plan =
+        plan_drain_period(bufs, na, rate, rate_ref, m, 3, period);
+    double drained = 0;
+    for (int i = 0; i < na; ++i) {
+      EXPECT_GE(plan.drain_bytes[static_cast<size_t>(i)], -1e-9);
+      EXPECT_LE(plan.drain_bytes[static_cast<size_t>(i)],
+                bufs[static_cast<size_t>(i)] + 1e-6);
+      EXPECT_LE(plan.drain_bytes[static_cast<size_t>(i)], c * period + 1e-6);
+      EXPECT_NEAR(plan.send_bytes[static_cast<size_t>(i)] +
+                      plan.drain_bytes[static_cast<size_t>(i)],
+                  c * period, 1e-6);
+      drained += plan.drain_bytes[static_cast<size_t>(i)];
+    }
+    EXPECT_NEAR(drained + plan.shortfall, plan.planned_deficit, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DrainingPolicyProperty,
+                         ::testing::Values(7, 14, 21));
+
+}  // namespace
+}  // namespace qa::core

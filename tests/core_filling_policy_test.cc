@@ -1,0 +1,164 @@
+#include "core/filling_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/buffer_math.h"
+#include "core/state_sequence.h"
+#include "util/rng.h"
+
+namespace qa::core {
+namespace {
+
+const AimdModel kModel{10'000.0, 20'000.0};
+
+TEST(FillingPolicy, EmptyBuffersFillBaseFirst) {
+  std::vector<double> bufs(3, 0.0);
+  const FillDecision d = pick_fill_layer(bufs, 3, 50'000, kModel, 2);
+  EXPECT_EQ(d.layer, 0);
+}
+
+TEST(FillingPolicy, SimulatedFillIsSequentialBottomUp) {
+  // Feed packets one by one; the first time each layer appears must be in
+  // increasing layer order (the fig-5 sequential filling pattern).
+  std::vector<double> bufs(4, 0.0);
+  std::vector<int> first_seen;
+  const double pkt = 250.0;
+  for (int i = 0; i < 2000; ++i) {
+    const FillDecision d = pick_fill_layer(bufs, 4, 90'000, kModel, 3);
+    if (d.layer < 0) break;
+    if (std::find(first_seen.begin(), first_seen.end(), d.layer) ==
+        first_seen.end()) {
+      first_seen.push_back(d.layer);
+    }
+    bufs[static_cast<size_t>(d.layer)] += pkt;
+  }
+  ASSERT_GE(first_seen.size(), 2u);
+  for (size_t i = 1; i < first_seen.size(); ++i) {
+    EXPECT_EQ(first_seen[i], first_seen[i - 1] + 1);
+  }
+}
+
+TEST(FillingPolicy, FillingEventuallyMeetsKmaxTargets) {
+  // The per-packet algorithm must drive the buffers to satisfy the smoothed
+  // add condition (every state target, both scenarios, k <= Kmax).
+  const StateSequence seq(80'000, 3, kModel, 2);
+  std::vector<double> bufs(3, 0.0);
+  const double pkt = 100.0;
+  int safety = 100'000;
+  while (!seq.all_targets_met(bufs) && safety-- > 0) {
+    const FillDecision d = pick_fill_layer(bufs, 3, 80'000, kModel, 2);
+    ASSERT_GE(d.layer, 0) << "policy went idle before targets were met";
+    bufs[static_cast<size_t>(d.layer)] += pkt;
+  }
+  ASSERT_GT(safety, 0) << "filling never satisfied the Kmax targets";
+  EXPECT_TRUE(seq.all_targets_met(bufs));
+}
+
+TEST(FillingPolicy, SurplusContinuesBeyondKmax) {
+  // Buffers already meet Kmax=1 everywhere: the policy must keep proposing
+  // deeper scenario-2 states instead of going idle.
+  std::vector<double> bufs(2, 1e5);
+  const FillDecision d = pick_fill_layer(bufs, 2, 50'000, kModel, 1);
+  if (d.layer >= 0) {
+    EXPECT_EQ(d.working_scenario, Scenario::kSpread);
+    EXPECT_GT(d.working_k, 1);
+  }
+}
+
+TEST(FillingPolicy, GateBlocksOverfillOfLowLayerInScenario2) {
+  // R=80k, na=3, C=10k, S=20k (k1=2). Totals: s1k3=10000, s2k4=13750,
+  // s1k4=15625. With 10.5 kB all on layer 0 the working state is s2k4
+  // (13750 < 15625); its layer-0 target is 12500 but the next scenario-1
+  // state (k=4) caps layer 0 at 10000 — already exceeded. The policy must
+  // therefore fill layer 1, not layer 0 (fig-10 constraint).
+  std::vector<double> bufs = {10'500.0, 0.0, 0.0};
+  const FillDecision d = pick_fill_layer(bufs, 3, 80'000, kModel, 5);
+  ASSERT_GE(d.layer, 0);
+  EXPECT_EQ(d.working_scenario, Scenario::kSpread);
+  EXPECT_EQ(d.working_k, 4);
+  EXPECT_EQ(d.layer, 1);
+}
+
+TEST(FillingPolicy, SingleLayer) {
+  std::vector<double> bufs = {0.0};
+  const FillDecision d = pick_fill_layer(bufs, 1, 15'000, kModel, 2);
+  EXPECT_EQ(d.layer, 0);
+}
+
+TEST(FillingPolicy, EqualSharePicksMostDeprived) {
+  std::vector<double> bufs = {500.0, 100.0, 300.0};
+  const FillDecision d = pick_fill_layer(bufs, 3, 80'000, kModel, 3,
+                                         AllocationPolicy::kEqualShare);
+  EXPECT_EQ(d.layer, 1);
+}
+
+TEST(FillingPolicy, EqualShareDoneWhenAllAtTarget) {
+  const double target =
+      total_buf_required(Scenario::kClustered, 3, 80'000, 3, kModel) / 3.0;
+  std::vector<double> bufs(3, target + 1.0);
+  const FillDecision d = pick_fill_layer(bufs, 3, 80'000, kModel, 3,
+                                         AllocationPolicy::kEqualShare);
+  EXPECT_EQ(d.layer, -1);
+}
+
+TEST(FillingPolicy, BaseOnlyAlwaysPicksBaseUntilTarget) {
+  std::vector<double> bufs = {0.0, 0.0, 0.0};
+  const FillDecision d = pick_fill_layer(bufs, 3, 80'000, kModel, 3,
+                                         AllocationPolicy::kBaseOnly);
+  EXPECT_EQ(d.layer, 0);
+  bufs[0] = 1e9;
+  EXPECT_EQ(pick_fill_layer(bufs, 3, 80'000, kModel, 3,
+                            AllocationPolicy::kBaseOnly)
+                .layer,
+            -1);
+}
+
+class FillingPolicyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FillingPolicyProperty, AlwaysReturnsValidLayerOrDone) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 300; ++trial) {
+    const double c = rng.uniform(1'000, 40'000);
+    const AimdModel m{c, rng.uniform(2'000, 400'000)};
+    const int na = 1 + static_cast<int>(rng.next_below(6));
+    const double rate = rng.uniform(0.5, 3.0) * c * na;
+    const int kmax = 1 + static_cast<int>(rng.next_below(5));
+    std::vector<double> bufs(static_cast<size_t>(na));
+    for (double& b : bufs) b = rng.uniform(0, 30'000);
+    const FillDecision d = pick_fill_layer(bufs, na, rate, m, kmax);
+    EXPECT_GE(d.layer, -1);
+    EXPECT_LT(d.layer, na);
+  }
+}
+
+TEST_P(FillingPolicyProperty, FillLoopTerminatesAndEndsBalanced) {
+  // Repeatedly filling must terminate (bounded scenario-2 ladder) and leave
+  // buffers meeting every <= Kmax target.
+  Rng rng(static_cast<uint64_t>(GetParam()) + 77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double c = rng.uniform(5'000, 20'000);
+    const AimdModel m{c, rng.uniform(10'000, 100'000)};
+    const int na = 1 + static_cast<int>(rng.next_below(5));
+    const double rate = rng.uniform(1.1, 2.5) * c * na;
+    const int kmax = 1 + static_cast<int>(rng.next_below(3));
+    std::vector<double> bufs(static_cast<size_t>(na), 0.0);
+    const StateSequence seq(rate, na, m, kmax);
+    int safety = 2'000'000;
+    while (!seq.all_targets_met(bufs) && safety-- > 0) {
+      const FillDecision d = pick_fill_layer(bufs, na, rate, m, kmax);
+      ASSERT_GE(d.layer, 0) << "policy idle before targets met; na=" << na
+                            << " rate=" << rate << " kmax=" << kmax;
+      bufs[static_cast<size_t>(d.layer)] += 200.0;
+    }
+    ASSERT_GT(safety, 0) << "filling loop did not converge";
+    EXPECT_TRUE(seq.all_targets_met(bufs));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FillingPolicyProperty,
+                         ::testing::Values(101, 202, 303));
+
+}  // namespace
+}  // namespace qa::core

@@ -1,0 +1,47 @@
+#include "core/layered_video.h"
+
+#include <gtest/gtest.h>
+
+namespace qa::core {
+namespace {
+
+TEST(LayeredVideo, LinearSpacing) {
+  const auto v = LayeredVideo::linear("clip", 4, Rate::kilobytes_per_sec(10));
+  EXPECT_EQ(v.name(), "clip");
+  EXPECT_EQ(v.layers(), 4);
+  EXPECT_TRUE(v.is_linear());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(v.layer_rate(i).kBps(), 10.0);
+  }
+  EXPECT_DOUBLE_EQ(v.cumulative_rate(0).kBps(), 0.0);
+  EXPECT_DOUBLE_EQ(v.cumulative_rate(2).kBps(), 20.0);
+  EXPECT_DOUBLE_EQ(v.cumulative_rate(4).kBps(), 40.0);
+  EXPECT_DOUBLE_EQ(v.mean_layer_rate().kBps(), 10.0);
+}
+
+TEST(LayeredVideo, NonLinearSpacing) {
+  const auto v = LayeredVideo::with_rates(
+      "clip", {Rate::kilobytes_per_sec(20), Rate::kilobytes_per_sec(10),
+               Rate::kilobytes_per_sec(5)});
+  EXPECT_FALSE(v.is_linear());
+  EXPECT_DOUBLE_EQ(v.layer_rate(0).kBps(), 20.0);
+  EXPECT_DOUBLE_EQ(v.cumulative_rate(3).kBps(), 35.0);
+  EXPECT_NEAR(v.mean_layer_rate().kBps(), 35.0 / 3, 1e-9);
+}
+
+TEST(LayeredVideo, SingleLayerIsLinear) {
+  const auto v = LayeredVideo::linear("clip", 1, Rate::kilobytes_per_sec(8));
+  EXPECT_TRUE(v.is_linear());
+  EXPECT_EQ(v.layers(), 1);
+}
+
+TEST(LayeredVideoDeathTest, RejectsInvalidInput) {
+  EXPECT_DEATH(LayeredVideo::linear("x", 0, Rate::kilobytes_per_sec(10)),
+               "layers");
+  EXPECT_DEATH(LayeredVideo::with_rates("x", {}), "base layer");
+  EXPECT_DEATH(
+      LayeredVideo::with_rates("x", {Rate::zero()}), "bps");
+}
+
+}  // namespace
+}  // namespace qa::core

@@ -1,0 +1,65 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace qa::core {
+namespace {
+
+DropEvent drop(double t, double dropped, double total, bool poor = false) {
+  DropEvent e;
+  e.time = TimePoint::from_sec(t);
+  e.dropped_buf = dropped;
+  e.total_buf = total;
+  e.poor_distribution = poor;
+  return e;
+}
+
+TEST(AdapterMetrics, EfficiencyVacuouslyPerfectWithoutDrops) {
+  AdapterMetrics m;
+  EXPECT_DOUBLE_EQ(m.mean_efficiency(), 1.0);
+  EXPECT_DOUBLE_EQ(m.poor_distribution_fraction(), 0.0);
+  EXPECT_EQ(m.quality_changes(), 0);
+}
+
+TEST(AdapterMetrics, EfficiencyPerDropEvent) {
+  AdapterMetrics m;
+  m.record_drop(drop(1.0, 0.0, 10'000));      // e = 1.0
+  m.record_drop(drop(2.0, 2'500, 10'000));    // e = 0.75
+  EXPECT_DOUBLE_EQ(m.mean_efficiency(), 0.875);
+}
+
+TEST(AdapterMetrics, EfficiencyWithZeroTotalCountsAsPerfect) {
+  AdapterMetrics m;
+  m.record_drop(drop(1.0, 0.0, 0.0));
+  EXPECT_DOUBLE_EQ(m.mean_efficiency(), 1.0);
+}
+
+TEST(AdapterMetrics, PoorDistributionFraction) {
+  AdapterMetrics m;
+  m.record_drop(drop(1.0, 0, 1'000, true));
+  m.record_drop(drop(2.0, 0, 1'000, false));
+  m.record_drop(drop(3.0, 0, 1'000, true));
+  EXPECT_NEAR(m.poor_distribution_fraction(), 2.0 / 3, 1e-12);
+}
+
+TEST(AdapterMetrics, QualityChangesCountsAddsAndDrops) {
+  AdapterMetrics m;
+  m.record_add({TimePoint::from_sec(1), 2});
+  m.record_add({TimePoint::from_sec(2), 3});
+  m.record_drop(drop(3.0, 0, 100));
+  EXPECT_EQ(m.quality_changes(), 3);
+  EXPECT_EQ(m.adds().size(), 2u);
+  EXPECT_EQ(m.drops().size(), 1u);
+}
+
+TEST(AdapterMetrics, MeanQualityIsTimeWeighted) {
+  AdapterMetrics m;
+  m.record_layer_count(TimePoint::from_sec(0), 1);
+  m.record_layer_count(TimePoint::from_sec(1), 3);
+  // [0,1): 1 layer, [1,2): 3 layers -> mean over [0,2) = 2.
+  EXPECT_DOUBLE_EQ(
+      m.mean_quality(TimePoint::from_sec(0), TimePoint::from_sec(2)), 2.0);
+}
+
+}  // namespace
+}  // namespace qa::core

@@ -1,0 +1,166 @@
+#include "core/receiver_model.h"
+
+#include <gtest/gtest.h>
+
+namespace qa::core {
+namespace {
+
+constexpr double kC = 10'000.0;  // bytes/s per layer
+
+TimePoint sec(double s) { return TimePoint::from_sec(s); }
+
+TEST(ReceiverModel, StartsEmptyWithNoLayers) {
+  ReceiverModel m(kC, 4);
+  EXPECT_EQ(m.active_layers(), 0);
+  EXPECT_DOUBLE_EQ(m.total_buffer(), 0.0);
+}
+
+TEST(ReceiverModel, CreditAndConsumption) {
+  ReceiverModel m(kC, 4);
+  m.set_playout_start(sec(0));
+  m.add_layer(sec(0));
+  m.credit(0, 5'000);
+  m.advance(sec(0.2));  // consumes 2000
+  EXPECT_DOUBLE_EQ(m.buffer(0), 3'000.0);
+  m.advance(sec(0.3));  // consumes another 1000
+  EXPECT_DOUBLE_EQ(m.buffer(0), 2'000.0);
+}
+
+TEST(ReceiverModel, PlayoutDelayDefersConsumption) {
+  ReceiverModel m(kC, 4);
+  m.set_playout_start(sec(1.0));
+  m.add_layer(sec(0));
+  m.credit(0, 5'000);
+  m.advance(sec(0.9));
+  EXPECT_DOUBLE_EQ(m.buffer(0), 5'000.0);  // nothing played yet
+  m.advance(sec(1.5));
+  EXPECT_DOUBLE_EQ(m.buffer(0), 0.0);  // 0.5 s * 10 kB/s with only 5 kB
+}
+
+TEST(ReceiverModel, LayerConsumesOnlyFromItsAddTime) {
+  ReceiverModel m(kC, 4);
+  m.set_playout_start(sec(0));
+  m.add_layer(sec(0));
+  m.credit(0, 10'000);
+  m.advance(sec(0.5));
+  const int idx = m.add_layer(sec(0.5));
+  EXPECT_EQ(idx, 1);
+  m.credit(1, 4'000);
+  m.advance(sec(0.7));
+  // Layer 1 consumed 0.2 s * 10 kB/s = 2000.
+  EXPECT_DOUBLE_EQ(m.buffer(1), 2'000.0);
+}
+
+TEST(ReceiverModel, UnderflowEventCountedOncePerDrySpell) {
+  ReceiverModel m(kC, 2);
+  m.set_playout_start(sec(0));
+  m.add_layer(sec(0));
+  m.credit(0, 1'000);
+  m.advance(sec(0.5));  // wants 5000, has 1000 -> underflow
+  EXPECT_EQ(m.underflow_events(0), 1);
+  m.advance(sec(0.6));  // still dry: same spell, no extra event
+  EXPECT_EQ(m.underflow_events(0), 1);
+  m.credit(0, 10'000);
+  m.advance(sec(0.7));
+  m.advance(sec(5.0));  // dry again -> second event
+  EXPECT_EQ(m.underflow_events(0), 2);
+}
+
+TEST(ReceiverModel, TakeUnderflowsClearsFlags) {
+  ReceiverModel m(kC, 2);
+  m.set_playout_start(sec(0));
+  m.add_layer(sec(0));
+  m.advance(sec(0.1));
+  auto flagged = m.take_underflows();
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0], 0);
+  EXPECT_TRUE(m.take_underflows().empty());
+}
+
+TEST(ReceiverModel, BaseStallTimeAccumulates) {
+  ReceiverModel m(kC, 2);
+  m.set_playout_start(sec(0));
+  m.add_layer(sec(0));
+  m.credit(0, 2'000);
+  m.advance(sec(1.0));  // wanted 10000, got 2000: 0.8 s stall
+  EXPECT_NEAR(m.base_stall_time().sec(), 0.8, 1e-9);
+  m.credit(0, 20'000);
+  m.advance(sec(2.0));  // fully fed: no extra stall
+  EXPECT_NEAR(m.base_stall_time().sec(), 0.8, 1e-9);
+}
+
+TEST(ReceiverModel, DropTopLayerReturnsResidual) {
+  ReceiverModel m(kC, 3);
+  m.set_playout_start(sec(0));
+  m.add_layer(sec(0));
+  m.add_layer(sec(0));
+  m.credit(0, 8'000);
+  m.credit(1, 3'000);
+  const double residual = m.drop_top_layer(sec(0.1));
+  // Layer 1 consumed 1000 over 0.1 s -> residual 2000.
+  EXPECT_DOUBLE_EQ(residual, 2'000.0);
+  EXPECT_EQ(m.active_layers(), 1);
+  EXPECT_DOUBLE_EQ(m.buffer(1), 0.0);
+}
+
+TEST(ReceiverModel, ReAddedLayerStartsFresh) {
+  ReceiverModel m(kC, 3);
+  m.set_playout_start(sec(0));
+  m.add_layer(sec(0));
+  m.add_layer(sec(0));
+  m.credit(1, 5'000);
+  m.drop_top_layer(sec(0.1));
+  const int idx = m.add_layer(sec(0.2));
+  EXPECT_EQ(idx, 1);
+  EXPECT_DOUBLE_EQ(m.buffer(1), 0.0);
+  EXPECT_EQ(m.underflow_events(1), 0);
+}
+
+TEST(ReceiverModel, DebitLossReducesBuffer) {
+  ReceiverModel m(kC, 2);
+  m.set_playout_start(sec(0));
+  m.add_layer(sec(0));
+  m.credit(0, 5'000);
+  m.debit_loss(0, 1'000);
+  EXPECT_DOUBLE_EQ(m.buffer(0), 4'000.0);
+  m.debit_loss(0, 100'000);  // clamps at zero
+  EXPECT_DOUBLE_EQ(m.buffer(0), 0.0);
+}
+
+TEST(ReceiverModel, DebitLossForDroppedLayerIgnored) {
+  ReceiverModel m(kC, 3);
+  m.set_playout_start(sec(0));
+  m.add_layer(sec(0));
+  m.add_layer(sec(0));
+  m.drop_top_layer(sec(0));
+  m.debit_loss(1, 1'000);  // layer no longer active: no crash, no effect
+  EXPECT_EQ(m.active_layers(), 1);
+}
+
+TEST(ReceiverModel, BuffersVectorMatchesActiveLayers) {
+  ReceiverModel m(kC, 4);
+  m.set_playout_start(sec(0));
+  m.add_layer(sec(0));
+  m.add_layer(sec(0));
+  m.credit(0, 100);
+  m.credit(1, 200);
+  const auto bufs = m.buffers();
+  ASSERT_EQ(bufs.size(), 2u);
+  EXPECT_DOUBLE_EQ(bufs[0], 100.0);
+  EXPECT_DOUBLE_EQ(bufs[1], 200.0);
+  EXPECT_DOUBLE_EQ(m.total_buffer(), 300.0);
+}
+
+TEST(ReceiverModel, AdvanceIsIdempotentAtSameTime) {
+  ReceiverModel m(kC, 2);
+  m.set_playout_start(sec(0));
+  m.add_layer(sec(0));
+  m.credit(0, 5'000);
+  m.advance(sec(0.1));
+  const double b = m.buffer(0);
+  m.advance(sec(0.1));
+  EXPECT_DOUBLE_EQ(m.buffer(0), b);
+}
+
+}  // namespace
+}  // namespace qa::core

@@ -1,0 +1,98 @@
+// Warm start from a proxy cache (the paper's §7 outlook).
+#include <gtest/gtest.h>
+
+#include "core/quality_adapter.h"
+#include "tracedrive/bandwidth_trace.h"
+
+namespace qa::core {
+namespace {
+
+AdapterConfig make_config() {
+  AdapterConfig cfg;
+  cfg.consumption_rate = 1'250;
+  cfg.max_layers = 6;
+  cfg.kmax = 2;
+  cfg.playout_delay = TimeDelta::millis(500);
+  return cfg;
+}
+
+TEST(WarmStart, ActivatesCachedLayersWithBuffers) {
+  QualityAdapter adapter(make_config());
+  adapter.begin(TimePoint::origin());
+  adapter.warm_start(TimePoint::origin(), {4'000, 2'000, 1'000});
+  EXPECT_EQ(adapter.active_layers(), 3);
+  EXPECT_DOUBLE_EQ(adapter.receiver().buffer(0), 4'000.0);
+  EXPECT_DOUBLE_EQ(adapter.receiver().buffer(2), 1'000.0);
+  EXPECT_EQ(adapter.metrics().adds().size(), 2u);
+}
+
+TEST(WarmStart, CapsAtStreamLayers) {
+  QualityAdapter adapter(make_config());
+  adapter.begin(TimePoint::origin());
+  adapter.warm_start(TimePoint::origin(),
+                     std::vector<double>(10, 1'000.0));
+  EXPECT_EQ(adapter.active_layers(), 6);
+}
+
+TEST(WarmStart, EmptyCacheIsANoop) {
+  QualityAdapter adapter(make_config());
+  adapter.begin(TimePoint::origin());
+  adapter.warm_start(TimePoint::origin(), {});
+  EXPECT_EQ(adapter.active_layers(), 1);
+  EXPECT_DOUBLE_EQ(adapter.receiver().total_buffer(), 0.0);
+}
+
+TEST(WarmStartDeathTest, RequiresFreshSession) {
+  QualityAdapter adapter(make_config());
+  EXPECT_DEATH(adapter.warm_start(TimePoint::origin(), {1'000}), "begin");
+  adapter.begin(TimePoint::origin());
+  adapter.on_send_opportunity(TimePoint::origin(), 5'000, 1'200, 250);
+  EXPECT_DEATH(adapter.warm_start(TimePoint::origin(), {1'000}), "fresh");
+}
+
+TEST(WarmStart, ImprovesEarlyQualityOnIdenticalTrace) {
+  // Same channel, cold vs warm start: the warm session plays more layers
+  // over the first ten seconds and never stalls.
+  Rng rng(31);
+  const auto traj = tracedrive::random_backoff_trajectory(
+      4'000, 1'200, 9'000, 30.0, 3.0, rng);
+
+  const auto cold = tracedrive::run_trace(traj, make_config(), 30.0, 250);
+
+  // The warm run seeds the adapter manually (run_trace builds its own
+  // adapter, so replay by hand here).
+  AdapterConfig cfg = make_config();
+  QualityAdapter warm(cfg);
+  warm.begin(TimePoint::origin());
+  warm.warm_start(TimePoint::origin(), {5'000, 3'000, 2'000});
+  double credit = 0;
+  double early_quality_integral = 0;
+  double prev_t = 0;
+  for (double t = 0; t < 30.0; t += 0.002) {
+    // Backoffs.
+    for (double tb : traj.backoff_times()) {
+      if (tb > t - 0.002 && tb <= t) {
+        warm.on_backoff(TimePoint::from_sec(tb), traj.rate_at(tb), 1'200);
+      }
+    }
+    credit += traj.rate_at(t) * 0.002;
+    while (credit >= 250) {
+      credit -= 250;
+      warm.on_send_opportunity(TimePoint::from_sec(t), traj.rate_at(t),
+                               1'200, 250);
+    }
+    if (t < 10.0) {
+      early_quality_integral += warm.active_layers() * (t - prev_t);
+    }
+    prev_t = t;
+  }
+  const double warm_early = early_quality_integral / 10.0;
+  const double cold_early = cold.metrics.mean_quality(
+      TimePoint::origin(), TimePoint::from_sec(10));
+  EXPECT_GT(warm_early, cold_early + 0.5)
+      << "cached layers should lift the startup quality materially";
+  EXPECT_EQ(warm.receiver().base_stall_time(), TimeDelta::zero());
+}
+
+}  // namespace
+}  // namespace qa::core

@@ -1,0 +1,122 @@
+#include "sim/link.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/loss_model.h"
+#include "sim/node.h"
+
+namespace qa::sim {
+namespace {
+
+// Agent that records arrival times of packets.
+class Recorder : public Agent {
+ public:
+  explicit Recorder(Scheduler* sched) : sched_(sched) {}
+  void on_packet(const Packet& p) override {
+    arrivals.push_back({sched_->now(), p});
+  }
+  struct Arrival {
+    TimePoint t;
+    Packet p;
+  };
+  std::vector<Arrival> arrivals;
+
+ private:
+  Scheduler* sched_;
+};
+
+struct LinkFixture : ::testing::Test {
+  Scheduler sched;
+  Node dst{1, "dst"};
+  Recorder recorder{&sched};
+
+  void SetUp() override { dst.attach_agent(7, &recorder); }
+
+  Packet make_packet(int32_t size) {
+    Packet p;
+    p.src = 0;
+    p.dst = 1;
+    p.flow_id = 7;
+    p.size_bytes = size;
+    return p;
+  }
+};
+
+TEST_F(LinkFixture, SerializationPlusPropagationDelay) {
+  // 1000 B at 100 kB/s = 10 ms serialization; +5 ms propagation = 15 ms.
+  Link link("l", &sched, &dst, Rate::kilobytes_per_sec(100),
+            TimeDelta::millis(5), std::make_unique<DropTailQueue>(100'000));
+  link.submit(make_packet(1000));
+  sched.run_until(TimePoint::from_sec(1));
+  ASSERT_EQ(recorder.arrivals.size(), 1u);
+  EXPECT_EQ(recorder.arrivals[0].t, TimePoint::from_sec(0.015));
+  EXPECT_EQ(link.packets_delivered(), 1);
+  EXPECT_EQ(link.bytes_delivered(), 1000);
+}
+
+TEST_F(LinkFixture, BackToBackPacketsSpacedBySerialization) {
+  Link link("l", &sched, &dst, Rate::kilobytes_per_sec(100),
+            TimeDelta::millis(5), std::make_unique<DropTailQueue>(100'000));
+  link.submit(make_packet(1000));
+  link.submit(make_packet(1000));
+  link.submit(make_packet(1000));
+  sched.run_until(TimePoint::from_sec(1));
+  ASSERT_EQ(recorder.arrivals.size(), 3u);
+  EXPECT_EQ(recorder.arrivals[0].t, TimePoint::from_sec(0.015));
+  EXPECT_EQ(recorder.arrivals[1].t, TimePoint::from_sec(0.025));
+  EXPECT_EQ(recorder.arrivals[2].t, TimePoint::from_sec(0.035));
+}
+
+TEST_F(LinkFixture, QueueOverflowDropsTail) {
+  // Queue sized for two packets; submit four back-to-back. The first goes
+  // straight to the transmitter, two queue, the fourth drops.
+  Link link("l", &sched, &dst, Rate::kilobytes_per_sec(10),
+            TimeDelta::millis(1), std::make_unique<DropTailQueue>(2000));
+  for (int i = 0; i < 4; ++i) link.submit(make_packet(1000));
+  sched.run_until(TimePoint::from_sec(2));
+  EXPECT_EQ(recorder.arrivals.size(), 3u);
+  EXPECT_EQ(link.queue().total_drops(), 1);
+}
+
+TEST_F(LinkFixture, WireLossModelDropsAfterSerialization) {
+  Link link("l", &sched, &dst, Rate::kilobytes_per_sec(100),
+            TimeDelta::millis(5), std::make_unique<DropTailQueue>(100'000));
+  link.set_loss_model(std::make_unique<DeterministicLoss>(
+      std::vector<int64_t>{1}));  // drop the 2nd packet on the wire
+  for (int i = 0; i < 3; ++i) link.submit(make_packet(1000));
+  sched.run_until(TimePoint::from_sec(1));
+  EXPECT_EQ(recorder.arrivals.size(), 2u);
+  EXPECT_EQ(link.wire_drops(), 1);
+  EXPECT_EQ(link.packets_delivered(), 2);
+}
+
+TEST_F(LinkFixture, TxObserverSeesEveryPacketIncludingWireLost) {
+  Link link("l", &sched, &dst, Rate::kilobytes_per_sec(100),
+            TimeDelta::millis(5), std::make_unique<DropTailQueue>(100'000));
+  link.set_loss_model(
+      std::make_unique<DeterministicLoss>(std::vector<int64_t>{0}));
+  int observed = 0;
+  link.set_tx_observer([&](const Packet&) { ++observed; });
+  link.submit(make_packet(1000));
+  link.submit(make_packet(1000));
+  sched.run_until(TimePoint::from_sec(1));
+  EXPECT_EQ(observed, 2);
+  EXPECT_EQ(recorder.arrivals.size(), 1u);
+}
+
+TEST_F(LinkFixture, ThroughputMatchesBandwidthUnderSaturation) {
+  Link link("l", &sched, &dst, Rate::kilobytes_per_sec(50),
+            TimeDelta::millis(1), std::make_unique<DropTailQueue>(1 << 20));
+  // Saturate for one second: 50 kB/s -> 50 packets of 1000 B.
+  for (int i = 0; i < 100; ++i) link.submit(make_packet(1000));
+  sched.run_until(TimePoint::from_sec(1));
+  // 1 s of serialization capacity = 50 packets (+1 in flight tolerance).
+  EXPECT_GE(recorder.arrivals.size(), 49u);
+  EXPECT_LE(recorder.arrivals.size(), 51u);
+}
+
+}  // namespace
+}  // namespace qa::sim

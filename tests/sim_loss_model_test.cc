@@ -1,0 +1,93 @@
+#include "sim/loss_model.h"
+
+#include <gtest/gtest.h>
+
+namespace qa::sim {
+namespace {
+
+Packet pkt() { return Packet{}; }
+
+TEST(DeterministicLoss, DropsExactlyTheGivenIndices) {
+  DeterministicLoss loss({0, 3, 4});
+  std::vector<bool> dropped;
+  for (int i = 0; i < 8; ++i) {
+    dropped.push_back(loss.should_drop(pkt(), TimePoint::origin()));
+  }
+  EXPECT_EQ(dropped, (std::vector<bool>{true, false, false, true, true,
+                                        false, false, false}));
+}
+
+TEST(DeterministicLoss, UnsortedInputAccepted) {
+  DeterministicLoss loss({5, 1});
+  int drops = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (loss.should_drop(pkt(), TimePoint::origin())) ++drops;
+  }
+  EXPECT_EQ(drops, 2);
+}
+
+TEST(DeterministicLoss, EmptyNeverDrops) {
+  DeterministicLoss loss({});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(loss.should_drop(pkt(), TimePoint::origin()));
+  }
+}
+
+TEST(BernoulliLoss, ApproximatesProbability) {
+  BernoulliLoss loss(0.2, Rng(1));
+  int drops = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (loss.should_drop(pkt(), TimePoint::origin())) ++drops;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.2, 0.01);
+}
+
+TEST(BernoulliLoss, ZeroAndOne) {
+  BernoulliLoss never(0.0, Rng(2));
+  BernoulliLoss always(1.0, Rng(3));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(never.should_drop(pkt(), TimePoint::origin()));
+    EXPECT_TRUE(always.should_drop(pkt(), TimePoint::origin()));
+  }
+}
+
+TEST(GilbertElliott, LossRateBetweenStates) {
+  GilbertElliottLoss::Params params;
+  params.p_good_to_bad = 0.05;
+  params.p_bad_to_good = 0.25;
+  params.loss_good = 0.0;
+  params.loss_bad = 0.5;
+  GilbertElliottLoss loss(params, Rng(4));
+  int drops = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    if (loss.should_drop(pkt(), TimePoint::origin())) ++drops;
+  }
+  // Stationary P(bad) = 0.05/(0.05+0.25) = 1/6 -> loss ~ 0.5/6 = 0.0833.
+  EXPECT_NEAR(static_cast<double>(drops) / n, 1.0 / 12, 0.01);
+}
+
+TEST(GilbertElliott, ProducesBursts) {
+  GilbertElliottLoss::Params params;
+  params.p_good_to_bad = 0.01;
+  params.p_bad_to_good = 0.2;
+  params.loss_good = 0.0;
+  params.loss_bad = 0.9;
+  GilbertElliottLoss loss(params, Rng(5));
+  // Count runs of consecutive drops; a bursty model yields many length>=2.
+  int bursts2 = 0, run = 0, singles = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    if (loss.should_drop(pkt(), TimePoint::origin())) {
+      ++run;
+    } else {
+      if (run >= 2) ++bursts2;
+      if (run == 1) ++singles;
+      run = 0;
+    }
+  }
+  EXPECT_GT(bursts2, singles / 4);  // consecutive losses are common
+}
+
+}  // namespace
+}  // namespace qa::sim

@@ -1,0 +1,130 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qa::sim {
+namespace {
+
+TEST(Scheduler, StartsAtOrigin) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), TimePoint::origin());
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(TimePoint::from_sec(3.0), [&] { order.push_back(3); });
+  s.schedule_at(TimePoint::from_sec(1.0), [&] { order.push_back(1); });
+  s.schedule_at(TimePoint::from_sec(2.0), [&] { order.push_back(2); });
+  s.run_until(TimePoint::from_sec(10));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), TimePoint::from_sec(10));
+}
+
+TEST(Scheduler, SimultaneousEventsRunFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  const TimePoint t = TimePoint::from_sec(1.0);
+  for (int i = 0; i < 5; ++i) {
+    s.schedule_at(t, [&, i] { order.push_back(i); });
+  }
+  s.run_until(TimePoint::from_sec(2));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, ScheduleAfterUsesNow) {
+  Scheduler s;
+  TimePoint fired;
+  s.schedule_after(TimeDelta::seconds(1), [&] {
+    s.schedule_after(TimeDelta::seconds(2), [&] { fired = s.now(); });
+  });
+  s.run_until(TimePoint::from_sec(5));
+  EXPECT_EQ(fired, TimePoint::from_sec(3));
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundary) {
+  Scheduler s;
+  bool late = false;
+  s.schedule_at(TimePoint::from_sec(2.0), [&] { late = true; });
+  s.run_until(TimePoint::from_sec(1.0));
+  EXPECT_FALSE(late);
+  EXPECT_EQ(s.now(), TimePoint::from_sec(1.0));
+  s.run_until(TimePoint::from_sec(2.0));  // inclusive boundary
+  EXPECT_TRUE(late);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  const EventId id = s.schedule_at(TimePoint::from_sec(1), [&] { ran = true; });
+  s.cancel(id);
+  s.run_until(TimePoint::from_sec(2));
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, CancelInvalidIdIsNoop) {
+  Scheduler s;
+  s.cancel(kInvalidEventId);
+  s.cancel(99999);
+  bool ran = false;
+  s.schedule_at(TimePoint::from_sec(1), [&] { ran = true; });
+  s.run_until(TimePoint::from_sec(2));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, CancelledEventAtBoundaryDoesNotLeakLaterEvent) {
+  // A cancelled event before `until` must not cause an event after `until`
+  // to run early.
+  Scheduler s;
+  bool late = false;
+  const EventId id = s.schedule_at(TimePoint::from_sec(0.5), [] {});
+  s.schedule_at(TimePoint::from_sec(2.0), [&] { late = true; });
+  s.cancel(id);
+  s.run_until(TimePoint::from_sec(1.0));
+  EXPECT_FALSE(late);
+}
+
+TEST(Scheduler, RunOne) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_at(TimePoint::from_sec(1), [&] { ++count; });
+  s.schedule_at(TimePoint::from_sec(2), [&] { ++count; });
+  EXPECT_TRUE(s.run_one());
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(s.now(), TimePoint::from_sec(1));
+  EXPECT_TRUE(s.run_one());
+  EXPECT_FALSE(s.run_one());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Scheduler, EventsScheduledDuringRunExecute) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) s.schedule_after(TimeDelta::millis(10), chain);
+  };
+  s.schedule_after(TimeDelta::millis(10), chain);
+  s.run_until(TimePoint::from_sec(1));
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(s.events_executed(), 10u);
+}
+
+TEST(Scheduler, ManyEventsStressOrdering) {
+  Scheduler s;
+  std::vector<int64_t> times;
+  for (int i = 1000; i >= 1; --i) {
+    s.schedule_at(TimePoint::from_ns(i * 7919 % 4999 + 1),
+                  [&, i] { times.push_back(s.now().ns()); });
+  }
+  s.run_until(TimePoint::from_sec(1));
+  for (size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LE(times[i - 1], times[i]);
+  }
+  EXPECT_EQ(times.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace qa::sim

@@ -1,0 +1,99 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/network.h"
+
+namespace qa::sim {
+namespace {
+
+class Sink : public Agent {
+ public:
+  void on_packet(const Packet&) override {}
+};
+
+TEST(PeriodicSampler, SamplesOnTheGrid) {
+  Scheduler sched;
+  double value = 0;
+  PeriodicSampler sampler(&sched, TimeDelta::millis(100), [&] { return value; });
+  sampler.start();
+  sched.schedule_at(TimePoint::from_sec(0.25), [&] { value = 7; });
+  sched.run_until(TimePoint::from_sec(1.0));
+  const auto& pts = sampler.series().points();
+  ASSERT_EQ(pts.size(), 10u);
+  EXPECT_EQ(pts[0].t, TimePoint::from_sec(0.1));
+  EXPECT_DOUBLE_EQ(pts[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(pts[1].value, 0.0);   // t=0.2
+  EXPECT_DOUBLE_EQ(pts[2].value, 7.0);   // t=0.3, after the change
+  EXPECT_DOUBLE_EQ(pts[9].value, 7.0);
+}
+
+struct ProbeFixture : ::testing::Test {
+  Network net;
+  Node* a = net.add_node("a");
+  Node* b = net.add_node("b");
+  Link* ab = net.add_link(a, b, Rate::kilobytes_per_sec(100),
+                          TimeDelta::millis(1),
+                          std::make_unique<DropTailQueue>(1 << 20));
+  Sink sink;
+
+  void SetUp() override {
+    b->attach_agent(1, &sink);
+    b->attach_agent(2, &sink);
+  }
+
+  void send(FlowId flow, int n, int32_t size = 1000) {
+    for (int i = 0; i < n; ++i) {
+      Packet p;
+      p.src = a->id();
+      p.dst = b->id();
+      p.flow_id = flow;
+      p.size_bytes = size;
+      a->send(p);
+    }
+  }
+};
+
+TEST_F(ProbeFixture, LinkRateProbeSeparatesFlows) {
+  LinkRateProbe probe(&net.scheduler(), ab, TimeDelta::millis(500));
+  probe.start();
+  send(1, 20);  // 20 kB
+  send(2, 10);  // 10 kB
+  net.run(TimePoint::from_sec(1.0));
+  // All 30 packets serialize within 0.3 s -> captured by the first window.
+  const auto& f1 = probe.flow_series(1).points();
+  const auto& f2 = probe.flow_series(2).points();
+  ASSERT_FALSE(f1.empty());
+  ASSERT_FALSE(f2.empty());
+  EXPECT_DOUBLE_EQ(f1[0].value, 20'000.0 / 0.5);
+  EXPECT_DOUBLE_EQ(f2[0].value, 10'000.0 / 0.5);
+  EXPECT_DOUBLE_EQ(probe.total_series().points()[0].value, 30'000.0 / 0.5);
+  // Second window: nothing sent.
+  ASSERT_GE(f1.size(), 2u);
+  EXPECT_DOUBLE_EQ(f1[1].value, 0.0);
+}
+
+TEST_F(ProbeFixture, UnknownFlowYieldsEmptySeries) {
+  LinkRateProbe probe(&net.scheduler(), ab, TimeDelta::millis(500));
+  probe.start();
+  net.run(TimePoint::from_sec(1.0));
+  EXPECT_TRUE(probe.flow_series(42).empty());
+}
+
+TEST_F(ProbeFixture, QueueProbeSeesBacklog) {
+  QueueProbe probe(&net.scheduler(), ab, TimeDelta::millis(10));
+  probe.start();
+  // 100 packets at 100 kB/s take 1 s to serialize: the queue holds a
+  // backlog through the early samples.
+  send(1, 100);
+  net.run(TimePoint::from_sec(2.0));
+  const auto& pts = probe.series().points();
+  ASSERT_GT(pts.size(), 100u);
+  EXPECT_GT(pts[0].value, 50'000.0);  // most of the burst still queued
+  EXPECT_DOUBLE_EQ(pts.back().value, 0.0);
+}
+
+}  // namespace
+}  // namespace qa::sim

@@ -1,0 +1,150 @@
+#include "tcp/tcp_source.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/network.h"
+#include "sim/topology.h"
+#include "tcp/tcp_sink.h"
+
+namespace qa::tcp {
+namespace {
+
+struct TcpPair {
+  sim::Network net;
+  sim::Dumbbell d;
+  TcpSource* src = nullptr;
+  TcpSink* sink = nullptr;
+
+  explicit TcpPair(Rate bottleneck = Rate::kilobytes_per_sec(100),
+                   TcpParams params = {}) {
+    sim::DumbbellParams topo;
+    topo.pairs = 1;
+    topo.bottleneck_bw = bottleneck;
+    topo.rtt = TimeDelta::millis(40);
+    d = sim::build_dumbbell(net, topo);
+    const sim::FlowId flow = net.allocate_flow_id();
+    src = net.adopt_agent(
+        d.left[0], flow,
+        std::make_unique<TcpSource>(&net.scheduler(), d.left[0],
+                                    d.right[0]->id(), flow, params));
+    sink = net.adopt_agent(d.right[0], flow,
+                           std::make_unique<TcpSink>(&net.scheduler(),
+                                                     d.right[0]));
+  }
+};
+
+TEST(TcpSource, SlowStartReachesSsthreshQuickly) {
+  TcpPair pair(Rate::megabits_per_sec(100));  // no loss
+  pair.net.run(TimePoint::from_sec(0.5));
+  // From cwnd=2 with ssthresh=64: ~5 RTTs of doubling reach ssthresh well
+  // within 0.5 s, then congestion avoidance creeps past it.
+  EXPECT_GT(pair.src->cwnd_segments(), 64.0);
+  EXPECT_LT(pair.src->cwnd_segments(), 90.0);  // CA pace, not still doubling
+  EXPECT_EQ(pair.src->retransmits(), 0);
+}
+
+TEST(TcpSource, InOrderDeliveryAdvancesCumAck) {
+  TcpPair pair(Rate::megabits_per_sec(100));
+  pair.net.run(TimePoint::from_sec(0.3));
+  EXPECT_GT(pair.sink->cumulative_ack(), 0);
+  EXPECT_EQ(pair.sink->cumulative_ack(), pair.sink->segments_received());
+}
+
+TEST(TcpSource, RecoversFromLossViaFastRetransmit) {
+  TcpPair pair(Rate::kilobytes_per_sec(100));
+  pair.net.run(TimePoint::from_sec(10));
+  EXPECT_GT(pair.src->retransmits(), 0);
+  // Losses recovered mostly without timeouts on a steady bottleneck.
+  EXPECT_LT(pair.src->timeouts(), pair.src->retransmits());
+  // Receiver's in-order prefix keeps advancing despite losses.
+  EXPECT_GT(pair.sink->cumulative_ack(), 500);
+}
+
+TEST(TcpSource, UtilizesBottleneck) {
+  TcpPair pair(Rate::kilobytes_per_sec(100));
+  pair.net.run(TimePoint::from_sec(30));
+  const double goodput =
+      static_cast<double>(pair.sink->cumulative_ack()) * 1000.0 / 30.0;
+  EXPECT_GT(goodput, 70'000);   // >70% of 100 kB/s
+  EXPECT_LE(goodput, 105'000);  // can't beat the link
+}
+
+TEST(TcpSource, SsthreshDropsAfterLoss) {
+  TcpPair pair(Rate::kilobytes_per_sec(50));
+  pair.net.run(TimePoint::from_sec(10));
+  EXPECT_LT(pair.src->ssthresh_segments(), 64.0);  // left initial value
+}
+
+TEST(TcpSource, SrttConvergesToPathRtt) {
+  TcpPair pair(Rate::megabits_per_sec(100));
+  pair.net.run(TimePoint::from_sec(2));
+  EXPECT_GT(pair.src->srtt(), TimeDelta::millis(30));
+  EXPECT_LT(pair.src->srtt(), TimeDelta::millis(80));
+}
+
+TEST(TcpSource, StartTimeDefers) {
+  TcpParams params;
+  params.start_time = TimePoint::from_sec(1.0);
+  TcpPair pair(Rate::kilobytes_per_sec(100), params);
+  pair.net.run(TimePoint::from_sec(0.9));
+  EXPECT_EQ(pair.src->segments_sent(), 0);
+  pair.net.run(TimePoint::from_sec(1.5));
+  EXPECT_GT(pair.src->segments_sent(), 0);
+}
+
+TEST(TcpSource, TwoFlowsShareBottleneck) {
+  sim::Network net;
+  sim::DumbbellParams topo;
+  topo.pairs = 2;
+  topo.bottleneck_bw = Rate::kilobytes_per_sec(100);
+  topo.rtt = TimeDelta::millis(40);
+  sim::Dumbbell d = sim::build_dumbbell(net, topo);
+  std::vector<TcpSink*> sinks;
+  for (int i = 0; i < 2; ++i) {
+    const sim::FlowId flow = net.allocate_flow_id();
+    TcpParams params;
+    params.start_time = TimePoint::from_sec(0.2 * i);
+    net.adopt_agent(d.left[i], flow,
+                    std::make_unique<TcpSource>(&net.scheduler(), d.left[i],
+                                                d.right[i]->id(), flow,
+                                                params));
+    sinks.push_back(net.adopt_agent(
+        d.right[i], flow,
+        std::make_unique<TcpSink>(&net.scheduler(), d.right[i])));
+  }
+  net.run(TimePoint::from_sec(60));
+  const double g0 = static_cast<double>(sinks[0]->cumulative_ack());
+  const double g1 = static_cast<double>(sinks[1]->cumulative_ack());
+  EXPECT_LT(std::max(g0, g1) / std::min(g0, g1), 2.5);
+  // Combined they still respect the link capacity.
+  EXPECT_LE((g0 + g1) * 1000.0 / 60.0, 105'000);
+}
+
+TEST(TcpSink, ReassemblesOutOfOrder) {
+  sim::Network net;
+  sim::Node* n = net.add_node("n");
+  auto* sink = net.adopt_agent(n, 1, std::make_unique<TcpSink>(
+                                          &net.scheduler(), n));
+  auto deliver = [&](int64_t seq) {
+    sim::Packet p;
+    p.dst = n->id();
+    p.src = n->id();  // loopback ACK target (collected by no one)
+    p.flow_id = 1;
+    p.type = sim::PacketType::kData;
+    p.seq = seq;
+    p.size_bytes = 1000;
+    sink->on_packet(p);
+  };
+  deliver(0);
+  deliver(2);  // gap at 1
+  EXPECT_EQ(sink->cumulative_ack(), 1);
+  deliver(1);  // fills the hole; 2 was buffered
+  EXPECT_EQ(sink->cumulative_ack(), 3);
+  deliver(1);  // duplicate: no change
+  EXPECT_EQ(sink->cumulative_ack(), 3);
+}
+
+}  // namespace
+}  // namespace qa::tcp

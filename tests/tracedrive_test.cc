@@ -1,0 +1,152 @@
+#include "tracedrive/bandwidth_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace qa::tracedrive {
+namespace {
+
+core::AdapterConfig make_config(int kmax = 2) {
+  core::AdapterConfig cfg;
+  cfg.consumption_rate = 10'000;
+  cfg.max_layers = 6;
+  cfg.kmax = kmax;
+  cfg.playout_delay = TimeDelta::seconds(1);
+  return cfg;
+}
+
+TEST(TraceRun, SawtoothStreamsWithoutBaseStall) {
+  // Fig-1-style sawtooth between 25 and 50 kB/s: 2-4 layers sustainable.
+  const auto traj =
+      core::AimdTrajectory::sawtooth(30'000, 20'000, 50'000, 40.0);
+  const auto result = run_trace(traj, make_config(), 40.0);
+  EXPECT_GT(result.packets_sent, 1000);
+  EXPECT_EQ(result.base_stall, TimeDelta::zero());
+  // Steady sawtooth: quality settles between 2 and 4 layers.
+  const double final_layers =
+      result.series.layers.points().back().value;
+  EXPECT_GE(final_layers, 2);
+  EXPECT_LE(final_layers, 4);
+}
+
+TEST(TraceRun, SeriesAreCollected) {
+  const auto traj =
+      core::AimdTrajectory::sawtooth(30'000, 20'000, 50'000, 10.0);
+  const auto result = run_trace(traj, make_config(), 10.0);
+  EXPECT_FALSE(result.series.rate.empty());
+  EXPECT_FALSE(result.series.layers.empty());
+  EXPECT_FALSE(result.series.total_buffer.empty());
+  ASSERT_EQ(result.series.layer_buffer.size(), 6u);
+  EXPECT_FALSE(result.series.layer_buffer[0].empty());
+  // Sampled rate matches the trajectory within a few replay steps of the
+  // sample instant (exact at smooth points, ambiguous right at a backoff).
+  for (const auto& pt : result.series.rate.points()) {
+    double best = 1e18;
+    for (double tau = -0.004; tau <= 0.004; tau += 0.001) {
+      best = std::min(best,
+                      std::abs(pt.value - traj.rate_at(pt.t.sec() + tau)));
+    }
+    EXPECT_LT(best, 100.0) << "t=" << pt.t.sec() << " v=" << pt.value;
+  }
+}
+
+TEST(TraceRun, SingleBackoffScenarioFigure2) {
+  // The fig-2 conceptual setup: filling, one backoff, draining, recovery.
+  core::AimdTrajectory traj(20'000, 20'000);
+  traj.set_rate_cap(45'000);
+  traj.add_backoff(10.0);
+  const auto result = run_trace(traj, make_config(), 20.0);
+  EXPECT_EQ(result.base_stall, TimeDelta::zero());
+  // Total buffer drops after the backoff, then recovers: find the minimum
+  // after t=10 and check a later sample exceeds it.
+  double min_after = 1e18, last = 0;
+  for (const auto& pt : result.series.total_buffer.points()) {
+    if (pt.t.sec() >= 10.0) {
+      min_after = std::min(min_after, pt.value);
+      last = pt.value;
+    }
+  }
+  EXPECT_LT(min_after, last);
+}
+
+TEST(TraceRun, HigherKmaxFewerQualityChanges) {
+  // Fig 12's headline: more smoothing -> fewer layer changes.
+  Rng rng(7);
+  const auto traj = random_backoff_trajectory(30'000, 20'000, 60'000, 60.0,
+                                              2.0, rng);
+  const auto r2 = run_trace(traj, make_config(2), 60.0);
+  const auto r8 = run_trace(traj, make_config(8), 60.0);
+  EXPECT_LE(r8.metrics.quality_changes(), r2.metrics.quality_changes());
+}
+
+class TraceSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(TraceSeeds, RandomLossPatternsKeepBaseIntactAndEfficient) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const auto traj = random_backoff_trajectory(30'000, 20'000, 60'000, 60.0,
+                                              1.5, rng);
+  const auto result = run_trace(traj, make_config(), 60.0);
+  // The base layer must never stall (the paper's core promise) once the
+  // startup delay has passed.
+  EXPECT_EQ(result.base_stall, TimeDelta::zero())
+      << "seed " << GetParam();
+  // Buffering efficiency stays high across random loss patterns (Table 1).
+  if (!result.metrics.drops().empty()) {
+    EXPECT_GT(result.metrics.mean_efficiency(), 0.9) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceSeeds,
+                         ::testing::Range(1, 21));
+
+TEST(RandomTrajectory, RespectsCapAndOrdering) {
+  Rng rng(3);
+  const auto traj = random_backoff_trajectory(20'000, 15'000, 50'000, 30.0,
+                                              1.0, rng);
+  double prev = -1;
+  for (double tb : traj.backoff_times()) {
+    EXPECT_GT(tb, prev);
+    prev = tb;
+  }
+  for (double t = 0; t < 30; t += 0.1) {
+    EXPECT_LE(traj.rate_at(t), 50'000.0 + 1e-6);
+    EXPECT_GT(traj.rate_at(t), 0.0);
+  }
+}
+
+TEST(TraceCsv, SaveLoadRoundTrip) {
+  core::AimdTrajectory traj(25'000, 12'000);
+  traj.set_rate_cap(70'000);
+  traj.add_backoff(1.25);
+  traj.add_backoff(3.5);
+  const std::string path = ::testing::TempDir() + "/trace_roundtrip.csv";
+  save_trace_csv(traj, path);
+  const auto loaded = load_trace_csv(path);
+  EXPECT_DOUBLE_EQ(loaded.initial_rate(), 25'000.0);
+  EXPECT_DOUBLE_EQ(loaded.slope(), 12'000.0);
+  EXPECT_DOUBLE_EQ(loaded.rate_cap(), 70'000.0);
+  ASSERT_EQ(loaded.backoff_times().size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.backoff_times()[0], 1.25);
+  EXPECT_DOUBLE_EQ(loaded.backoff_times()[1], 3.5);
+  // Identical trajectories produce identical runs.
+  for (double t = 0; t < 10; t += 0.5) {
+    EXPECT_DOUBLE_EQ(loaded.rate_at(t), traj.rate_at(t));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceCsv, LoadRejectsMalformedInput) {
+  const std::string path = ::testing::TempDir() + "/bad_trace.csv";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("not a header\n", f);
+    fclose(f);
+  }
+  EXPECT_THROW(load_trace_csv(path), std::runtime_error);
+  EXPECT_THROW(load_trace_csv("/nonexistent/trace.csv"), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qa::tracedrive

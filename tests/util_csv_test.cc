@@ -1,0 +1,71 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace qa {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, HeaderAndRows) {
+  {
+    CsvWriter w(path_, {"t", "rate"});
+    w.row({0.5, 1000});
+    w.row({1.0, 2000});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  EXPECT_EQ(slurp(path_), "t,rate\n0.5,1000\n1,2000\n");
+}
+
+TEST_F(CsvTest, MixedRows) {
+  {
+    CsvWriter w(path_, {"name", "value"});
+    w.row_mixed({"alpha", "3"});
+  }
+  EXPECT_EQ(slurp(path_), "name,value\nalpha,3\n");
+}
+
+TEST_F(CsvTest, WidthMismatchThrows) {
+  CsvWriter w(path_, {"a", "b"});
+  EXPECT_THROW(w.row({1.0}), std::runtime_error);
+  EXPECT_THROW(w.row_mixed({"1", "2", "3"}), std::runtime_error);
+}
+
+TEST_F(CsvTest, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}),
+               std::runtime_error);
+}
+
+TEST(FormatNumber, TrimsTrailingZeros) {
+  EXPECT_EQ(format_number(12.5), "12.5");
+  EXPECT_EQ(format_number(3.0), "3");
+  EXPECT_EQ(format_number(0.001), "0.001");
+  EXPECT_EQ(format_number(-2.25), "-2.25");
+}
+
+TEST(FormatNumber, RespectsDigits) {
+  EXPECT_EQ(format_number(1.23456789, 3), "1.235");
+  EXPECT_EQ(format_number(1.0 / 3.0, 2), "0.33");
+}
+
+TEST(FormatNumber, NegativeZeroNormalized) {
+  EXPECT_EQ(format_number(-0.0000001, 3), "0");
+}
+
+}  // namespace
+}  // namespace qa

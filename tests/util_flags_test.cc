@@ -1,0 +1,70 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace qa {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsForm) {
+  const Flags f = make({"--kmax=4", "--csv=out.csv"});
+  EXPECT_EQ(f.get_int("kmax", 0), 4);
+  EXPECT_EQ(f.get_or("csv", ""), "out.csv");
+}
+
+TEST(Flags, SpaceForm) {
+  const Flags f = make({"--duration", "90", "--name", "t2"});
+  EXPECT_DOUBLE_EQ(f.get_double("duration", 0), 90.0);
+  EXPECT_EQ(f.get_or("name", ""), "t2");
+}
+
+TEST(Flags, BooleanSwitches) {
+  const Flags f = make({"--red", "--no-monotone"});
+  EXPECT_TRUE(f.get_bool("red", false));
+  EXPECT_FALSE(f.get_bool("monotone", true));
+  EXPECT_TRUE(f.get_bool("absent", true));
+  EXPECT_FALSE(f.get_bool("absent2", false));
+}
+
+TEST(Flags, BooleanExplicitValues) {
+  const Flags f = make({"--a=true", "--b=0", "--c=yes"});
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_FALSE(f.get_bool("b", true));
+  EXPECT_TRUE(f.get_bool("c", false));
+}
+
+TEST(Flags, DefaultsWhenMissing) {
+  const Flags f = make({});
+  EXPECT_EQ(f.get_int("kmax", 7), 7);
+  EXPECT_DOUBLE_EQ(f.get_double("x", 2.5), 2.5);
+  EXPECT_FALSE(f.get("nothing").has_value());
+}
+
+TEST(Flags, PositionalArguments) {
+  const Flags f = make({"input.csv", "--kmax=2", "more"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.csv");
+  EXPECT_EQ(f.positional()[1], "more");
+}
+
+TEST(Flags, UnusedDetectsTypos) {
+  const Flags f = make({"--kmax=2", "--tyop=1"});
+  EXPECT_EQ(f.get_int("kmax", 0), 2);
+  const auto unused = f.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "tyop");
+}
+
+TEST(Flags, HasMarksQueried) {
+  const Flags f = make({"--help"});
+  EXPECT_TRUE(f.has("help"));
+  EXPECT_TRUE(f.unused().empty());
+}
+
+}  // namespace
+}  // namespace qa

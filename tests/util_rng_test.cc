@@ -1,0 +1,138 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace qa {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(d, -3.0);
+    EXPECT_LT(d, 5.0);
+  }
+}
+
+TEST(Rng, NextBelowCoversRangeWithoutBias) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  int counts[7] = {0};
+  const int n = 70'000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t v = rng.next_below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+    ++counts[v];
+  }
+  EXPECT_EQ(seen.size(), 7u);
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 1.0 / 7, 0.01);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(2.5);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(19);
+  double sum = 0, sq = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(23);
+  Rng b = a.fork();
+  // The fork consumed one draw; both streams should now differ.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkDeterministic) {
+  Rng a1(29), a2(29);
+  Rng b1 = a1.fork();
+  Rng b2 = a2.fork();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(b1.next_u64(), b2.next_u64());
+  }
+}
+
+}  // namespace
+}  // namespace qa

@@ -1,0 +1,112 @@
+#include "util/time.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace qa {
+namespace {
+
+TEST(TimeDelta, Constructors) {
+  EXPECT_EQ(TimeDelta::nanos(5).ns(), 5);
+  EXPECT_EQ(TimeDelta::micros(5).ns(), 5'000);
+  EXPECT_EQ(TimeDelta::millis(5).ns(), 5'000'000);
+  EXPECT_EQ(TimeDelta::seconds(5).ns(), 5'000'000'000);
+  EXPECT_EQ(TimeDelta::zero().ns(), 0);
+  EXPECT_TRUE(TimeDelta::zero().is_zero());
+  EXPECT_TRUE(TimeDelta::infinite().is_infinite());
+}
+
+TEST(TimeDelta, FromSecRoundsToNearestNanosecond) {
+  EXPECT_EQ(TimeDelta::from_sec(1.5).ns(), 1'500'000'000);
+  EXPECT_EQ(TimeDelta::from_sec(1e-9).ns(), 1);
+  EXPECT_EQ(TimeDelta::from_sec(0.4e-9).ns(), 0);
+  EXPECT_EQ(TimeDelta::from_sec(0.6e-9).ns(), 1);
+  EXPECT_EQ(TimeDelta::from_sec(-1.5).ns(), -1'500'000'000);
+}
+
+TEST(TimeDelta, SecondConversions) {
+  EXPECT_DOUBLE_EQ(TimeDelta::millis(250).sec(), 0.25);
+  EXPECT_DOUBLE_EQ(TimeDelta::millis(250).ms(), 250.0);
+}
+
+TEST(TimeDelta, Arithmetic) {
+  const TimeDelta a = TimeDelta::millis(300);
+  const TimeDelta b = TimeDelta::millis(200);
+  EXPECT_EQ((a + b).ns(), TimeDelta::millis(500).ns());
+  EXPECT_EQ((a - b).ns(), TimeDelta::millis(100).ns());
+  EXPECT_EQ((a * 2).ns(), TimeDelta::millis(600).ns());
+  EXPECT_EQ((a * 0.5).ns(), TimeDelta::millis(150).ns());
+  EXPECT_EQ((a / 3).ns(), TimeDelta::millis(100).ns());
+  EXPECT_DOUBLE_EQ(a / b, 1.5);
+}
+
+TEST(TimeDelta, CompoundAssignment) {
+  TimeDelta t = TimeDelta::millis(100);
+  t += TimeDelta::millis(50);
+  EXPECT_EQ(t, TimeDelta::millis(150));
+  t -= TimeDelta::millis(150);
+  EXPECT_TRUE(t.is_zero());
+}
+
+TEST(TimeDelta, Comparisons) {
+  EXPECT_LT(TimeDelta::millis(1), TimeDelta::millis(2));
+  EXPECT_EQ(TimeDelta::seconds(1), TimeDelta::millis(1000));
+  EXPECT_GT(TimeDelta::infinite(), TimeDelta::seconds(1'000'000));
+}
+
+TEST(TimePoint, Arithmetic) {
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint t1 = t0 + TimeDelta::seconds(2);
+  EXPECT_EQ((t1 - t0), TimeDelta::seconds(2));
+  EXPECT_EQ((t1 - TimeDelta::seconds(1)), t0 + TimeDelta::seconds(1));
+  EXPECT_DOUBLE_EQ(TimePoint::from_sec(2.5).sec(), 2.5);
+  TimePoint t = t0;
+  t += TimeDelta::millis(10);
+  EXPECT_EQ(t.ns(), 10'000'000);
+}
+
+TEST(TimePoint, Ordering) {
+  EXPECT_LT(TimePoint::origin(), TimePoint::from_sec(0.001));
+  EXPECT_EQ(TimePoint::from_ns(42).ns(), 42);
+}
+
+TEST(Rate, Constructors) {
+  EXPECT_DOUBLE_EQ(Rate::bytes_per_sec(1000).bps(), 1000.0);
+  EXPECT_DOUBLE_EQ(Rate::kilobytes_per_sec(10).bps(), 10'000.0);
+  EXPECT_DOUBLE_EQ(Rate::kilobits_per_sec(800).bps(), 100'000.0);
+  EXPECT_DOUBLE_EQ(Rate::megabits_per_sec(8).bps(), 1'000'000.0);
+  EXPECT_DOUBLE_EQ(Rate::zero().bps(), 0.0);
+}
+
+TEST(Rate, UnitViews) {
+  const Rate r = Rate::bytes_per_sec(10'000);
+  EXPECT_DOUBLE_EQ(r.kBps(), 10.0);
+  EXPECT_DOUBLE_EQ(r.kbps(), 80.0);
+}
+
+TEST(Rate, TransmitTime) {
+  // 1000 bytes at 100 kB/s = 10 ms.
+  EXPECT_EQ(Rate::kilobytes_per_sec(100).transmit_time(1000),
+            TimeDelta::millis(10));
+}
+
+TEST(Rate, BytesIn) {
+  EXPECT_DOUBLE_EQ(
+      Rate::kilobytes_per_sec(10).bytes_in(TimeDelta::millis(500)), 5000.0);
+}
+
+TEST(Rate, Arithmetic) {
+  const Rate a = Rate::kilobytes_per_sec(30);
+  const Rate b = Rate::kilobytes_per_sec(10);
+  EXPECT_DOUBLE_EQ((a + b).kBps(), 40.0);
+  EXPECT_DOUBLE_EQ((a - b).kBps(), 20.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).kBps(), 60.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).kBps(), 60.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).kBps(), 15.0);
+  EXPECT_DOUBLE_EQ(a / b, 3.0);
+  EXPECT_LT(b, a);
+}
+
+}  // namespace
+}  // namespace qa
