@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_loss_sensitivity.dir/ext_loss_sensitivity.cc.o"
+  "CMakeFiles/ext_loss_sensitivity.dir/ext_loss_sensitivity.cc.o.d"
+  "ext_loss_sensitivity"
+  "ext_loss_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_loss_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_nonlinear_layers.dir/ext_nonlinear_layers.cc.o"
+  "CMakeFiles/ext_nonlinear_layers.dir/ext_nonlinear_layers.cc.o.d"
+  "ext_nonlinear_layers"
+  "ext_nonlinear_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_nonlinear_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_rap_sawtooth.dir/fig01_rap_sawtooth.cc.o"
+  "CMakeFiles/fig01_rap_sawtooth.dir/fig01_rap_sawtooth.cc.o.d"
+  "fig01_rap_sawtooth"
+  "fig01_rap_sawtooth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_rap_sawtooth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_qa_overview.dir/fig02_qa_overview.cc.o"
+  "CMakeFiles/fig02_qa_overview.dir/fig02_qa_overview.cc.o.d"
+  "fig02_qa_overview"
+  "fig02_qa_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_qa_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

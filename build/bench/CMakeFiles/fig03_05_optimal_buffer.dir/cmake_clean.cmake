@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_05_optimal_buffer.dir/fig03_05_optimal_buffer.cc.o"
+  "CMakeFiles/fig03_05_optimal_buffer.dir/fig03_05_optimal_buffer.cc.o.d"
+  "fig03_05_optimal_buffer"
+  "fig03_05_optimal_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_05_optimal_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_10_buffer_states.dir/fig08_10_buffer_states.cc.o"
+  "CMakeFiles/fig08_10_buffer_states.dir/fig08_10_buffer_states.cc.o.d"
+  "fig08_10_buffer_states"
+  "fig08_10_buffer_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_10_buffer_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_trace_kmax2.
+# This may be replaced when dependencies are built.

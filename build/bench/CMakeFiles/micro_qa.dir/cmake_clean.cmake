@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_qa.dir/micro_qa.cc.o"
+  "CMakeFiles/micro_qa.dir/micro_qa.cc.o.d"
+  "micro_qa"
+  "micro_qa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_qa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_efficiency.dir/table1_efficiency.cc.o"
+  "CMakeFiles/table1_efficiency.dir/table1_efficiency.cc.o.d"
+  "table1_efficiency"
+  "table1_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

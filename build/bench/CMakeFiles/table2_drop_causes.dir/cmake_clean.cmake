@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_drop_causes.dir/table2_drop_causes.cc.o"
+  "CMakeFiles/table2_drop_causes.dir/table2_drop_causes.cc.o.d"
+  "table2_drop_causes"
+  "table2_drop_causes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_drop_causes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_session.dir/live_session.cpp.o"
+  "CMakeFiles/live_session.dir/live_session.cpp.o.d"
+  "live_session"
+  "live_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_playback.dir/movie_playback.cpp.o"
+  "CMakeFiles/movie_playback.dir/movie_playback.cpp.o.d"
+  "movie_playback"
+  "movie_playback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_playback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

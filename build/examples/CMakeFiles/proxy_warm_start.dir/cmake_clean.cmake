@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_warm_start.dir/proxy_warm_start.cpp.o"
+  "CMakeFiles/proxy_warm_start.dir/proxy_warm_start.cpp.o.d"
+  "proxy_warm_start"
+  "proxy_warm_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_warm_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

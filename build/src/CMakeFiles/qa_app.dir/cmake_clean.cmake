@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_app.dir/app/experiment.cc.o"
+  "CMakeFiles/qa_app.dir/app/experiment.cc.o.d"
+  "CMakeFiles/qa_app.dir/app/session.cc.o"
+  "CMakeFiles/qa_app.dir/app/session.cc.o.d"
+  "CMakeFiles/qa_app.dir/app/video_client.cc.o"
+  "CMakeFiles/qa_app.dir/app/video_client.cc.o.d"
+  "CMakeFiles/qa_app.dir/app/video_server.cc.o"
+  "CMakeFiles/qa_app.dir/app/video_server.cc.o.d"
+  "libqa_app.a"
+  "libqa_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

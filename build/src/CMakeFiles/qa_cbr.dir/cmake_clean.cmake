@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_cbr.dir/cbr/cbr.cc.o"
+  "CMakeFiles/qa_cbr.dir/cbr/cbr.cc.o.d"
+  "libqa_cbr.a"
+  "libqa_cbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_cbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/add_drop.cc" "src/CMakeFiles/qa_core.dir/core/add_drop.cc.o" "gcc" "src/CMakeFiles/qa_core.dir/core/add_drop.cc.o.d"
+  "/root/repo/src/core/analytic_model.cc" "src/CMakeFiles/qa_core.dir/core/analytic_model.cc.o" "gcc" "src/CMakeFiles/qa_core.dir/core/analytic_model.cc.o.d"
+  "/root/repo/src/core/baseline_policies.cc" "src/CMakeFiles/qa_core.dir/core/baseline_policies.cc.o" "gcc" "src/CMakeFiles/qa_core.dir/core/baseline_policies.cc.o.d"
+  "/root/repo/src/core/buffer_math.cc" "src/CMakeFiles/qa_core.dir/core/buffer_math.cc.o" "gcc" "src/CMakeFiles/qa_core.dir/core/buffer_math.cc.o.d"
+  "/root/repo/src/core/draining_policy.cc" "src/CMakeFiles/qa_core.dir/core/draining_policy.cc.o" "gcc" "src/CMakeFiles/qa_core.dir/core/draining_policy.cc.o.d"
+  "/root/repo/src/core/filling_policy.cc" "src/CMakeFiles/qa_core.dir/core/filling_policy.cc.o" "gcc" "src/CMakeFiles/qa_core.dir/core/filling_policy.cc.o.d"
+  "/root/repo/src/core/layered_video.cc" "src/CMakeFiles/qa_core.dir/core/layered_video.cc.o" "gcc" "src/CMakeFiles/qa_core.dir/core/layered_video.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/qa_core.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/qa_core.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/nonlinear.cc" "src/CMakeFiles/qa_core.dir/core/nonlinear.cc.o" "gcc" "src/CMakeFiles/qa_core.dir/core/nonlinear.cc.o.d"
+  "/root/repo/src/core/quality_adapter.cc" "src/CMakeFiles/qa_core.dir/core/quality_adapter.cc.o" "gcc" "src/CMakeFiles/qa_core.dir/core/quality_adapter.cc.o.d"
+  "/root/repo/src/core/receiver_model.cc" "src/CMakeFiles/qa_core.dir/core/receiver_model.cc.o" "gcc" "src/CMakeFiles/qa_core.dir/core/receiver_model.cc.o.d"
+  "/root/repo/src/core/state_sequence.cc" "src/CMakeFiles/qa_core.dir/core/state_sequence.cc.o" "gcc" "src/CMakeFiles/qa_core.dir/core/state_sequence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

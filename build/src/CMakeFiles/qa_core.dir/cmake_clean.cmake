@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_core.dir/core/add_drop.cc.o"
+  "CMakeFiles/qa_core.dir/core/add_drop.cc.o.d"
+  "CMakeFiles/qa_core.dir/core/analytic_model.cc.o"
+  "CMakeFiles/qa_core.dir/core/analytic_model.cc.o.d"
+  "CMakeFiles/qa_core.dir/core/baseline_policies.cc.o"
+  "CMakeFiles/qa_core.dir/core/baseline_policies.cc.o.d"
+  "CMakeFiles/qa_core.dir/core/buffer_math.cc.o"
+  "CMakeFiles/qa_core.dir/core/buffer_math.cc.o.d"
+  "CMakeFiles/qa_core.dir/core/draining_policy.cc.o"
+  "CMakeFiles/qa_core.dir/core/draining_policy.cc.o.d"
+  "CMakeFiles/qa_core.dir/core/filling_policy.cc.o"
+  "CMakeFiles/qa_core.dir/core/filling_policy.cc.o.d"
+  "CMakeFiles/qa_core.dir/core/layered_video.cc.o"
+  "CMakeFiles/qa_core.dir/core/layered_video.cc.o.d"
+  "CMakeFiles/qa_core.dir/core/metrics.cc.o"
+  "CMakeFiles/qa_core.dir/core/metrics.cc.o.d"
+  "CMakeFiles/qa_core.dir/core/nonlinear.cc.o"
+  "CMakeFiles/qa_core.dir/core/nonlinear.cc.o.d"
+  "CMakeFiles/qa_core.dir/core/quality_adapter.cc.o"
+  "CMakeFiles/qa_core.dir/core/quality_adapter.cc.o.d"
+  "CMakeFiles/qa_core.dir/core/receiver_model.cc.o"
+  "CMakeFiles/qa_core.dir/core/receiver_model.cc.o.d"
+  "CMakeFiles/qa_core.dir/core/state_sequence.cc.o"
+  "CMakeFiles/qa_core.dir/core/state_sequence.cc.o.d"
+  "libqa_core.a"
+  "libqa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rap/rap_sink.cc" "src/CMakeFiles/qa_rap.dir/rap/rap_sink.cc.o" "gcc" "src/CMakeFiles/qa_rap.dir/rap/rap_sink.cc.o.d"
+  "/root/repo/src/rap/rap_source.cc" "src/CMakeFiles/qa_rap.dir/rap/rap_source.cc.o" "gcc" "src/CMakeFiles/qa_rap.dir/rap/rap_source.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_rap.dir/rap/rap_sink.cc.o"
+  "CMakeFiles/qa_rap.dir/rap/rap_sink.cc.o.d"
+  "CMakeFiles/qa_rap.dir/rap/rap_source.cc.o"
+  "CMakeFiles/qa_rap.dir/rap/rap_source.cc.o.d"
+  "libqa_rap.a"
+  "libqa_rap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_rap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/link.cc" "src/CMakeFiles/qa_sim.dir/sim/link.cc.o" "gcc" "src/CMakeFiles/qa_sim.dir/sim/link.cc.o.d"
+  "/root/repo/src/sim/loss_model.cc" "src/CMakeFiles/qa_sim.dir/sim/loss_model.cc.o" "gcc" "src/CMakeFiles/qa_sim.dir/sim/loss_model.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/qa_sim.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/qa_sim.dir/sim/network.cc.o.d"
+  "/root/repo/src/sim/node.cc" "src/CMakeFiles/qa_sim.dir/sim/node.cc.o" "gcc" "src/CMakeFiles/qa_sim.dir/sim/node.cc.o.d"
+  "/root/repo/src/sim/packet.cc" "src/CMakeFiles/qa_sim.dir/sim/packet.cc.o" "gcc" "src/CMakeFiles/qa_sim.dir/sim/packet.cc.o.d"
+  "/root/repo/src/sim/queue.cc" "src/CMakeFiles/qa_sim.dir/sim/queue.cc.o" "gcc" "src/CMakeFiles/qa_sim.dir/sim/queue.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/CMakeFiles/qa_sim.dir/sim/scheduler.cc.o" "gcc" "src/CMakeFiles/qa_sim.dir/sim/scheduler.cc.o.d"
+  "/root/repo/src/sim/topology.cc" "src/CMakeFiles/qa_sim.dir/sim/topology.cc.o" "gcc" "src/CMakeFiles/qa_sim.dir/sim/topology.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/qa_sim.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/qa_sim.dir/sim/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

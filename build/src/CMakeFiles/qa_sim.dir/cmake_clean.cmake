@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_sim.dir/sim/link.cc.o"
+  "CMakeFiles/qa_sim.dir/sim/link.cc.o.d"
+  "CMakeFiles/qa_sim.dir/sim/loss_model.cc.o"
+  "CMakeFiles/qa_sim.dir/sim/loss_model.cc.o.d"
+  "CMakeFiles/qa_sim.dir/sim/network.cc.o"
+  "CMakeFiles/qa_sim.dir/sim/network.cc.o.d"
+  "CMakeFiles/qa_sim.dir/sim/node.cc.o"
+  "CMakeFiles/qa_sim.dir/sim/node.cc.o.d"
+  "CMakeFiles/qa_sim.dir/sim/packet.cc.o"
+  "CMakeFiles/qa_sim.dir/sim/packet.cc.o.d"
+  "CMakeFiles/qa_sim.dir/sim/queue.cc.o"
+  "CMakeFiles/qa_sim.dir/sim/queue.cc.o.d"
+  "CMakeFiles/qa_sim.dir/sim/scheduler.cc.o"
+  "CMakeFiles/qa_sim.dir/sim/scheduler.cc.o.d"
+  "CMakeFiles/qa_sim.dir/sim/topology.cc.o"
+  "CMakeFiles/qa_sim.dir/sim/topology.cc.o.d"
+  "CMakeFiles/qa_sim.dir/sim/trace.cc.o"
+  "CMakeFiles/qa_sim.dir/sim/trace.cc.o.d"
+  "libqa_sim.a"
+  "libqa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_tcp.dir/tcp/tcp_sink.cc.o"
+  "CMakeFiles/qa_tcp.dir/tcp/tcp_sink.cc.o.d"
+  "CMakeFiles/qa_tcp.dir/tcp/tcp_source.cc.o"
+  "CMakeFiles/qa_tcp.dir/tcp/tcp_source.cc.o.d"
+  "libqa_tcp.a"
+  "libqa_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_tracedrive.dir/tracedrive/bandwidth_trace.cc.o"
+  "CMakeFiles/qa_tracedrive.dir/tracedrive/bandwidth_trace.cc.o.d"
+  "libqa_tracedrive.a"
+  "libqa_tracedrive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_tracedrive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

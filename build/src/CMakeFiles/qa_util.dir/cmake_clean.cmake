@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_util.dir/util/csv.cc.o"
+  "CMakeFiles/qa_util.dir/util/csv.cc.o.d"
+  "CMakeFiles/qa_util.dir/util/flags.cc.o"
+  "CMakeFiles/qa_util.dir/util/flags.cc.o.d"
+  "CMakeFiles/qa_util.dir/util/logging.cc.o"
+  "CMakeFiles/qa_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/qa_util.dir/util/rng.cc.o"
+  "CMakeFiles/qa_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/qa_util.dir/util/stats.cc.o"
+  "CMakeFiles/qa_util.dir/util/stats.cc.o.d"
+  "libqa_util.a"
+  "libqa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

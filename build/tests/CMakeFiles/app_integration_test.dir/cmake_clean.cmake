@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_integration_test.dir/app_integration_test.cc.o"
+  "CMakeFiles/app_integration_test.dir/app_integration_test.cc.o.d"
+  "app_integration_test"
+  "app_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

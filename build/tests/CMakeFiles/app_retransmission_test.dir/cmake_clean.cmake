@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_retransmission_test.dir/app_retransmission_test.cc.o"
+  "CMakeFiles/app_retransmission_test.dir/app_retransmission_test.cc.o.d"
+  "app_retransmission_test"
+  "app_retransmission_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_retransmission_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

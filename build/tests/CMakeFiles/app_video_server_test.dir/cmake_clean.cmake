@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_video_server_test.dir/app_video_server_test.cc.o"
+  "CMakeFiles/app_video_server_test.dir/app_video_server_test.cc.o.d"
+  "app_video_server_test"
+  "app_video_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_video_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbr_test.dir/cbr_test.cc.o"
+  "CMakeFiles/cbr_test.dir/cbr_test.cc.o.d"
+  "cbr_test"
+  "cbr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

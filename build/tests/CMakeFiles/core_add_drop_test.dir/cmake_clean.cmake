@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_add_drop_test.dir/core_add_drop_test.cc.o"
+  "CMakeFiles/core_add_drop_test.dir/core_add_drop_test.cc.o.d"
+  "core_add_drop_test"
+  "core_add_drop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_add_drop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

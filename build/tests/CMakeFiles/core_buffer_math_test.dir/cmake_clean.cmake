@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_buffer_math_test.dir/core_buffer_math_test.cc.o"
+  "CMakeFiles/core_buffer_math_test.dir/core_buffer_math_test.cc.o.d"
+  "core_buffer_math_test"
+  "core_buffer_math_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_buffer_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_layered_video_test.cc" "tests/CMakeFiles/core_layered_video_test.dir/core_layered_video_test.cc.o" "gcc" "tests/CMakeFiles/core_layered_video_test.dir/core_layered_video_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qa_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qa_rap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qa_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qa_cbr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qa_tracedrive.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

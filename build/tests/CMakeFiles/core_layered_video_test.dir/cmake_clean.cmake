@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_layered_video_test.dir/core_layered_video_test.cc.o"
+  "CMakeFiles/core_layered_video_test.dir/core_layered_video_test.cc.o.d"
+  "core_layered_video_test"
+  "core_layered_video_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_layered_video_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

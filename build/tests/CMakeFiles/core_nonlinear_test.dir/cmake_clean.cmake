@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_nonlinear_test.dir/core_nonlinear_test.cc.o"
+  "CMakeFiles/core_nonlinear_test.dir/core_nonlinear_test.cc.o.d"
+  "core_nonlinear_test"
+  "core_nonlinear_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_nonlinear_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

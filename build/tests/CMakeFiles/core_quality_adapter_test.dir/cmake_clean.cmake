@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_quality_adapter_test.dir/core_quality_adapter_test.cc.o"
+  "CMakeFiles/core_quality_adapter_test.dir/core_quality_adapter_test.cc.o.d"
+  "core_quality_adapter_test"
+  "core_quality_adapter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_quality_adapter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_warm_start_test.dir/core_warm_start_test.cc.o"
+  "CMakeFiles/core_warm_start_test.dir/core_warm_start_test.cc.o.d"
+  "core_warm_start_test"
+  "core_warm_start_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_warm_start_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_finegrain_test.dir/rap_finegrain_test.cc.o"
+  "CMakeFiles/rap_finegrain_test.dir/rap_finegrain_test.cc.o.d"
+  "rap_finegrain_test"
+  "rap_finegrain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_finegrain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_robustness_test.dir/rap_robustness_test.cc.o"
+  "CMakeFiles/rap_robustness_test.dir/rap_robustness_test.cc.o.d"
+  "rap_robustness_test"
+  "rap_robustness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

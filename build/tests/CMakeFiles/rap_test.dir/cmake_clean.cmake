@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_test.dir/rap_test.cc.o"
+  "CMakeFiles/rap_test.dir/rap_test.cc.o.d"
+  "rap_test"
+  "rap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

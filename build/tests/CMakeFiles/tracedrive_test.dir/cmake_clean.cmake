@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracedrive_test.dir/tracedrive_test.cc.o"
+  "CMakeFiles/tracedrive_test.dir/tracedrive_test.cc.o.d"
+  "tracedrive_test"
+  "tracedrive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracedrive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_stream_sim.dir/qa_stream_sim.cc.o"
+  "CMakeFiles/qa_stream_sim.dir/qa_stream_sim.cc.o.d"
+  "qa_stream_sim"
+  "qa_stream_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_stream_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
