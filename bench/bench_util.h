@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "util/csv.h"
@@ -52,6 +53,14 @@ class TablePrinter {
 
 inline std::string fmt(double v, int digits = 2) {
   return format_number(v, digits);
+}
+
+// Counters (packet/drop/event counts) print through this overload so call
+// sites stay free of value-changing integer->double conversions.
+template <typename T>
+  requires std::is_integral_v<T>
+inline std::string fmt(T v, int digits = 0) {
+  return format_number(static_cast<double>(v), digits);
 }
 
 inline std::string pct(double fraction, int digits = 2) {

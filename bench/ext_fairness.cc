@@ -94,13 +94,18 @@ MixResult run_mix(int rap_flows, int tcp_flows, bool qa_on_first,
     out.rap_mean_goodput += g;
     all.push_back(g);
   }
-  if (!rap_sinks.empty()) out.rap_mean_goodput /= rap_sinks.size();
+  if (!rap_sinks.empty()) {
+    out.rap_mean_goodput /= static_cast<double>(rap_sinks.size());
+  }
   for (auto* s : tcp_sinks) {
-    const double g = s->cumulative_ack() * 250.0 / duration;
+    const double g =
+        static_cast<double>(s->cumulative_ack()) * 250.0 / duration;
     out.tcp_mean_goodput += g;
     all.push_back(g);
   }
-  if (!tcp_sinks.empty()) out.tcp_mean_goodput /= tcp_sinks.size();
+  if (!tcp_sinks.empty()) {
+    out.tcp_mean_goodput /= static_cast<double>(tcp_sinks.size());
+  }
   out.jain_all = jain_fairness(all);
   return out;
 }

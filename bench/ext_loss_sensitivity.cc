@@ -78,7 +78,9 @@ void report(const std::vector<Row>& rows) {
     }
     const size_t drops = r.result.metrics.drops().size();
     t.print_row({r.name, bench::fmt(drops, 0),
-                 drops ? bench::pct(static_cast<double>(poor) / drops, 0)
+                 drops ? bench::pct(static_cast<double>(poor) /
+                                        static_cast<double>(drops),
+                                    0)
                        : "-",
                  drops ? bench::pct(r.result.metrics.mean_efficiency())
                        : "-",
@@ -134,7 +136,10 @@ int main() {
     const size_t drops = r.metrics.drops().size();
     t.print_row(
         {red ? "RED" : "drop-tail", bench::fmt(drops, 0),
-         drops ? bench::pct(static_cast<double>(poor) / drops, 0) : "-",
+         drops ? bench::pct(static_cast<double>(poor) /
+                                static_cast<double>(drops),
+                            0)
+               : "-",
          drops ? bench::pct(r.metrics.mean_efficiency()) : "-",
          bench::fmt(r.metrics.quality_changes(), 0),
          bench::fmt(r.client_base_stall.sec(), 2),

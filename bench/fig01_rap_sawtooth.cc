@@ -73,8 +73,10 @@ int main() {
   table.print_row({"max rate (kB/s)", bench::fmt(settled.max() / 1000)});
   table.print_row({"rate stddev (kB/s)", bench::fmt(settled.stddev() / 1000)});
   table.print_row({"backoffs detected", bench::fmt(src->backoffs(), 0)});
-  table.print_row({"goodput (kB/s)",
-                   bench::fmt(sink->bytes_received() / duration / 1000)});
+  table.print_row(
+      {"goodput (kB/s)",
+       bench::fmt(static_cast<double>(sink->bytes_received()) / duration /
+                  1000)});
 
   bench::write_series_csv("fig01_rap_rate.csv", {"rate_bps"}, {&rate_series});
 

@@ -90,6 +90,7 @@ int main() {
       "\nfirst 10 s mean quality: cold %.1f layers, warm %.1f layers.\n"
       "The cached prefix lets the viewer start at the quality the channel\n"
       "will eventually sustain, instead of ramping from one layer.\n",
-      cold_mean / first, warm_mean / first);
+      cold_mean / static_cast<double>(first),
+      warm_mean / static_cast<double>(first));
   return 0;
 }

@@ -298,7 +298,36 @@ int QualityAdapter::on_send_opportunity(TimePoint now, double rate,
 
   if (layer == kPaddingSlot) return kPaddingSlot;
   receiver_.credit(layer, packet_bytes);
+  audit_distribution(packet_bytes);
   return layer;
+}
+
+bool QualityAdapter::efficiently_distributed(
+    const std::vector<double>& layer_buf, double slack_bytes) {
+  for (size_t i = 1; i < layer_buf.size(); ++i) {
+    if (layer_buf[i] > layer_buf[i - 1] + slack_bytes) return false;
+  }
+  return true;
+}
+
+void QualityAdapter::audit_distribution(double packet_bytes) const {
+#ifndef QA_NDEBUG_INVARIANTS
+  // Only the paper's allocation promises efficiency; the §2.3 strawmen
+  // (equal share, base-only) exist to violate it.
+  if (cfg_.allocation != AllocationPolicy::kOptimal) return;
+  // Transient tolerance: a few packets of assignment granularity plus one
+  // planning period of consumption (a just-planned drain is applied to a
+  // lower layer's mirror before its entitlement packets arrive).
+  const double slack =
+      8.0 * packet_bytes +
+      4.0 * cfg_.consumption_rate * cfg_.drain_period.sec();
+  QA_INVARIANT_MSG(efficiently_distributed(receiver_.buffers(), slack),
+                   "inter-layer distribution no longer efficient (a layer "
+                   "leads the one below it by more than "
+                       << slack << " bytes)");
+#else
+  (void)packet_bytes;
+#endif
 }
 
 void QualityAdapter::on_packet_lost(TimePoint now, int layer, double bytes) {

@@ -113,6 +113,16 @@ class QualityAdapter {
   const AdapterConfig& config() const { return cfg_; }
   bool draining() const { return plan_valid_; }
 
+  // The §2.3–§2.4 efficiency predicate: a maximally efficient inter-layer
+  // distribution keeps buffering skewed toward lower layers (a byte on
+  // layer i protects every state a byte on layer i+1 protects, and more),
+  // so no layer may hold materially more than the layer below it.
+  // `slack_bytes` absorbs packet granularity and bounded transients
+  // (in-flight credit, per-RTT loss debits). Audited after every packet
+  // assignment under the optimal allocation; exposed for tests.
+  static bool efficiently_distributed(const std::vector<double>& layer_buf,
+                                      double slack_bytes);
+
  private:
   AimdModel model_for(double slope) const;
   // Drops the top layer, recording the drop event. `rate` is the current
@@ -125,6 +135,8 @@ class QualityAdapter {
   void rebuild_plan(TimePoint now, double rate, const AimdModel& m);
   int pick_drain_layer(TimePoint now, double rate, const AimdModel& m,
                        double packet_bytes);
+  // Runtime audit of `efficiently_distributed` over the mirrored buffers.
+  void audit_distribution(double packet_bytes) const;
 
   AdapterConfig cfg_;
   ReceiverModel receiver_;

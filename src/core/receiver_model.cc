@@ -1,6 +1,7 @@
 #include "core/receiver_model.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/logging.h"
 
@@ -14,8 +15,16 @@ ReceiverModel::ReceiverModel(double consumption_rate, int max_layers)
 }
 
 void ReceiverModel::advance(TimePoint now) {
-  QA_CHECK(now >= clock_);
+  QA_CHECK_MSG(now >= clock_, "negative drain: advancing to " << now
+                                                              << " behind "
+                                                              << clock_);
   if (now == clock_) return;
+  // Conservation ledger for the audit below: over one drain step, bytes
+  // buffered before must equal bytes buffered after plus bytes consumed
+  // (played out). Underflow shortfall is playout that never happened, so
+  // it is *not* part of `consumed`.
+  const double total_before = total_buffer();
+  double consumed = 0;
   for (int i = 0; i < active_; ++i) {
     Layer& l = layers_[static_cast<size_t>(i)];
     const TimePoint consume_from =
@@ -24,6 +33,7 @@ void ReceiverModel::advance(TimePoint now) {
     const double want = consumption_rate_ * (now - consume_from).sec();
     if (l.buf >= want) {
       l.buf -= want;
+      consumed += want;
       l.empty_state = false;
       // Healthy interval: the starvation balance heals at C/5 so isolated
       // jitter decays while a persistent >=20% shortfall keeps growing.
@@ -34,6 +44,7 @@ void ReceiverModel::advance(TimePoint now) {
       // credited before advance() and so is already reflected in buf; the
       // residual `want - buf` is playout the client could not perform.)
       const double missing = want - l.buf;
+      consumed += l.buf;
       l.buf = 0;
       l.missed += missing;
       if (!l.empty_state) {
@@ -45,7 +56,16 @@ void ReceiverModel::advance(TimePoint now) {
         base_stall_ += TimeDelta::from_sec(missing / consumption_rate_);
       }
     }
+    QA_INVARIANT_MSG(l.buf >= 0,
+                     "layer " << i << " buffer negative: " << l.buf);
   }
+  const double total_after = total_buffer();
+  QA_INVARIANT_MSG(
+      std::abs(total_before - consumed - total_after) <=
+          1e-6 * std::max(1.0, total_before),
+      "buffered bytes not conserved across drain step: before="
+          << total_before << " consumed=" << consumed
+          << " after=" << total_after);
   clock_ = now;
 }
 
@@ -75,7 +95,7 @@ double ReceiverModel::drop_top_layer(TimePoint now) {
 
 void ReceiverModel::credit(int layer, double bytes) {
   QA_CHECK(layer >= 0 && layer < active_);
-  QA_CHECK(bytes >= 0);
+  QA_CHECK_GE(bytes, 0.0);
   Layer& l = layers_[static_cast<size_t>(layer)];
   l.buf += bytes;
   if (l.buf > 0) l.empty_state = false;
@@ -83,6 +103,7 @@ void ReceiverModel::credit(int layer, double bytes) {
 
 void ReceiverModel::debit_loss(int layer, double bytes) {
   QA_CHECK(layer >= 0 && layer < static_cast<int>(layers_.size()));
+  QA_CHECK_GE(bytes, 0.0);
   if (layer >= active_) return;  // layer dropped since the packet was sent
   Layer& l = layers_[static_cast<size_t>(layer)];
   l.buf = std::max(0.0, l.buf - bytes);

@@ -151,6 +151,19 @@ void RapSource::backoff(int64_t trigger_seq) {
   (void)trigger_seq;
   set_rate(Rate::bytes_per_sec(
       std::max(rate_.bps() * 0.5, params_.min_rate.bps())));
+  // Post-backoff sanity: the multiplicative decrease must land on the
+  // clamped AIMD range and keep the pacer well-defined — a zero or
+  // negative rate would make the next inter-packet gap infinite (stream
+  // wedged) or negative (scheduling into the past).
+  QA_INVARIANT_MSG(rate_ >= params_.min_rate,
+                   "post-backoff rate " << rate_.bps()
+                                        << " B/s below floor "
+                                        << params_.min_rate.bps());
+  QA_INVARIANT_MSG(current_ipg() > TimeDelta::zero(),
+                   "post-backoff ipg collapsed: rate=" << rate_.bps()
+                                                       << " B/s");
+  QA_INVARIANT_MSG(srtt_ > TimeDelta::zero(),
+                   "srtt must stay positive, got " << srtt_);
   if (listener_) listener_->on_backoff(rate_);
 }
 

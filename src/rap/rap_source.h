@@ -40,13 +40,13 @@ class RapListener {
  public:
   virtual ~RapListener() = default;
   // A data packet was acknowledged (the original packet is passed back).
-  virtual void on_ack(const sim::Packet& data_pkt) {}
+  virtual void on_ack(const sim::Packet& /*data_pkt*/) {}
   // A data packet was declared lost (original layer tagging preserved).
-  virtual void on_loss(const sim::Packet& data_pkt) {}
-  // The AIMD loop halved the rate. `new_rate` is the post-backoff rate.
-  virtual void on_backoff(Rate new_rate) {}
+  virtual void on_loss(const sim::Packet& /*data_pkt*/) {}
+  // The AIMD loop halved the rate; it passes the post-backoff rate.
+  virtual void on_backoff(Rate /*new_rate*/) {}
   // Rate changed by additive increase (once per SRTT step).
-  virtual void on_rate_increase(Rate new_rate) {}
+  virtual void on_rate_increase(Rate /*new_rate*/) {}
 };
 
 struct RapParams {

@@ -12,6 +12,7 @@ DropTailQueue::DropTailQueue(int64_t capacity_bytes, size_t capacity_packets)
 }
 
 bool DropTailQueue::enqueue(const Packet& p) {
+  QA_CHECK_GT(p.size_bytes, 0);
   const bool over_bytes = bytes_ + p.size_bytes > capacity_bytes_;
   const bool over_pkts = capacity_packets_ > 0 && q_.size() >= capacity_packets_;
   if (over_bytes || over_pkts) {
@@ -21,6 +22,10 @@ bool DropTailQueue::enqueue(const Packet& p) {
   q_.push_back(p);
   bytes_ += p.size_bytes;
   count_enqueue();
+  QA_INVARIANT_MSG(bytes_ <= capacity_bytes_,
+                   "occupancy " << bytes_ << " exceeds capacity "
+                                << capacity_bytes_);
+  audit_accounting(q_.size(), bytes_);
   return true;
 }
 
@@ -29,6 +34,8 @@ Packet DropTailQueue::dequeue() {
   Packet p = q_.front();
   q_.pop_front();
   bytes_ -= p.size_bytes;
+  count_dequeue();
+  audit_accounting(q_.size(), bytes_);
   return p;
 }
 
@@ -38,6 +45,7 @@ RedQueue::RedQueue(Params params, Rng rng) : params_(params), rng_(rng) {
 }
 
 bool RedQueue::enqueue(const Packet& p) {
+  QA_CHECK_GT(p.size_bytes, 0);
   // EWMA of instantaneous queue length in packets.
   avg_ = (1.0 - params_.weight) * avg_ +
          params_.weight * static_cast<double>(q_.size());
@@ -67,6 +75,7 @@ bool RedQueue::enqueue(const Packet& p) {
   q_.push_back(p);
   bytes_ += p.size_bytes;
   count_enqueue();
+  audit_accounting(q_.size(), bytes_);
   return true;
 }
 
@@ -75,6 +84,8 @@ Packet RedQueue::dequeue() {
   Packet p = q_.front();
   q_.pop_front();
   bytes_ -= p.size_bytes;
+  count_dequeue();
+  audit_accounting(q_.size(), bytes_);
   return p;
 }
 

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "sim/packet.h"
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace qa::sim {
@@ -36,6 +37,7 @@ class PacketQueue {
 
   int64_t total_drops() const { return drops_; }
   int64_t total_enqueued() const { return enqueued_; }
+  int64_t total_dequeued() const { return dequeued_; }
 
  protected:
   void report_drop(const Packet& p) {
@@ -47,11 +49,26 @@ class PacketQueue {
     }
   }
   void count_enqueue() { ++enqueued_; }
+  void count_dequeue() { ++dequeued_; }
+
+  // Byte-conservation audit, run after every mutation: occupancy must be
+  // non-negative, agree with emptiness, and every packet ever offered must
+  // be accounted for as queued, dequeued, or dropped.
+  void audit_accounting(size_t packets_now, int64_t bytes_now) const {
+    QA_INVARIANT_MSG(bytes_now >= 0, "queue byte balance went negative");
+    QA_INVARIANT_MSG((packets_now == 0) == (bytes_now == 0),
+                     "packets=" << packets_now << " bytes=" << bytes_now);
+    QA_INVARIANT_MSG(
+        enqueued_ == dequeued_ + static_cast<int64_t>(packets_now),
+        "enqueued=" << enqueued_ << " dequeued=" << dequeued_
+                    << " resident=" << packets_now);
+  }
 
  private:
   DropHandler on_drop_;
   int64_t drops_ = 0;
   int64_t enqueued_ = 0;
+  int64_t dequeued_ = 0;
 };
 
 // FIFO with a byte-capacity limit (packet limit optional, 0 = unlimited).

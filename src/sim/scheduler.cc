@@ -1,52 +1,74 @@
 #include "sim/scheduler.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace qa::sim {
 
 EventId Scheduler::schedule_at(TimePoint at, std::function<void()> fn) {
-  QA_CHECK_MSG(at >= now_, "scheduling into the past: at=" << at.sec()
-                                                           << " now=" << now_.sec());
+  QA_CHECK_MSG(at >= now_,
+               "scheduling into the past: at=" << at << " now=" << now_);
   const EventId id = ++next_id_;
-  heap_.push(Entry{at, next_seq_++, id, std::move(fn)});
+  heap_.push_back(Entry{at, next_seq_++, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  live_.insert(id);
+  audit_consistency();
   return id;
 }
 
 EventId Scheduler::schedule_after(TimeDelta delay, std::function<void()> fn) {
-  QA_CHECK(delay >= TimeDelta::zero());
+  QA_CHECK_GE(delay, TimeDelta::zero());
   return schedule_at(now_ + delay, std::move(fn));
 }
 
 void Scheduler::cancel(EventId id) {
-  if (id != kInvalidEventId) cancelled_.insert(id);
+  // Only ids still pending move to the cancelled set; already-fired (or
+  // bogus) ids are dropped on the floor so the set cannot grow without
+  // bound under fire-then-cancel timer patterns.
+  if (live_.erase(id) == 0) return;
+  cancelled_.insert(id);
+  compact_if_worthwhile();
+  audit_consistency();
+}
+
+void Scheduler::compact_if_worthwhile() {
+  // Rebuilding is O(n); amortize it against the >= n/2 dead entries freed.
+  if (cancelled_.size() < 64 || cancelled_.size() * 2 < heap_.size()) return;
+  std::erase_if(heap_,
+                [&](const Entry& e) { return cancelled_.count(e.id) > 0; });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  cancelled_.clear();
+}
+
+void Scheduler::prune_top() {
+  while (!heap_.empty() && cancelled_.count(heap_.front().id) > 0) {
+    cancelled_.erase(heap_.front().id);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
 }
 
 bool Scheduler::pop_next(Entry& out) {
-  while (!heap_.empty()) {
-    // priority_queue::top is const; the function object must be moved out, so
-    // copy the POD part and const_cast the callable (safe: popped right away).
-    Entry& top = const_cast<Entry&>(heap_.top());
-    if (cancelled_.erase(top.id) > 0) {
-      heap_.pop();
-      continue;
-    }
-    out = Entry{top.at, top.seq, top.id, std::move(top.fn)};
-    heap_.pop();
-    return true;
-  }
-  return false;
+  prune_top();
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  out = std::move(heap_.back());
+  heap_.pop_back();
+  live_.erase(out.id);
+  audit_consistency();
+  return true;
 }
 
 void Scheduler::run_until(TimePoint until) {
   Entry e;
   while (true) {
     // Prune cancelled entries from the top so the peeked time is real.
-    while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
-      cancelled_.erase(heap_.top().id);
-      heap_.pop();
-    }
-    if (heap_.empty() || heap_.top().at > until) break;
+    prune_top();
+    if (heap_.empty() || heap_.front().at > until) break;
     if (!pop_next(e)) break;
+    QA_INVARIANT_MSG(e.at >= now_,
+                     "time ran backwards: event at " << e.at << " with now="
+                                                     << now_);
     now_ = e.at;
     ++executed_;
     e.fn();
@@ -57,6 +79,8 @@ void Scheduler::run_until(TimePoint until) {
 bool Scheduler::run_one() {
   Entry e;
   if (!pop_next(e)) return false;
+  QA_INVARIANT_MSG(e.at >= now_, "time ran backwards: event at "
+                                     << e.at << " with now=" << now_);
   now_ = e.at;
   ++executed_;
   e.fn();

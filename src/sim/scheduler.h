@@ -3,12 +3,16 @@
 // A binary-heap event queue keyed by (time, insertion sequence) so that
 // simultaneous events run in deterministic FIFO order. Events are plain
 // callbacks; `schedule` returns an EventId that can be cancelled (lazy
-// deletion). The scheduler is the single source of simulated time.
+// deletion with periodic compaction, so long-lived simulations that cancel
+// many timers — every RAP retransmission timer, for one — do not
+// accumulate dead heap entries or their captured state). The scheduler is
+// the single source of simulated time; its audited invariants are that
+// time never moves backwards and that the heap and the cancellation
+// bookkeeping always partition the pending ids exactly.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -45,8 +49,12 @@ class Scheduler {
   // empty. Used by tests that single-step the simulation.
   bool run_one();
 
-  size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  size_t pending_events() const { return live_.size(); }
   uint64_t events_executed() const { return executed_; }
+
+  // Cancelled entries still occupying the heap (awaiting lazy deletion or
+  // the next compaction). Exposed so tests can pin the reclaim behaviour.
+  size_t cancelled_backlog() const { return cancelled_.size(); }
 
  private:
   struct Entry {
@@ -64,13 +72,27 @@ class Scheduler {
 
   // Pops the next non-cancelled entry, or returns false.
   bool pop_next(Entry& out);
+  // Drops cancelled entries from the heap top so heap_.front() is live.
+  void prune_top();
+  // Rebuilds the heap without the cancelled entries once they dominate it,
+  // releasing their captured callables; clears `cancelled_`.
+  void compact_if_worthwhile();
+  // Audited invariant: {live ids} and {cancelled ids} partition the heap.
+  void audit_consistency() const {
+    QA_INVARIANT_MSG(heap_.size() == live_.size() + cancelled_.size(),
+                     "heap=" << heap_.size() << " live=" << live_.size()
+                             << " cancelled=" << cancelled_.size());
+  }
 
   TimePoint now_ = TimePoint::origin();
   uint64_t next_seq_ = 1;
   EventId next_id_ = 1;
   uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;
+  // Min-heap over `Later` maintained with std::push_heap/pop_heap (not
+  // std::priority_queue: compaction needs access to the container).
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> live_;       // scheduled, not cancelled/fired
+  std::unordered_set<EventId> cancelled_;  // cancelled, still in heap_
 };
 
 }  // namespace qa::sim

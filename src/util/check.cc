@@ -1,0 +1,52 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qa {
+namespace {
+
+// The simulator is single-threaded (see util/logging.h); plain globals.
+CheckSink g_sink = CheckSink::kAbort;
+std::string g_log_path;
+uint64_t g_failures = 0;
+
+}  // namespace
+
+void set_check_sink(CheckSink sink) { g_sink = sink; }
+CheckSink check_sink() { return g_sink; }
+
+void set_check_log_path(const std::string& path) { g_log_path = path; }
+
+uint64_t check_failure_count() { return g_failures; }
+
+namespace detail {
+
+[[noreturn]] void check_failed(const char* kind, const char* expr,
+                               const char* file, int line,
+                               const std::string& msg) {
+  ++g_failures;
+  std::string report(kind);
+  report += " failed: ";
+  report += expr;
+  report += " at ";
+  report += file;
+  report += ":";
+  report += std::to_string(line);
+  if (!msg.empty()) {
+    report += " ";
+    report += msg;
+  }
+  std::fprintf(stderr, "%s\n", report.c_str());
+  if (!g_log_path.empty()) {
+    if (std::FILE* f = std::fopen(g_log_path.c_str(), "a")) {
+      std::fprintf(f, "%s\n", report.c_str());
+      std::fclose(f);
+    }
+  }
+  if (g_sink == CheckSink::kThrow) throw CheckFailure(report);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace qa

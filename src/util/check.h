@@ -1,0 +1,153 @@
+// Contract macros: preconditions, postconditions, and runtime invariants.
+//
+// Three families with distinct compile-time policies:
+//
+//   QA_CHECK / QA_CHECK_MSG / QA_CHECK_EQ..QA_CHECK_GE
+//     Always on. Guard API contracts (argument validity, call ordering)
+//     whose violation means the *caller* is wrong. The simulator is not a
+//     latency-critical production path and silent state corruption is
+//     worse than an abort (Core Guidelines I.5/P.7).
+//
+//   QA_DCHECK / QA_DCHECK_MSG
+//     Debug-only (compiled out under NDEBUG). For checks too hot even for
+//     this simulator — per-packet loops in O(n) audits.
+//
+//   QA_INVARIANT / QA_INVARIANT_MSG
+//     Internal-consistency audits (byte conservation, heap/cancel-set
+//     agreement, monotone clocks). On by default in every build type;
+//     compiled out when QA_NDEBUG_INVARIANTS is defined (CMake option of
+//     the same name) for maximum-speed figure sweeps.
+//
+// The comparison forms print both operand values on failure, so a unit
+// mix-up (bytes vs. bytes/s vs. ns) shows up as "1000000000 vs 1.0" rather
+// than a bare expression string.
+//
+// Failure delivery is configurable: the report always goes to stderr (and
+// to an optional log file), then the configured sink runs — abort() by
+// default, or a thrown qa::CheckFailure so tests can observe a check
+// firing without forking a death test.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qa {
+
+// What happens after a failed check is reported.
+enum class CheckSink {
+  kAbort = 0,  // abort() — the default; never returns control to the bug
+  kThrow = 1,  // throw qa::CheckFailure — for tests observing a failure
+};
+
+// Thrown by failed checks under CheckSink::kThrow. Carries the formatted
+// report (expression, file:line, message).
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& report)
+      : std::logic_error(report) {}
+};
+
+void set_check_sink(CheckSink sink);
+CheckSink check_sink();
+
+// Mirrors failure reports into `path` (append mode) in addition to stderr;
+// an empty path disables the file sink. Useful for post-mortem triage of
+// long unattended sweeps.
+void set_check_log_path(const std::string& path);
+
+// Number of check failures delivered so far in this process. Only
+// observable past 0 under CheckSink::kThrow (abort never returns).
+uint64_t check_failure_count();
+
+namespace detail {
+
+// Formats, reports, and delivers a failure. `kind` names the macro family
+// ("QA_CHECK", "QA_INVARIANT", ...). [[noreturn]]: either aborts or throws.
+[[noreturn]] void check_failed(const char* kind, const char* expr,
+                               const char* file, int line,
+                               const std::string& msg);
+
+// Streams `v` if it is ostream-printable, a placeholder otherwise, so the
+// comparison macros work with any operand type.
+template <typename T>
+void stream_value(std::ostream& os, const T& v) {
+  if constexpr (requires(std::ostream& o, const T& x) { o << x; }) {
+    os << v;
+  } else {
+    os << "<unprintable>";
+  }
+}
+
+template <typename A, typename B>
+std::string format_binary_failure(const A& a, const B& b) {
+  std::ostringstream os;
+  os << "with operands ";
+  stream_value(os, a);
+  os << " vs ";
+  stream_value(os, b);
+  return os.str();
+}
+
+}  // namespace detail
+}  // namespace qa
+
+#define QA_CHECK_IMPL_(kind, expr, msg_expr)                               \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream qa_check_os_;                                     \
+      qa_check_os_ << msg_expr;                                            \
+      ::qa::detail::check_failed(kind, #expr, __FILE__, __LINE__,          \
+                                 qa_check_os_.str());                      \
+    }                                                                      \
+  } while (0)
+
+#define QA_CHECK_OP_IMPL_(kind, a, b, op)                                  \
+  do {                                                                     \
+    if (!((a)op(b))) {                                                     \
+      ::qa::detail::check_failed(                                          \
+          kind, #a " " #op " " #b, __FILE__, __LINE__,                     \
+          ::qa::detail::format_binary_failure((a), (b)));                  \
+    }                                                                      \
+  } while (0)
+
+// ---- Always-on contract checks -------------------------------------------
+
+#define QA_CHECK(expr) QA_CHECK_IMPL_("QA_CHECK", expr, "")
+#define QA_CHECK_MSG(expr, msg) QA_CHECK_IMPL_("QA_CHECK", expr, msg)
+
+#define QA_CHECK_EQ(a, b) QA_CHECK_OP_IMPL_("QA_CHECK", a, b, ==)
+#define QA_CHECK_NE(a, b) QA_CHECK_OP_IMPL_("QA_CHECK", a, b, !=)
+#define QA_CHECK_LT(a, b) QA_CHECK_OP_IMPL_("QA_CHECK", a, b, <)
+#define QA_CHECK_LE(a, b) QA_CHECK_OP_IMPL_("QA_CHECK", a, b, <=)
+#define QA_CHECK_GT(a, b) QA_CHECK_OP_IMPL_("QA_CHECK", a, b, >)
+#define QA_CHECK_GE(a, b) QA_CHECK_OP_IMPL_("QA_CHECK", a, b, >=)
+
+// ---- Debug-only checks ----------------------------------------------------
+
+#ifdef NDEBUG
+#define QA_DCHECK(expr) \
+  do {                  \
+  } while (0)
+#define QA_DCHECK_MSG(expr, msg) \
+  do {                           \
+  } while (0)
+#else
+#define QA_DCHECK(expr) QA_CHECK_IMPL_("QA_DCHECK", expr, "")
+#define QA_DCHECK_MSG(expr, msg) QA_CHECK_IMPL_("QA_DCHECK", expr, msg)
+#endif
+
+// ---- Runtime invariant audits (opt-out via QA_NDEBUG_INVARIANTS) ----------
+
+#ifdef QA_NDEBUG_INVARIANTS
+#define QA_INVARIANT(expr) \
+  do {                     \
+  } while (0)
+#define QA_INVARIANT_MSG(expr, msg) \
+  do {                              \
+  } while (0)
+#else
+#define QA_INVARIANT(expr) QA_CHECK_IMPL_("QA_INVARIANT", expr, "")
+#define QA_INVARIANT_MSG(expr, msg) QA_CHECK_IMPL_("QA_INVARIANT", expr, msg)
+#endif

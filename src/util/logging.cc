@@ -29,11 +29,4 @@ void log_message(LogLevel level, const std::string& msg) {
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }
 
-void check_failed(const char* expr, const char* file, int line,
-                  const std::string& msg) {
-  std::fprintf(stderr, "QA_CHECK failed: %s at %s:%d %s\n", expr, file, line,
-               msg.c_str());
-  std::abort();
-}
-
 }  // namespace qa

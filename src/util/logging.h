@@ -1,12 +1,15 @@
-// Leveled logging with simulated-time stamps, plus check macros.
+// Leveled logging with simulated-time stamps.
 //
 // The simulator is single-threaded; the logger is a plain global with a
-// settable level. QA_CHECK aborts with a message on contract violations —
-// run-time enforcement of preconditions per the Core Guidelines (I.5/P.7).
+// settable level. The QA_CHECK contract-macro family lives in
+// util/check.h and is re-exported here so every logging user keeps its
+// checks without an extra include.
 #pragma once
 
 #include <sstream>
 #include <string>
+
+#include "util/check.h"
 
 namespace qa {
 
@@ -36,27 +39,8 @@ class LogLine {
 };
 }  // namespace detail
 
-[[noreturn]] void check_failed(const char* expr, const char* file, int line,
-                               const std::string& msg);
-
 }  // namespace qa
 
 #define QA_LOG(level)                                  \
   if (::qa::log_level() <= ::qa::LogLevel::k##level)   \
   ::qa::detail::LogLine(::qa::LogLevel::k##level)
-
-// Precondition/invariant check — always on; the simulator is not a
-// latency-critical production path and silent state corruption is worse.
-#define QA_CHECK(expr)                                                   \
-  do {                                                                   \
-    if (!(expr)) ::qa::check_failed(#expr, __FILE__, __LINE__, "");      \
-  } while (0)
-
-#define QA_CHECK_MSG(expr, msg)                                          \
-  do {                                                                   \
-    if (!(expr)) {                                                       \
-      std::ostringstream qa_check_os;                                    \
-      qa_check_os << msg;                                                \
-      ::qa::check_failed(#expr, __FILE__, __LINE__, qa_check_os.str());  \
-    }                                                                    \
-  } while (0)

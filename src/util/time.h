@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <compare>
 #include <limits>
+#include <ostream>
 #include <type_traits>
 
 namespace qa {
@@ -85,5 +86,13 @@ class TimePoint {
   constexpr explicit TimePoint(int64_t ns) : ns_(ns) {}
   int64_t ns_ = 0;
 };
+
+// Printed as second counts — the unit every figure and check message uses.
+inline std::ostream& operator<<(std::ostream& os, TimeDelta d) {
+  return os << d.sec() << "s";
+}
+inline std::ostream& operator<<(std::ostream& os, TimePoint t) {
+  return os << "t=" << t.sec() << "s";
+}
 
 }  // namespace qa

@@ -50,7 +50,9 @@ TEST_F(ServerFixture, EveryDataPacketIsTaggedWithAValidLayer) {
   for (const auto& p : received) {
     EXPECT_GE(p.layer, -1);
     EXPECT_LT(p.layer, 4);
-    if (p.layer >= 0) EXPECT_GE(p.layer_seq, 0);
+    if (p.layer >= 0) {
+      EXPECT_GE(p.layer_seq, 0);
+    }
   }
 }
 

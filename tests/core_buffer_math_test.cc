@@ -238,7 +238,9 @@ TEST_P(BufferMathProperty, ClusteredNeedsNoLessThanSpreadFirstTriangle) {
     // scenario's first-triangle dip whenever the latter exists.
     const double h1 = deficit_height(Scenario::kClustered, k, rate, na, m);
     const double h2 = deficit_height(Scenario::kSpread, k, rate, na, m);
-    if (h2 > 0) EXPECT_GE(h1 + 1e-9, h2);
+    if (h2 > 0) {
+      EXPECT_GE(h1 + 1e-9, h2);
+    }
   }
 }
 

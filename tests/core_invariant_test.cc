@@ -1,0 +1,113 @@
+// Negative tests for the receiver-model and quality-adapter invariant
+// audits: each test drives the system into a deliberately illegal state
+// and observes the corresponding check fire.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/quality_adapter.h"
+#include "core/receiver_model.h"
+#include "util/check.h"
+
+namespace qa::core {
+namespace {
+
+class ScopedThrowSink {
+ public:
+  ScopedThrowSink() : prev_(check_sink()) {
+    set_check_sink(CheckSink::kThrow);
+  }
+  ~ScopedThrowSink() { set_check_sink(prev_); }
+
+ private:
+  CheckSink prev_;
+};
+
+TEST(ReceiverModelContract, RejectsNegativeDrain) {
+  ScopedThrowSink sink;
+  ReceiverModel m(10'000, 4);
+  m.add_layer(TimePoint::origin());
+  m.advance(TimePoint::from_sec(2.0));
+  // Running the playout clock backwards would "un-consume" data.
+  EXPECT_THROW(m.advance(TimePoint::from_sec(1.0)), CheckFailure);
+}
+
+TEST(ReceiverModelContract, RejectsNegativeCredit) {
+  ScopedThrowSink sink;
+  ReceiverModel m(10'000, 4);
+  m.add_layer(TimePoint::origin());
+  EXPECT_THROW(m.credit(0, -500.0), CheckFailure);
+}
+
+TEST(ReceiverModelContract, RejectsNegativeLossDebit) {
+  ScopedThrowSink sink;
+  ReceiverModel m(10'000, 4);
+  m.add_layer(TimePoint::origin());
+  EXPECT_THROW(m.debit_loss(0, -500.0), CheckFailure);
+}
+
+TEST(ReceiverModelContract, BaseLayerIsNeverDropped) {
+  ScopedThrowSink sink;
+  ReceiverModel m(10'000, 4);
+  m.add_layer(TimePoint::origin());
+  EXPECT_THROW(m.drop_top_layer(TimePoint::from_sec(1.0)), CheckFailure);
+}
+
+TEST(EfficientDistribution, AcceptsMonotoneAndSlackProfiles) {
+  EXPECT_TRUE(QualityAdapter::efficiently_distributed({}, 0.0));
+  EXPECT_TRUE(QualityAdapter::efficiently_distributed({5000.0}, 0.0));
+  EXPECT_TRUE(QualityAdapter::efficiently_distributed(
+      {9000.0, 6000.0, 3000.0, 0.0}, 0.0));
+  // A higher layer may lead by at most the slack.
+  EXPECT_TRUE(QualityAdapter::efficiently_distributed(
+      {5000.0, 6000.0}, 1000.0));
+  EXPECT_FALSE(QualityAdapter::efficiently_distributed(
+      {5000.0, 6500.0}, 1000.0));
+}
+
+TEST(EfficientDistribution, RejectsInvertedProfiles) {
+  // The §2.3 base-starved shape: everything buffered on the top layer.
+  EXPECT_FALSE(QualityAdapter::efficiently_distributed(
+      {0.0, 0.0, 50'000.0}, 1000.0));
+  // Inversion anywhere in the stack counts, not just at the base.
+  EXPECT_FALSE(QualityAdapter::efficiently_distributed(
+      {50'000.0, 10'000.0, 20'000.0}, 1000.0));
+}
+
+#ifndef QA_NDEBUG_INVARIANTS
+TEST(QualityAdapterAudit, FiresOnInefficientDistribution) {
+  ScopedThrowSink sink;
+  AdapterConfig cfg;
+  cfg.consumption_rate = 10'000;
+  cfg.max_layers = 4;
+  QualityAdapter qa_adapter(cfg);
+  qa_adapter.begin(TimePoint::origin());
+  // A poisoned proxy cache: the enhancement layer holds far more than the
+  // base. warm_start applies caller-supplied state unaudited; the audit
+  // must catch the inefficiency at the next packet assignment.
+  qa_adapter.warm_start(TimePoint::origin(), {0.0, 500'000.0});
+  EXPECT_THROW(qa_adapter.on_send_opportunity(TimePoint::from_sec(0.01),
+                                              /*rate=*/40'000,
+                                              /*slope=*/1000,
+                                              /*packet_bytes=*/1000),
+               CheckFailure);
+}
+
+TEST(QualityAdapterAudit, CleanSessionPassesTheAudit) {
+  AdapterConfig cfg;
+  cfg.consumption_rate = 10'000;
+  cfg.max_layers = 4;
+  QualityAdapter qa_adapter(cfg);
+  qa_adapter.begin(TimePoint::origin());
+  // A well-formed streaming loop never trips the distribution audit.
+  for (int i = 1; i <= 500; ++i) {
+    const TimePoint t = TimePoint::from_sec(0.01 * i);
+    qa_adapter.on_send_opportunity(t, /*rate=*/35'000, /*slope=*/1000,
+                                   /*packet_bytes=*/1000);
+  }
+  EXPECT_GE(qa_adapter.active_layers(), 1);
+}
+#endif  // QA_NDEBUG_INVARIANTS
+
+}  // namespace
+}  // namespace qa::core

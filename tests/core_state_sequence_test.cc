@@ -25,8 +25,12 @@ TEST(StateSequence, SkipsEmptyAndDuplicateStates) {
   const StateSequence seq(80'000, 3, kModel, 5);
   for (const BufferState& st : seq.states()) {
     EXPECT_GT(st.total, 0.0);
-    if (st.scenario == Scenario::kSpread) EXPECT_GT(st.k, 2);
-    if (st.scenario == Scenario::kClustered) EXPECT_GE(st.k, 2);
+    if (st.scenario == Scenario::kSpread) {
+      EXPECT_GT(st.k, 2);
+    }
+    if (st.scenario == Scenario::kClustered) {
+      EXPECT_GE(st.k, 2);
+    }
   }
 }
 

@@ -1,0 +1,167 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/time.h"
+
+namespace qa {
+namespace {
+
+// Routes check failures into CheckFailure exceptions for the scope of one
+// test, so firing checks can be observed without forking a death test.
+class ScopedThrowSink {
+ public:
+  ScopedThrowSink() : prev_(check_sink()) {
+    set_check_sink(CheckSink::kThrow);
+  }
+  ~ScopedThrowSink() { set_check_sink(prev_); }
+
+ private:
+  CheckSink prev_;
+};
+
+TEST(Check, PassingChecksAreSilent) {
+  QA_CHECK(true);
+  QA_CHECK_MSG(1 + 1 == 2, "arithmetic broke");
+  QA_CHECK_EQ(4, 4);
+  QA_CHECK_NE(4, 5);
+  QA_CHECK_LT(1, 2);
+  QA_CHECK_LE(2, 2);
+  QA_CHECK_GT(3, 2);
+  QA_CHECK_GE(3, 3);
+}
+
+TEST(CheckDeathTest, AbortSinkAbortsWithExpressionText) {
+  EXPECT_DEATH(QA_CHECK(2 + 2 == 5), "QA_CHECK failed: 2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, MessageIsFormattedIntoTheReport) {
+  const int64_t bytes = 1234;
+  EXPECT_DEATH(QA_CHECK_MSG(bytes < 0, "bytes=" << bytes), "bytes=1234");
+}
+
+TEST(CheckDeathTest, ComparisonFormPrintsBothOperands) {
+  const double rate = 125.5;
+  EXPECT_DEATH(QA_CHECK_GE(rate, 1000.0), "with operands 125.5 vs 1000");
+}
+
+TEST(Check, ThrowSinkDeliversCheckFailure) {
+  ScopedThrowSink sink;
+  EXPECT_THROW(QA_CHECK(false), CheckFailure);
+}
+
+TEST(Check, ThrowSinkReportCarriesOperandsAndLocation) {
+  ScopedThrowSink sink;
+  try {
+    QA_CHECK_GE(1, 2);
+    FAIL() << "QA_CHECK_GE(1, 2) did not fire";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 >= 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("with operands 1 vs 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("util_check_test.cc"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, OperandsPrintThroughStreamInsertion) {
+  ScopedThrowSink sink;
+  const TimeDelta a = TimeDelta::millis(250);
+  const TimeDelta b = TimeDelta::seconds(1);
+  try {
+    QA_CHECK_GE(a, b);
+    FAIL() << "QA_CHECK_GE did not fire";
+  } catch (const CheckFailure& e) {
+    // TimeDelta's operator<< prints second counts.
+    EXPECT_NE(std::string(e.what()).find("0.25s vs 1s"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Check, FailureCountAdvancesPerDeliveredFailure) {
+  ScopedThrowSink sink;
+  const uint64_t before = check_failure_count();
+  EXPECT_THROW(QA_CHECK(false), CheckFailure);
+  EXPECT_THROW(QA_CHECK_EQ(1, 2), CheckFailure);
+  EXPECT_EQ(check_failure_count(), before + 2);
+}
+
+TEST(Check, FileSinkMirrorsTheReport) {
+  ScopedThrowSink sink;
+  const std::string path =
+      testing::TempDir() + "/qa_check_file_sink_test.log";
+  std::remove(path.c_str());
+  set_check_log_path(path);
+  EXPECT_THROW(QA_CHECK_MSG(false, "mirrored to file"), CheckFailure);
+  set_check_log_path("");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("mirrored to file"), std::string::npos);
+  EXPECT_NE(content.str().find("QA_CHECK failed"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Check, DcheckFollowsBuildType) {
+  ScopedThrowSink sink;
+#ifdef NDEBUG
+  QA_DCHECK(false);  // compiled out: must not fire
+  QA_DCHECK_MSG(false, "compiled out");
+#else
+  EXPECT_THROW(QA_DCHECK(false), CheckFailure);
+#endif
+}
+
+TEST(Check, InvariantFollowsInvariantFlag) {
+  ScopedThrowSink sink;
+#ifdef QA_NDEBUG_INVARIANTS
+  QA_INVARIANT(false);  // compiled out: must not fire
+  QA_INVARIANT_MSG(false, "compiled out");
+#else
+  EXPECT_THROW(QA_INVARIANT(false), CheckFailure);
+  try {
+    QA_INVARIANT_MSG(false, "ledger off by " << 3);
+    FAIL() << "QA_INVARIANT_MSG did not fire";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("QA_INVARIANT failed"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("ledger off by 3"),
+              std::string::npos)
+        << e.what();
+  }
+#endif
+}
+
+TEST(Check, SideEffectsInConditionEvaluateExactlyOnce) {
+  int evaluations = 0;
+  QA_CHECK(++evaluations == 1);
+  EXPECT_EQ(evaluations, 1);
+  QA_CHECK_GE(++evaluations, 2);
+  EXPECT_EQ(evaluations, 2);
+}
+
+TEST(Check, UnprintableOperandsFallBackToPlaceholder) {
+  struct Opaque {
+    int v;
+    bool operator==(const Opaque&) const = default;
+  };
+  ScopedThrowSink sink;
+  try {
+    QA_CHECK_EQ(Opaque{1}, Opaque{2});
+    FAIL() << "QA_CHECK_EQ did not fire";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("<unprintable>"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace qa

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Unit-discipline and hygiene lint for the qastream tree.
+
+The QA math mixes three unit families — bytes, bytes/second, and
+nanoseconds — and a silent mix-up corrupts every downstream figure without
+failing a test (the class of bug layered-rate controllers are notoriously
+sensitive to). This lint enforces the repo's unit discipline statically:
+
+  naked-time-literal   Nanosecond-scale constants (1e9, 1'000'000'000)
+                       belong in util/time.h; everywhere else in product
+                       code they are a sign of hand-rolled unit
+                       conversion. (Tests are exempt: 1e9 there is the
+                       conventional "huge byte count" sentinel.)
+  double-seconds       `double` parameters/fields named like raw second
+                       (or ns/ms/us) counts crossing a header boundary
+                       should be TimeDelta/TimePoint. Pre-existing debt is
+                       grandfathered in ALLOWLIST; new entries fail.
+  int-byte-count       Byte counts must be int64_t (exact accounting) or
+                       double (QA rate math) — never bare int/unsigned,
+                       which overflow at ~2 GB of simulated traffic.
+  header-guard         Every header uses #pragma once.
+  file-naming          snake_case file names; tests end in _test.cc.
+
+Runs as a ctest (see tools/CMakeLists.txt), so tier-1 catches regressions.
+Run locally with:  python3 tools/lint_units.py [--root <repo>]
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+CXX_SUFFIXES = {".h", ".cc", ".cpp"}
+LINT_DIRS = ("src", "tests", "bench", "examples", "tools")
+
+# (rule, path, identifier-or-None): pre-existing debt, deliberately
+# grandfathered so the lint can land without a repo-wide unit refactor.
+# Shrink this list; never grow it. Paths are repo-relative POSIX.
+ALLOWLIST = {
+    # Experiment/bench configuration surfaces: human-authored scalar knobs
+    # (durations in seconds) that flow straight into CSV column names.
+    ("double-seconds", "src/app/experiment.h", "duration_sec"),
+    ("double-seconds", "src/app/experiment.h", "cbr_start_sec"),
+    ("double-seconds", "src/app/experiment.h", "cbr_stop_sec"),
+    ("double-seconds", "src/app/experiment.h", "sample_dt_sec"),
+    ("double-seconds", "src/tracedrive/bandwidth_trace.h", "duration_sec"),
+    ("double-seconds", "src/tracedrive/bandwidth_trace.h", "sample_dt_sec"),
+    # The analytic model is a closed-form real-valued formula; its time
+    # axis is genuinely a real number, not a simulated instant.
+    ("double-seconds", "src/core/analytic_model.h", "t_sec"),
+    ("double-seconds", "src/core/analytic_model.h", "duration_sec"),
+    # §4.2 planning-period length enters the drain formulas as a real.
+    ("double-seconds", "src/core/draining_policy.h", "period_sec"),
+}
+
+TIME_LITERAL = re.compile(r"(?<![\w.'])(?:1'000'000'000|1000000000|1[eE]\+?9)(?![\w.])")
+DOUBLE_SECONDS = re.compile(
+    r"\bdouble\s+(?P<name>[A-Za-z_]\w*(?:_sec|_secs|_seconds|_ns|_ms|_us)\w*)"
+)
+INT_BYTES = re.compile(
+    r"\b(?:unsigned\s+int|unsigned|int|short|long)\s+"
+    r"(?P<name>[A-Za-z_]*bytes\w*)"
+)
+SNAKE_CASE = re.compile(r"^[a-z0-9_.]+$")
+
+BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.DOTALL)
+LINE_COMMENT = re.compile(r"//[^\n]*")
+STRING_LIT = re.compile(r'"(?:[^"\\\n]|\\.)*"')
+
+
+def strip_noise(text: str) -> str:
+    """Blanks comments and string literals, preserving line numbers.
+
+    Character literals are left alone: C++14 digit separators ("1'000")
+    would be mangled by naive single-quote stripping.
+    """
+
+    def blank(m: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", m.group(0))
+
+    text = BLOCK_COMMENT.sub(blank, text)
+    text = LINE_COMMENT.sub(blank, text)
+    return STRING_LIT.sub(blank, text)
+
+
+class Linter:
+    def __init__(self, root: pathlib.Path):
+        self.root = root
+        self.findings: list[str] = []
+
+    def report(self, rule: str, path: pathlib.Path, line: int, msg: str,
+               ident: str | None = None) -> None:
+        rel = path.relative_to(self.root).as_posix()
+        if (rule, rel, ident) in ALLOWLIST:
+            return
+        self.findings.append(f"{rel}:{line}: [{rule}] {msg}")
+
+    def lint_file(self, path: pathlib.Path) -> None:
+        rel = path.relative_to(self.root).as_posix()
+        raw = path.read_text(encoding="utf-8")
+        code = strip_noise(raw)
+        lines = code.splitlines()
+
+        if not SNAKE_CASE.match(path.name):
+            self.report("file-naming", path, 1,
+                        f"file name '{path.name}' is not snake_case")
+        if rel.startswith("tests/") and path.suffix == ".cc" \
+                and not path.name.endswith("_test.cc"):
+            self.report("file-naming", path, 1,
+                        "test sources must be named *_test.cc")
+
+        if path.suffix == ".h" and "#pragma once" not in raw:
+            self.report("header-guard", path, 1,
+                        "header is missing '#pragma once'")
+
+        time_literal_applies = (
+            rel != "src/util/time.h" and not rel.startswith("tests/"))
+        for i, line in enumerate(lines, start=1):
+            if time_literal_applies and TIME_LITERAL.search(line):
+                self.report(
+                    "naked-time-literal", path, i,
+                    "nanosecond-scale literal outside util/time.h — use "
+                    "TimeDelta::seconds()/nanos() instead")
+
+            for m in INT_BYTES.finditer(line):
+                self.report(
+                    "int-byte-count", path, i,
+                    f"byte count '{m.group('name')}' typed as a bare "
+                    "int — use int64_t (exact accounting) or double "
+                    "(QA rate math)", m.group("name"))
+
+            if path.suffix == ".h":
+                for m in DOUBLE_SECONDS.finditer(line):
+                    name = m.group("name")
+                    if "per_sec" in name:  # a rate, not a time
+                        continue
+                    self.report(
+                        "double-seconds", path, i,
+                        f"raw double time quantity '{name}' crossing a "
+                        "header boundary — use TimeDelta/TimePoint",
+                        name)
+
+    def run(self) -> int:
+        files = sorted(
+            p for d in LINT_DIRS
+            for p in (self.root / d).rglob("*")
+            if p.suffix in CXX_SUFFIXES and p.is_file()
+        )
+        if not files:
+            print("lint_units: no C++ sources found — wrong --root?",
+                  file=sys.stderr)
+            return 2
+        for f in files:
+            self.lint_file(f)
+        for finding in self.findings:
+            print(finding)
+        if self.findings:
+            print(f"lint_units: {len(self.findings)} violation(s)",
+                  file=sys.stderr)
+            return 1
+        print(f"lint_units: {len(files)} files clean")
+        return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=pathlib.Path,
+                    default=pathlib.Path(__file__).resolve().parent.parent,
+                    help="repository root (default: this script's parent)")
+    args = ap.parse_args()
+    return Linter(args.root.resolve()).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

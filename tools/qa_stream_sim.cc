@@ -7,7 +7,7 @@
 //
 //   qa_stream_sim                                   # the T1 workload
 //   qa_stream_sim --kmax 4 --duration 90 --cbr      # the T2 workload
-//   qa_stream_sim --bottleneck-kbps 1600 --rap 4 --tcp 4 \
+//   qa_stream_sim --bottleneck-kbps 1600 --rap 4 --tcp 4
 //                 --layer-rate 2500 --csv run.csv
 //   qa_stream_sim --allocation equal-share          # §2.3 strawman
 //   qa_stream_sim --red                             # RED bottleneck
