@@ -1,0 +1,115 @@
+#include "app/chaos.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "app/session.h"
+#include "sim/fault.h"
+#include "sim/network.h"
+#include "sim/topology.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace qa::app {
+
+ChaosOutcome run_chaos_trial(const ChaosParams& params) {
+  QA_CHECK(params.faults > 0);
+  QA_CHECK(params.stream_layers >= 1);
+
+  sim::Network net;
+  sim::DumbbellParams topo;
+  topo.pairs = 1;
+  topo.bottleneck_bw = params.bottleneck;
+  topo.rtt = params.rtt;
+  topo.bottleneck_queue_bytes = params.bottleneck_queue_bytes;
+  const sim::Dumbbell d = sim::build_dumbbell(net, topo);
+
+  SessionConfig scfg;
+  scfg.adapter.consumption_rate = params.layer_rate.bps();
+  scfg.adapter.max_layers = params.stream_layers;
+  scfg.adapter.kmax = params.kmax;
+  scfg.rap.packet_size = params.packet_size;
+  scfg.rap.initial_rate = params.layer_rate;
+  scfg.rap.initial_rtt = params.rtt;
+  scfg.stream_layers = params.stream_layers;
+  scfg.layer_rate = params.layer_rate;
+  Session session(net, d.left[0], d.right[0], scfg);
+
+  // The randomized schedule: everything lands inside the fault window and
+  // is cleared by its end.
+  sim::FaultInjector injector(&net.scheduler());
+  sim::ChaosProfile profile;
+  profile.start = TimePoint::origin() + params.warmup;
+  profile.window = params.fault_window;
+  profile.faults = params.faults;
+  Rng rng(params.seed);
+  sim::inject_random_faults(injector, d.bottleneck, d.bottleneck_reverse, rng,
+                            profile);
+
+  const TimePoint fault_end = profile.start + params.fault_window;
+  const TimePoint run_end = fault_end + params.tail;
+
+  ChaosOutcome out;
+  out.min_client_buffer = 0;
+  int64_t packets_at_fault_end = 0;
+
+  // Periodic observation: keeps the client's rebuffer state fresh during
+  // total outages and watches for negative buffers.
+  const TimeDelta sample_dt = TimeDelta::millis(100);
+  for (TimePoint at = TimePoint::origin() + sample_dt; at <= run_end;
+       at += sample_dt) {
+    net.scheduler().schedule_at(at, [&session, &out] {
+      session.client().sync();
+      const auto& client = session.client();
+      out.min_client_buffer =
+          std::min({out.min_client_buffer, client.buffer(0),
+                    client.total_buffer()});
+    });
+  }
+  net.scheduler().schedule_at(fault_end, [&session, &packets_at_fault_end] {
+    packets_at_fault_end = session.client().packets_received();
+  });
+
+  net.run(run_end);
+  session.client().sync();
+
+  // --- Recovery: active layer count back at the pre-fault level. ----------
+  const auto& metrics = session.server().adapter().metrics();
+  const TimePoint warmup_end = profile.start;
+  const TimePoint warmup_probe = TimePoint::origin() + params.warmup * 0.6;
+  out.pre_fault_layers = std::max(
+      1, static_cast<int>(
+             std::floor(metrics.mean_quality(warmup_probe, warmup_end) +
+                        1e-9)));
+  const double target = static_cast<double>(out.pre_fault_layers);
+  const auto& series = metrics.layer_series();
+  if (series.step_value_at(fault_end, 1.0) >= target) {
+    out.recovered = true;
+    out.recovery_time = TimeDelta::zero();
+  } else {
+    for (const auto& pt : series.points()) {
+      if (pt.t < fault_end || pt.value < target) continue;
+      out.recovery_time = pt.t - fault_end;
+      out.recovered = out.recovery_time <= params.recovery_bound;
+      break;
+    }
+  }
+
+  // --- Bookkeeping. --------------------------------------------------------
+  const auto& rebuf = session.client().rebuffers();
+  out.rebuffer_events = rebuf.count();
+  out.rebuffer_time = rebuf.total_paused(net.scheduler().now());
+  out.rebuffer_max_recovery = rebuf.max_time_to_recover();
+  out.quiescence_entries = session.rap_source().quiescence_entries();
+  out.degraded_entries = session.server().adapter().degraded_entries();
+  out.losses = session.rap_source().losses_detected();
+  out.backoffs = session.rap_source().backoffs();
+  out.outage_drops =
+      d.bottleneck->outage_drops() + d.bottleneck_reverse->outage_drops();
+  out.packets_received = session.client().packets_received();
+  out.packets_received_tail = out.packets_received - packets_at_fault_end;
+  out.final_rate_bps = session.rap_source().rate().bps();
+  return out;
+}
+
+}  // namespace qa::app

@@ -1,0 +1,83 @@
+// Chaos harness: one quality-adaptive session on a single-pair dumbbell,
+// driven through a seeded randomized fault schedule (outages, flapping,
+// bursty loss on either direction, bandwidth dips, delay spikes,
+// reordering/duplication — see sim::inject_random_faults).
+//
+// The run has three phases: a clean warmup that establishes the pre-fault
+// quality, the fault window, and a clean tail in which the stream must
+// recover. A trial "passes" when the PR 1 invariant audits never fired (an
+// audit failure aborts the process), client buffers stayed non-negative,
+// packets kept flowing after the faults cleared (no wedge/deadlock), and
+// the active layer count returned to the pre-fault level within the
+// recovery bound. Shared by tests/chaos_test.cc and tools/qa_chaos.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+#include "util/units.h"
+
+namespace qa::app {
+
+struct ChaosParams {
+  uint64_t seed = 1;
+
+  // Topology: one pair, generous-but-finite queue so RAP's loss process
+  // stays drop-tail like the paper's.
+  Rate bottleneck = Rate::kilobytes_per_sec(25);
+  TimeDelta rtt = TimeDelta::millis(40);
+  int64_t bottleneck_queue_bytes = 10'000;
+
+  // Stream: C sized so the link comfortably carries the full stack —
+  // pre-fault quality reaches the top and recovery has a sharp target.
+  int stream_layers = 4;
+  Rate layer_rate = Rate::bytes_per_sec(2'500);
+  int32_t packet_size = 500;
+  int kmax = 2;
+
+  // Schedule phases.
+  TimeDelta warmup = TimeDelta::seconds(12);
+  TimeDelta fault_window = TimeDelta::seconds(20);
+  TimeDelta tail = TimeDelta::seconds(25);
+  int faults = 6;
+
+  // The stream must be back at its pre-fault layer count within this bound
+  // after the last fault clears.
+  TimeDelta recovery_bound = TimeDelta::seconds(20);
+};
+
+struct ChaosOutcome {
+  // Pre-fault quality: time-averaged layer count over the late warmup,
+  // floored (>= 1).
+  int pre_fault_layers = 0;
+  bool recovered = false;
+  TimeDelta recovery_time = TimeDelta::zero();  // from fault-window end
+
+  // Degradation bookkeeping.
+  int64_t rebuffer_events = 0;
+  TimeDelta rebuffer_time = TimeDelta::zero();
+  TimeDelta rebuffer_max_recovery = TimeDelta::zero();
+  int64_t quiescence_entries = 0;
+  int64_t degraded_entries = 0;
+
+  // Transport / link accounting.
+  int64_t losses = 0;
+  int64_t backoffs = 0;
+  int64_t outage_drops = 0;        // both directions
+  int64_t packets_received = 0;    // client, whole run
+  int64_t packets_received_tail = 0;  // client, after the faults cleared
+  double final_rate_bps = 0;
+
+  // Most negative client buffer observation (>= 0 when the invariants
+  // held; the model pins at zero, so any negative value is a bug).
+  double min_client_buffer = 0;
+
+  bool ok(const ChaosParams& params) const {
+    (void)params;
+    return recovered && min_client_buffer >= 0 && packets_received_tail > 0;
+  }
+};
+
+ChaosOutcome run_chaos_trial(const ChaosParams& params);
+
+}  // namespace qa::app

@@ -137,6 +137,11 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
       const auto& recv = adapter.receiver();
       const double rate = session.rap_source().rate().bps();
       const int na = adapter.active_layers();
+      // Keep the client's rebuffer state fresh even when no packets arrive
+      // (a paused or starved stream still has to notice it is dry).
+      session.client().sync();
+      result.series.rebuffering.add(at,
+                                    session.client().rebuffering() ? 1 : 0);
       result.series.rate.add(at, rate);
       result.series.consumption.add(
           at, static_cast<double>(na) * adapter.config().consumption_rate);
@@ -166,6 +171,10 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
   result.qa_backoffs = session.rap_source().backoffs();
   result.qa_mean_rate_bps = qa_rate_stats.mean();
   result.client_base_stall = session.client().base_stall();
+  const auto& rebuf = session.client().rebuffers();
+  result.rebuffer_events = rebuf.count();
+  result.rebuffer_time = rebuf.total_paused(net.scheduler().now());
+  result.rebuffer_max_recovery = rebuf.max_time_to_recover();
   result.final_mirror_total_buffer = adapter.receiver().total_buffer();
   result.final_client_total_buffer = session.client().total_buffer();
   if (params.keep_client_packet_log) {

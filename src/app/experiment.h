@@ -75,6 +75,11 @@ struct ExperimentResult {
   double qa_mean_rate_bps = 0;      // over the run
   // Ground truth from the client.
   TimeDelta client_base_stall = TimeDelta::zero();
+  // Rebuffer (playout pause) events: count, total paused time, and the
+  // worst stall-to-resume recovery among recovered events.
+  int64_t rebuffer_events = 0;
+  TimeDelta rebuffer_time = TimeDelta::zero();
+  TimeDelta rebuffer_max_recovery = TimeDelta::zero();
   double final_mirror_total_buffer = 0;
   double final_client_total_buffer = 0;
   // Aggregate fairness context: mean per-flow goodput of the competitors.

@@ -97,6 +97,15 @@ void VideoServer::on_backoff(Rate new_rate) {
                       rap_->slope_bps_per_sec());
 }
 
+void VideoServer::on_quiescence(bool active) {
+  if (!begun_) return;
+  if (active) {
+    adapter_.enter_degraded(sched_->now());
+  } else {
+    adapter_.exit_degraded(sched_->now());
+  }
+}
+
 std::vector<double> VideoServer::take_window_sent() {
   std::vector<double> out = window_sent_;
   std::fill(window_sent_.begin(), window_sent_.end(), 0.0);

@@ -38,6 +38,10 @@ class VideoServer : public rap::RapListener {
   void on_ack(const sim::Packet& data_pkt) override;
   void on_loss(const sim::Packet& data_pkt) override;
   void on_backoff(Rate new_rate) override;
+  // Client feedback went away (ACK starvation) or returned: the adapter
+  // drops to base-layer-only mode for the duration rather than thrashing
+  // add/drop against a dead control loop.
+  void on_quiescence(bool active) override;
 
   core::QualityAdapter& adapter() { return adapter_; }
   const core::QualityAdapter& adapter() const { return adapter_; }

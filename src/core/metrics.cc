@@ -1,5 +1,9 @@
 #include "core/metrics.h"
 
+#include <algorithm>
+
+#include "util/check.h"
+
 namespace qa::core {
 
 double AdapterMetrics::mean_efficiency() const {
@@ -22,6 +26,58 @@ double AdapterMetrics::poor_distribution_fraction() const {
     if (e.poor_distribution) ++poor;
   }
   return static_cast<double>(poor) / static_cast<double>(drops_.size());
+}
+
+void RebufferLog::begin_event(TimePoint stall_start, TimePoint pause_start) {
+  QA_CHECK_MSG(!open(), "previous rebuffer event still open");
+  QA_CHECK(pause_start >= stall_start);
+  RebufferEvent e;
+  e.stall_start = stall_start;
+  e.pause_start = pause_start;
+  events_.push_back(e);
+}
+
+void RebufferLog::end_event(TimePoint resumed) {
+  QA_CHECK_MSG(open(), "no rebuffer event to close");
+  RebufferEvent& e = events_.back();
+  QA_CHECK(resumed >= e.pause_start);
+  e.resumed = resumed;
+  e.recovered = true;
+}
+
+bool RebufferLog::open() const {
+  return !events_.empty() && !events_.back().recovered;
+}
+
+TimeDelta RebufferLog::total_paused(TimePoint now) const {
+  TimeDelta total = TimeDelta::zero();
+  for (const RebufferEvent& e : events_) {
+    if (e.recovered) {
+      total += e.resumed - e.pause_start;
+    } else if (now > e.pause_start) {
+      total += now - e.pause_start;
+    }
+  }
+  return total;
+}
+
+TimeDelta RebufferLog::mean_time_to_recover() const {
+  TimeDelta total = TimeDelta::zero();
+  int64_t n = 0;
+  for (const RebufferEvent& e : events_) {
+    if (!e.recovered) continue;
+    total += e.resumed - e.stall_start;
+    ++n;
+  }
+  return n > 0 ? total / n : TimeDelta::zero();
+}
+
+TimeDelta RebufferLog::max_time_to_recover() const {
+  TimeDelta best = TimeDelta::zero();
+  for (const RebufferEvent& e : events_) {
+    if (e.recovered) best = std::max(best, e.resumed - e.stall_start);
+  }
+  return best;
 }
 
 }  // namespace qa::core

@@ -1,6 +1,7 @@
 // Evaluation metrics of §5: buffering efficiency per drop event (Table 1),
 // classification of drops caused by poor buffer distribution (Table 2),
-// and quality-change statistics (fig 12).
+// quality-change statistics (fig 12), and client-side rebuffering events
+// (the robustness extension's first-class failure mode).
 #pragma once
 
 #include <cstdint>
@@ -61,6 +62,36 @@ class AdapterMetrics {
   std::vector<DropEvent> drops_;
   std::vector<AddEvent> adds_;
   TimeSeries layer_series_;
+};
+
+// One playout interruption: the base layer ran dry at stall_start, the
+// client paused playout at pause_start (after its debounce), and resumed at
+// `resumed` once the base layer was re-buffered. Time-to-recover is
+// resumed - stall_start: the full user-visible interruption.
+struct RebufferEvent {
+  TimePoint stall_start;
+  TimePoint pause_start;
+  TimePoint resumed;       // valid when recovered
+  bool recovered = false;
+};
+
+// Ordered log of rebuffer events; at most one event is open at a time.
+class RebufferLog {
+ public:
+  void begin_event(TimePoint stall_start, TimePoint pause_start);
+  void end_event(TimePoint resumed);
+  bool open() const;
+
+  int64_t count() const { return static_cast<int64_t>(events_.size()); }
+  // Total paused-playout time; an open event contributes up to `now`.
+  TimeDelta total_paused(TimePoint now) const;
+  // Over recovered events only; zero when none recovered.
+  TimeDelta mean_time_to_recover() const;
+  TimeDelta max_time_to_recover() const;
+  const std::vector<RebufferEvent>& events() const { return events_; }
+
+ private:
+  std::vector<RebufferEvent> events_;
 };
 
 }  // namespace qa::core

@@ -234,6 +234,28 @@ void QualityAdapter::warm_start(TimePoint now,
   plan_valid_ = false;
 }
 
+void QualityAdapter::enter_degraded(TimePoint now) {
+  QA_CHECK_MSG(begun_, "call begin() before streaming");
+  if (degraded_) return;
+  degraded_ = true;
+  ++degraded_entries_;
+  receiver_.advance(now);
+  const AimdModel m = model_for(smoothed_slope(slope_avg_));
+  while (receiver_.active_layers() > 1) {
+    drop_top(now, rate_avg_, m, /*poor_distribution=*/false);
+  }
+}
+
+void QualityAdapter::exit_degraded(TimePoint now) {
+  if (!degraded_) return;
+  degraded_ = false;
+  // Hold the add gate down for a full spacing interval: the rate estimate
+  // right after a starvation episode is stale, and re-adds must be earned
+  // one at a time.
+  last_add_ = now;
+  plan_valid_ = false;
+}
+
 int QualityAdapter::on_send_opportunity(TimePoint now, double rate,
                                         double slope, double packet_bytes) {
   QA_CHECK_MSG(begun_, "call begin() before streaming");
@@ -241,6 +263,14 @@ int QualityAdapter::on_send_opportunity(TimePoint now, double rate,
   receiver_.advance(now);
   update_rate_avg(now, rate, slope);
   const AimdModel m = model_for(smoothed_slope(slope));
+
+  if (degraded_) {
+    // Base-layer-only mode: every slot feeds the base layer; no adds, no
+    // plan, nothing to distribute.
+    receiver_.credit(0, packet_bytes);
+    audit_distribution(packet_bytes);
+    return 0;
+  }
 
   apply_drops(now, rate, m);
 

@@ -107,6 +107,18 @@ class QualityAdapter {
   // The congestion controller halved its rate; `rate_post` is the new rate.
   void on_backoff(TimePoint now, double rate_post, double slope);
 
+  // Sustained feedback starvation (the transport went quiescent): shed
+  // everything above the base layer at once and pin every subsequent slot
+  // to the base layer — thrashing add/drop against a dead feedback path
+  // helps nobody, and whatever trickle still gets through must protect
+  // playback itself. exit_degraded() re-enables normal adaptation; the add
+  // gate is held down for min_add_spacing from the exit so layers return
+  // one at a time as the rate estimate recovers.
+  void enter_degraded(TimePoint now);
+  void exit_degraded(TimePoint now);
+  bool degraded() const { return degraded_; }
+  int64_t degraded_entries() const { return degraded_entries_; }
+
   int active_layers() const { return receiver_.active_layers(); }
   const ReceiverModel& receiver() const { return receiver_; }
   const AdapterMetrics& metrics() const { return metrics_; }
@@ -142,6 +154,8 @@ class QualityAdapter {
   ReceiverModel receiver_;
   AdapterMetrics metrics_;
   bool begun_ = false;
+  bool degraded_ = false;
+  int64_t degraded_entries_ = 0;
 
   // Rate at the top of the last filling phase; the state sequence walked
   // backwards while draining was built against it (§4.2).

@@ -25,6 +25,7 @@ void RapSource::start() {
   const TimeDelta defer = params_.start_time > sched_->now()
                               ? params_.start_time - sched_->now()
                               : TimeDelta::zero();
+  last_ack_at_ = sched_->now() + defer;
   send_timer_ = sched_->schedule_after(defer, [this] { send_next(); });
   step_timer_ = sched_->schedule_after(defer + srtt_, [this] { step(); });
 }
@@ -45,8 +46,51 @@ double RapSource::slope_bps_per_sec() const {
   return static_cast<double>(params_.packet_size) / (s * s);
 }
 
+TimeDelta RapSource::starvation_threshold() const {
+  // A healthy-but-slow flow hears one ACK per IPG, so silence only means a
+  // dead feedback path once it spans several packet opportunities *plus* the
+  // retransmission timeout; the SRTT factor dominates at normal rates.
+  return std::max(srtt_ * params_.starvation_srtt_factor,
+                  current_ipg() * 3 + rto());
+}
+
+void RapSource::maybe_enter_quiescence() {
+  if (quiescent_) return;
+  // Starvation means *unanswered* sends, not mere silence: a slow flow
+  // pacing at the floor hears one ACK per (long) IPG and must not mistake
+  // the gap for a dead path — nor may a just-restarted flow whose first
+  // paced packet is still a second away re-trigger on its own quiet.
+  if (sent_since_ack_ < 3) return;
+  if (sched_->now() - last_ack_at_ < starvation_threshold()) return;
+  quiescent_ = true;
+  ++quiescence_entries_;
+  set_rate(params_.min_rate);
+  // First probe after roughly an RTO (never tighter than the floor pacing),
+  // doubling from there up to the cap.
+  probe_interval_ = std::max(rto(), current_ipg());
+  if (listener_) listener_->on_quiescence(true);
+}
+
+TimeDelta RapSource::next_probe_interval() {
+  const TimeDelta gap = probe_interval_;
+  probe_interval_ = std::min(probe_interval_ * 2, params_.probe_interval_cap);
+  return gap;
+}
+
+void RapSource::exit_quiescence() {
+  quiescent_ = false;
+  // Slow restart: resume paced sending from the AIMD floor and let additive
+  // increase rebuild the rate — the restore must not produce a burst. The
+  // pending probe timer is replaced by a normally paced send.
+  set_rate(params_.min_rate);
+  sched_->cancel(send_timer_);
+  send_timer_ = sched_->schedule_after(current_ipg(), [this] { send_next(); });
+  if (listener_) listener_->on_quiescence(false);
+}
+
 void RapSource::send_next() {
   check_timeouts();
+  maybe_enter_quiescence();
 
   sim::Packet p;
   p.src = local_->id();
@@ -60,9 +104,11 @@ void RapSource::send_next() {
 
   history_.push_back(HistoryEntry{p, false, false});
   ++packets_sent_;
+  ++sent_since_ack_;
   local_->send(p);
 
-  send_timer_ = sched_->schedule_after(current_ipg(), [this] { send_next(); });
+  const TimeDelta gap = quiescent_ ? next_probe_interval() : current_ipg();
+  send_timer_ = sched_->schedule_after(gap, [this] { send_next(); });
 }
 
 void RapSource::step() {
@@ -89,6 +135,9 @@ void RapSource::on_packet(const sim::Packet& p) {
 
 void RapSource::process_ack(const sim::Packet& ack) {
   ack_since_step_ = true;
+  last_ack_at_ = sched_->now();
+  sent_since_ack_ = 0;
+  if (quiescent_) exit_quiescence();
   // RTT sample from the echoed send timestamp.
   update_rtt(sched_->now() - ack.ts_echo);
 

@@ -47,6 +47,9 @@ class RapListener {
   virtual void on_backoff(Rate /*new_rate*/) {}
   // Rate changed by additive increase (once per SRTT step).
   virtual void on_rate_increase(Rate /*new_rate*/) {}
+  // ACK starvation drove the source quiescent (active=true) or feedback
+  // returned and paced sending resumed (active=false).
+  virtual void on_quiescence(bool /*active*/) {}
 };
 
 struct RapParams {
@@ -57,6 +60,18 @@ struct RapParams {
   TimeDelta initial_rtt = TimeDelta::millis(100);
   bool fine_grain = false;         // short/long RTT ratio scaling of IPG
   TimePoint start_time;            // when to begin transmitting
+
+  // Quiescence (ACK starvation) handling. The source goes quiescent once at
+  // least three sends have gone unanswered AND no ACK has arrived for
+  // starvation_srtt_factor * SRTT — but never sooner than a few packet gaps
+  // plus an RTO, so a healthy flow pacing at the rate floor (IPG >> SRTT,
+  // every packet answered) is not mistaken for a dead path. While
+  // quiescent it sends probe packets at exponentially backed-off intervals
+  // (starting near the RTO, doubling up to probe_interval_cap); the first
+  // ACK exits quiescence with a slow restart from min_rate — paced, never a
+  // burst.
+  double starvation_srtt_factor = 10.0;
+  TimeDelta probe_interval_cap = TimeDelta::seconds(2);
 };
 
 class RapSource : public sim::Agent {
@@ -86,6 +101,14 @@ class RapSource : public sim::Agent {
   int64_t losses_detected() const { return losses_; }
   int64_t backoffs() const { return backoffs_; }
 
+  // Quiescent-state introspection (graceful degradation under ACK
+  // starvation; see RapParams).
+  bool quiescent() const { return quiescent_; }
+  int64_t quiescence_entries() const { return quiescence_entries_; }
+  TimePoint last_ack_at() const { return last_ack_at_; }
+  // The silence threshold that triggers quiescence at the current SRTT/IPG.
+  TimeDelta starvation_threshold() const;
+
  private:
   struct HistoryEntry {
     sim::Packet pkt;      // as sent (keeps layer tagging for loss reports)
@@ -100,6 +123,9 @@ class RapSource : public sim::Agent {
   void detect_losses_from_ack(int64_t acked_seq);
   void check_timeouts();
   void backoff(int64_t trigger_seq);
+  void maybe_enter_quiescence();
+  void exit_quiescence();
+  TimeDelta next_probe_interval();
   void update_rtt(TimeDelta sample);
   void set_rate(Rate r);
   TimeDelta current_ipg() const;
@@ -136,6 +162,17 @@ class RapSource : public sim::Agent {
 
   sim::EventId send_timer_ = sim::kInvalidEventId;
   sim::EventId step_timer_ = sim::kInvalidEventId;
+
+  // ACK-starvation state (see RapParams). last_ack_at_ starts at the
+  // transmission start time so a connection that never hears back also goes
+  // quiescent.
+  bool quiescent_ = false;
+  TimePoint last_ack_at_;
+  // Sends with no ACK heard since; starvation requires several unanswered
+  // sends, not mere silence (a floor-paced flow is quiet between ACKs).
+  int64_t sent_since_ack_ = 0;
+  TimeDelta probe_interval_ = TimeDelta::zero();
+  int64_t quiescence_entries_ = 0;
 
   int64_t packets_sent_ = 0;
   int64_t losses_ = 0;

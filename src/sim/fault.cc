@@ -1,0 +1,215 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/logging.h"
+
+namespace qa::sim {
+
+FaultInjector::FaultInjector(Scheduler* sched) : sched_(sched) {
+  QA_CHECK(sched_ != nullptr);
+}
+
+void FaultInjector::down(Link* link, const OutagePolicy& policy) {
+  LinkState& st = state(link);
+  if (st.down_depth++ == 0) link->set_down(policy);
+}
+
+void FaultInjector::up(Link* link) {
+  LinkState& st = state(link);
+  QA_CHECK(st.down_depth > 0);
+  if (--st.down_depth == 0) link->set_up();
+}
+
+void FaultInjector::outage(Link* link, TimePoint start, TimeDelta duration,
+                           OutagePolicy policy) {
+  QA_CHECK(link != nullptr);
+  QA_CHECK(duration > TimeDelta::zero());
+  ++faults_;
+  sched_->schedule_at(start, [this, link, policy] { down(link, policy); });
+  sched_->schedule_at(start + duration, [this, link] { up(link); });
+}
+
+void FaultInjector::flap(Link* link, TimePoint start, int cycles,
+                         TimeDelta down_for, TimeDelta up_for,
+                         OutagePolicy policy) {
+  QA_CHECK(cycles > 0);
+  TimePoint t = start;
+  for (int i = 0; i < cycles; ++i) {
+    outage(link, t, down_for, policy);
+    t += down_for + up_for;
+  }
+}
+
+void FaultInjector::bandwidth_step(Link* link, TimePoint at, Rate bandwidth) {
+  QA_CHECK(link != nullptr);
+  ++faults_;
+  sched_->schedule_at(at, [link, bandwidth] { link->set_bandwidth(bandwidth); });
+}
+
+void FaultInjector::bandwidth_window(Link* link, TimePoint start,
+                                     TimeDelta duration, Rate during) {
+  QA_CHECK(link != nullptr);
+  ++faults_;
+  sched_->schedule_at(start, [this, link, duration, during] {
+    const Rate original = link->bandwidth();
+    link->set_bandwidth(during);
+    sched_->schedule_after(duration,
+                           [link, original] { link->set_bandwidth(original); });
+  });
+}
+
+void FaultInjector::bandwidth_oscillation(Link* link, TimePoint start,
+                                          int cycles, TimeDelta half_period,
+                                          Rate low, Rate high) {
+  QA_CHECK(link != nullptr);
+  QA_CHECK(cycles > 0);
+  ++faults_;
+  sched_->schedule_at(start, [this, link, cycles, half_period, low, high] {
+    const Rate original = link->bandwidth();
+    for (int i = 0; i < 2 * cycles; ++i) {
+      const Rate r = (i % 2 == 0) ? low : high;
+      sched_->schedule_after(half_period * i,
+                             [link, r] { link->set_bandwidth(r); });
+    }
+    sched_->schedule_after(half_period * (2 * cycles),
+                           [link, original] { link->set_bandwidth(original); });
+  });
+}
+
+void FaultInjector::delay_step(Link* link, TimePoint at, TimeDelta prop_delay) {
+  QA_CHECK(link != nullptr);
+  ++faults_;
+  sched_->schedule_at(at,
+                      [link, prop_delay] { link->set_prop_delay(prop_delay); });
+}
+
+void FaultInjector::delay_window(Link* link, TimePoint start,
+                                 TimeDelta duration, TimeDelta prop_delay) {
+  QA_CHECK(link != nullptr);
+  ++faults_;
+  sched_->schedule_at(start, [this, link, duration, prop_delay] {
+    const TimeDelta original = link->prop_delay();
+    link->set_prop_delay(prop_delay);
+    sched_->schedule_after(
+        duration, [link, original] { link->set_prop_delay(original); });
+  });
+}
+
+void FaultInjector::loss_window(Link* link, TimePoint start,
+                                TimeDelta duration,
+                                GilbertElliottLoss::Params params,
+                                uint64_t seed) {
+  QA_CHECK(link != nullptr);
+  ++faults_;
+  sched_->schedule_at(start, [this, link, duration, params, seed] {
+    const int64_t gen = ++state(link).loss_gen;
+    link->set_loss_model(std::make_unique<GilbertElliottLoss>(params, seed));
+    sched_->schedule_after(duration, [this, link, gen] {
+      if (state(link).loss_gen == gen) link->set_loss_model(nullptr);
+    });
+  });
+}
+
+void FaultInjector::bernoulli_loss_window(Link* link, TimePoint start,
+                                          TimeDelta duration, double p,
+                                          uint64_t seed) {
+  QA_CHECK(link != nullptr);
+  ++faults_;
+  sched_->schedule_at(start, [this, link, duration, p, seed] {
+    const int64_t gen = ++state(link).loss_gen;
+    link->set_loss_model(std::make_unique<BernoulliLoss>(p, seed));
+    sched_->schedule_after(duration, [this, link, gen] {
+      if (state(link).loss_gen == gen) link->set_loss_model(nullptr);
+    });
+  });
+}
+
+void FaultInjector::impairment_window(Link* link, TimePoint start,
+                                      TimeDelta duration,
+                                      ReorderDupImpairment::Params params,
+                                      uint64_t seed) {
+  QA_CHECK(link != nullptr);
+  ++faults_;
+  sched_->schedule_at(start, [this, link, duration, params, seed] {
+    const int64_t gen = ++state(link).imp_gen;
+    link->set_impairment(
+        std::make_unique<ReorderDupImpairment>(params, seed));
+    sched_->schedule_after(duration, [this, link, gen] {
+      if (state(link).imp_gen == gen) link->set_impairment(nullptr);
+    });
+  });
+}
+
+void inject_random_faults(FaultInjector& inj, Link* data, Link* ack, Rng& rng,
+                          const ChaosProfile& profile) {
+  QA_CHECK(data != nullptr && ack != nullptr);
+  QA_CHECK(profile.faults > 0);
+  // Disjoint slots: each fault (and its restore) lives inside its own slot,
+  // so window expiries never fight and the whole schedule is cleared by
+  // profile.start + profile.window.
+  const TimeDelta slot = profile.window / profile.faults;
+  const double slot_sec = slot.sec();
+  for (int i = 0; i < profile.faults; ++i) {
+    const TimePoint slot_start = profile.start + slot * i;
+    const TimePoint start =
+        slot_start + TimeDelta::from_sec(rng.uniform(0.0, 0.1 * slot_sec));
+    const double max_dur = 0.8 * slot_sec;
+    const TimeDelta duration =
+        TimeDelta::from_sec(rng.uniform(0.3 * max_dur, max_dur));
+    OutagePolicy policy;
+    policy.drop_in_flight = rng.bernoulli(0.8);
+    policy.drop_queued = rng.bernoulli(0.5);
+    policy.drop_arrivals = rng.bernoulli(0.3);
+    switch (rng.next_below(8)) {
+      case 0:  // data-path outage
+        inj.outage(data, start, duration, policy);
+        break;
+      case 1:  // ACK-path outage: data flows, feedback doesn't
+        inj.outage(ack, start, duration, policy);
+        break;
+      case 2: {  // data-path flapping
+        const TimeDelta down_for =
+            TimeDelta::from_sec(rng.uniform(0.1, 0.3) * slot_sec);
+        const TimeDelta up_for =
+            TimeDelta::from_sec(rng.uniform(0.05, 0.15) * slot_sec);
+        inj.flap(data, start, 2, down_for, up_for, policy);
+        break;
+      }
+      case 3: {  // bursty loss on the data path
+        GilbertElliottLoss::Params ge;
+        ge.p_good_to_bad = rng.uniform(0.005, 0.05);
+        ge.p_bad_to_good = rng.uniform(0.05, 0.3);
+        ge.loss_bad = rng.uniform(0.3, 0.9);
+        inj.loss_window(data, start, duration, ge, rng.next_u64());
+        break;
+      }
+      case 4: {  // bursty loss on the ACK path
+        GilbertElliottLoss::Params ge;
+        ge.p_good_to_bad = rng.uniform(0.01, 0.1);
+        ge.p_bad_to_good = rng.uniform(0.05, 0.2);
+        ge.loss_bad = rng.uniform(0.5, 1.0);
+        inj.loss_window(ack, start, duration, ge, rng.next_u64());
+        break;
+      }
+      case 5:  // bandwidth dip
+        inj.bandwidth_window(data, start, duration,
+                             data->bandwidth() * rng.uniform(0.3, 0.7));
+        break;
+      case 6:  // propagation-delay spike
+        inj.delay_window(data, start, duration,
+                         TimeDelta::from_sec(rng.uniform(0.05, 0.2)));
+        break;
+      default: {  // reordering + duplication
+        ReorderDupImpairment::Params rp;
+        rp.p_reorder = rng.uniform(0.05, 0.3);
+        rp.p_duplicate = rng.uniform(0.01, 0.1);
+        inj.impairment_window(data, start, duration, rp, rng.next_u64());
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace qa::sim

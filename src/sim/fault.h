@@ -1,0 +1,105 @@
+// FaultInjector: scheduled network faults for robustness experiments.
+//
+// Drives any Link through outages, flapping, runtime bandwidth/propagation
+// changes, bursty (Gilbert-Elliott) or Bernoulli loss windows, and
+// reordering/duplication windows, all as ordinary events on the existing
+// Scheduler, so a fault schedule composes with any workload and stays fully
+// deterministic. The reverse (ACK) path of a dumbbell is just another Link
+// — impair `Dumbbell::bottleneck_reverse` to starve feedback while data
+// still flows.
+//
+// Windows on the same link may overlap: outages nest (the link comes back
+// up when the last overlapping outage ends) and a loss/impairment window's
+// expiry only clears the model it installed, never a later window's.
+// Installing a loss model or impairment by hand while injector windows are
+// active on the same link is not supported (last writer wins).
+//
+// `inject_random_faults` draws a randomized schedule from an Rng — the
+// chaos harness's input. Faults land in disjoint slots inside the window so
+// bandwidth restores never fight each other, and every fault is cleared by
+// the window's end, which makes "recovered within N seconds of the window"
+// a well-defined assertion.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/link.h"
+#include "sim/loss_model.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace qa::sim {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(Scheduler* sched);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // --- Outages and flapping. ----------------------------------------------
+  // Link down over [start, start+duration). Overlapping outages nest.
+  void outage(Link* link, TimePoint start, TimeDelta duration,
+              OutagePolicy policy = {});
+  // `cycles` down/up cycles: down for `down_for`, then up for `up_for`.
+  void flap(Link* link, TimePoint start, int cycles, TimeDelta down_for,
+            TimeDelta up_for, OutagePolicy policy = {});
+
+  // --- Bandwidth / delay modulation. --------------------------------------
+  void bandwidth_step(Link* link, TimePoint at, Rate bandwidth);
+  // Bandwidth set to `during` over the window, then restored to whatever it
+  // was when the window opened.
+  void bandwidth_window(Link* link, TimePoint start, TimeDelta duration,
+                        Rate during);
+  // `cycles` alternations low/high, each half_period long; restores the
+  // opening bandwidth afterwards.
+  void bandwidth_oscillation(Link* link, TimePoint start, int cycles,
+                             TimeDelta half_period, Rate low, Rate high);
+  void delay_step(Link* link, TimePoint at, TimeDelta prop_delay);
+  void delay_window(Link* link, TimePoint start, TimeDelta duration,
+                    TimeDelta prop_delay);
+
+  // --- Wire impairment windows. -------------------------------------------
+  void loss_window(Link* link, TimePoint start, TimeDelta duration,
+                   GilbertElliottLoss::Params params, uint64_t seed);
+  void bernoulli_loss_window(Link* link, TimePoint start, TimeDelta duration,
+                             double p, uint64_t seed);
+  void impairment_window(Link* link, TimePoint start, TimeDelta duration,
+                         ReorderDupImpairment::Params params, uint64_t seed);
+
+  int64_t faults_scheduled() const { return faults_; }
+
+ private:
+  struct LinkState {
+    int down_depth = 0;     // nested outages currently holding the link down
+    int64_t loss_gen = 0;   // invalidates stale loss-window expiries
+    int64_t imp_gen = 0;    // same for impairment windows
+  };
+
+  LinkState& state(Link* link) { return state_[link]; }
+  void down(Link* link, const OutagePolicy& policy);
+  void up(Link* link);
+
+  Scheduler* sched_;
+  std::unordered_map<Link*, LinkState> state_;
+  int64_t faults_ = 0;
+};
+
+// Randomized fault schedule for the chaos harness: `faults` faults drawn
+// from the Rng, placed in disjoint slots of [start, start+window) across the
+// data and ACK links. Every fault (including its restore) completes inside
+// the window. The mix covers data/ACK outages (various OutagePolicy flavors),
+// flapping, Gilbert-Elliott loss on either direction, bandwidth dips,
+// propagation-delay spikes, and reordering/duplication.
+struct ChaosProfile {
+  TimePoint start = TimePoint::from_sec(10);
+  TimeDelta window = TimeDelta::seconds(20);
+  int faults = 6;
+};
+
+void inject_random_faults(FaultInjector& inj, Link* data, Link* ack, Rng& rng,
+                          const ChaosProfile& profile);
+
+}  // namespace qa::sim

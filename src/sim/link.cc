@@ -26,33 +26,131 @@ void Link::set_loss_model(std::unique_ptr<LossModel> model) {
   loss_model_ = std::move(model);
 }
 
+void Link::set_impairment(std::unique_ptr<WireImpairment> impairment) {
+  impairment_ = std::move(impairment);
+}
+
 void Link::submit(const Packet& p) {
+  ++submitted_;
+  if (!up_ && outage_policy_.drop_arrivals) {
+    ++outage_drops_;
+    audit_packet_conservation();
+    return;
+  }
   if (queue_->enqueue(p)) {
     maybe_start_tx();
   }
+  audit_packet_conservation();
+}
+
+void Link::set_down(const OutagePolicy& policy) {
+  if (!up_) return;
+  up_ = false;
+  outage_policy_ = policy;
+  ++outages_;
+  if (policy.drop_in_flight) {
+    if (busy_) {
+      // The packet mid-serialization dies with the interface.
+      sched_->cancel(tx_event_);
+      tx_event_ = kInvalidEventId;
+      busy_ = false;
+      ++outage_drops_;
+    }
+    // Packets already propagating are orphaned: their scheduled deliveries
+    // see a stale epoch and count themselves as outage drops.
+    ++wire_epoch_;
+  }
+  if (policy.drop_queued) {
+    while (!queue_->empty()) {
+      (void)queue_->dequeue();
+      ++outage_drops_;
+    }
+  }
+  audit_packet_conservation();
+}
+
+void Link::set_up() {
+  if (up_) return;
+  up_ = true;
+  maybe_start_tx();
+  audit_packet_conservation();
+}
+
+void Link::set_bandwidth(Rate bandwidth) {
+  QA_CHECK(bandwidth.bps() > 0);
+  bandwidth_ = bandwidth;
+}
+
+void Link::set_prop_delay(TimeDelta prop_delay) {
+  QA_CHECK(prop_delay >= TimeDelta::zero());
+  prop_delay_ = prop_delay;
 }
 
 void Link::maybe_start_tx() {
-  if (busy_ || queue_->empty()) return;
+  if (busy_ || !up_ || queue_->empty()) return;
   busy_ = true;
-  Packet p = queue_->dequeue();
-  const TimeDelta tx_time = bandwidth_.transmit_time(p.size_bytes);
-  sched_->schedule_after(tx_time, [this, p] { on_tx_complete(p); });
+  in_flight_ = queue_->dequeue();
+  const TimeDelta tx_time = bandwidth_.transmit_time(in_flight_.size_bytes);
+  tx_event_ = sched_->schedule_after(tx_time, [this] { on_tx_complete(); });
 }
 
-void Link::on_tx_complete(const Packet& p) {
+void Link::schedule_delivery(const Packet& p, TimeDelta delay) {
+  const uint64_t epoch = wire_epoch_;
+  ++in_flight_wire_;
+  sched_->schedule_after(delay, [this, p, epoch] {
+    --in_flight_wire_;
+    if (epoch != wire_epoch_) {
+      ++outage_drops_;
+      audit_packet_conservation();
+      return;
+    }
+    ++delivered_;
+    bytes_delivered_ += p.size_bytes;
+    to_->deliver(p);
+    audit_packet_conservation();
+  });
+}
+
+void Link::on_tx_complete() {
   busy_ = false;
+  tx_event_ = kInvalidEventId;
+  const Packet p = in_flight_;
   if (tx_observer_) tx_observer_(p);
   const bool lost =
       loss_model_ && loss_model_->should_drop(p, sched_->now());
   if (lost) {
     ++wire_drops_;
   } else {
-    ++delivered_;
-    bytes_delivered_ += p.size_bytes;
-    sched_->schedule_after(prop_delay_, [this, p] { to_->deliver(p); });
+    WireEffect effect;
+    if (impairment_) effect = impairment_->on_packet(p, sched_->now());
+    if (effect.copies <= 0) {
+      ++wire_drops_;  // absorbed by the impairment
+    }
+    for (int32_t c = 0; c < effect.copies; ++c) {
+      if (c > 0) ++duplicates_injected_;
+      // A duplicate trails the original by one serialization time, like a
+      // back-to-back copy on the wire.
+      schedule_delivery(p, prop_delay_ + effect.extra_delay +
+                               bandwidth_.transmit_time(p.size_bytes) * c);
+    }
   }
+  audit_packet_conservation();
   maybe_start_tx();
+}
+
+void Link::audit_packet_conservation() const {
+  QA_INVARIANT_MSG(
+      submitted_ + duplicates_injected_ ==
+          delivered_ + wire_drops_ + outage_drops_ + queue_->total_drops() +
+              static_cast<int64_t>(queue_->packets()) + (busy_ ? 1 : 0) +
+              in_flight_wire_,
+      "link '" << name_ << "' packet accounting out of balance: submitted="
+               << submitted_ << " dup=" << duplicates_injected_
+               << " delivered=" << delivered_ << " wire_drops=" << wire_drops_
+               << " outage_drops=" << outage_drops_
+               << " queue_drops=" << queue_->total_drops()
+               << " queued=" << queue_->packets() << " serializing="
+               << (busy_ ? 1 : 0) << " propagating=" << in_flight_wire_);
 }
 
 }  // namespace qa::sim

@@ -4,10 +4,22 @@
 // The link drains its queue one packet at a time: when idle and the queue is
 // non-empty it dequeues, waits size/bandwidth (serialization), then hands the
 // packet to the destination node after the propagation delay. An optional
-// LossModel can drop packets "on the wire" after serialization, for
+// LossModel can drop packets "on the wire" after serialization, and an
+// optional WireImpairment can delay (reorder) or duplicate survivors, for
 // controlled-loss experiments.
+//
+// Fault injection: a link can be taken down and brought back at runtime
+// (set_down / set_up), with the OutagePolicy choosing the fate of queued,
+// serializing, and propagating packets; bandwidth and propagation delay can
+// be changed mid-run (the packet currently serializing finishes at the old
+// bandwidth, and packets already on the wire keep their old delay). All
+// packets are accounted: submitted + injected duplicates always equals
+// delivered + queue drops + wire drops + outage drops + packets still
+// resident in the queue, the transmitter, or the wire (audited after every
+// transition).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -22,6 +34,20 @@ namespace qa::sim {
 
 class Node;
 
+// What happens to packets the link is currently holding when it goes down.
+struct OutagePolicy {
+  // Discard the queue contents at the instant of the outage. When false the
+  // queue keeps its packets (a router buffering into a dead interface) and
+  // drains them on restore.
+  bool drop_queued = false;
+  // Lose the packet being serialized and every packet still propagating.
+  // When false in-flight packets survive the outage (a brief L2 glitch).
+  bool drop_in_flight = true;
+  // Discard packets submitted while the link is down instead of queueing
+  // them.
+  bool drop_arrivals = false;
+};
+
 class Link {
  public:
   Link(std::string name, Scheduler* sched, Node* to, Rate bandwidth,
@@ -31,12 +57,29 @@ class Link {
   Link& operator=(const Link&) = delete;
 
   // Entry point used by nodes: queue the packet for transmission. Drops are
-  // accounted by the queue.
+  // accounted by the queue (or as outage drops under drop_arrivals).
   void submit(const Packet& p);
 
   // Installs a wire loss model (applied after serialization). Pass nullptr
   // to clear.
   void set_loss_model(std::unique_ptr<LossModel> model);
+
+  // Installs a wire impairment (reordering/duplication), applied to packets
+  // that survived the loss model. Pass nullptr to clear.
+  void set_impairment(std::unique_ptr<WireImpairment> impairment);
+
+  // --- Fault injection (see FaultInjector). -------------------------------
+  // Takes the link down; idempotent while already down (the first outage's
+  // policy stays in force until restore).
+  void set_down(const OutagePolicy& policy);
+  // Restores the link and resumes draining whatever the queue still holds.
+  void set_up();
+  bool is_up() const { return up_; }
+  // Runtime modulation. The new bandwidth applies from the next packet to
+  // start serializing; the new propagation delay from the next packet to
+  // leave the transmitter.
+  void set_bandwidth(Rate bandwidth);
+  void set_prop_delay(TimeDelta prop_delay);
 
   const std::string& name() const { return name_; }
   Rate bandwidth() const { return bandwidth_; }
@@ -45,9 +88,15 @@ class Link {
   const PacketQueue& queue() const { return *queue_; }
   Node* to() const { return to_; }
 
+  int64_t packets_submitted() const { return submitted_; }
   int64_t packets_delivered() const { return delivered_; }
   int64_t bytes_delivered() const { return bytes_delivered_; }
   int64_t wire_drops() const { return wire_drops_; }
+  // Packets lost to outages: flushed from the queue, killed mid-
+  // serialization or mid-propagation, or refused on arrival while down.
+  int64_t outage_drops() const { return outage_drops_; }
+  int64_t duplicates_injected() const { return duplicates_injected_; }
+  int64_t outages() const { return outages_; }
 
   // Observer for every packet that finishes serialization (pre wire-loss);
   // used by probes to measure per-flow throughput at the bottleneck.
@@ -55,9 +104,14 @@ class Link {
     tx_observer_ = std::move(obs);
   }
 
+  // Packet-conservation audit (public so outage tests can assert balance at
+  // arbitrary instants; also run internally after every transition).
+  void audit_packet_conservation() const;
+
  private:
   void maybe_start_tx();
-  void on_tx_complete(const Packet& p);
+  void on_tx_complete();
+  void schedule_delivery(const Packet& p, TimeDelta delay);
 
   std::string name_;
   Scheduler* sched_;
@@ -66,11 +120,25 @@ class Link {
   TimeDelta prop_delay_;
   std::unique_ptr<PacketQueue> queue_;
   std::unique_ptr<LossModel> loss_model_;
+  std::unique_ptr<WireImpairment> impairment_;
   std::function<void(const Packet&)> tx_observer_;
   bool busy_ = false;
+  bool up_ = true;
+  OutagePolicy outage_policy_;
+  Packet in_flight_;                        // valid while busy_
+  EventId tx_event_ = kInvalidEventId;      // serialization completion
+  // Propagating packets carry the epoch at departure; an outage with
+  // drop_in_flight bumps it, so stale deliveries are discarded as outage
+  // drops instead of arriving from a dead wire.
+  uint64_t wire_epoch_ = 0;
+  int64_t in_flight_wire_ = 0;  // deliveries scheduled but not yet landed
+  int64_t submitted_ = 0;
   int64_t delivered_ = 0;
   int64_t bytes_delivered_ = 0;
   int64_t wire_drops_ = 0;
+  int64_t outage_drops_ = 0;
+  int64_t duplicates_injected_ = 0;
+  int64_t outages_ = 0;
 };
 
 }  // namespace qa::sim

@@ -23,4 +23,18 @@ bool GilbertElliottLoss::should_drop(const Packet&, TimePoint) {
   return rng_.bernoulli(bad_ ? params_.loss_bad : params_.loss_good);
 }
 
+WireEffect ReorderDupImpairment::on_packet(const Packet&, TimePoint) {
+  WireEffect e;
+  if (rng_.bernoulli(params_.p_reorder)) {
+    ++reordered_;
+    e.extra_delay = TimeDelta::from_sec(rng_.uniform(
+        params_.reorder_delay_min.sec(), params_.reorder_delay_max.sec()));
+  }
+  if (rng_.bernoulli(params_.p_duplicate)) {
+    ++duplicated_;
+    e.copies = 2;
+  }
+  return e;
+}
+
 }  // namespace qa::sim

@@ -1,11 +1,21 @@
-// Wire loss models for controlled-loss experiments.
+// Wire loss models and impairments for controlled-loss experiments.
 //
 // The paper's headline experiments get losses from drop-tail queue overflow;
 // these models exist for unit tests (deterministic loss placement) and for
 // the trace-driven/synthetic-loss studies motivated by §3 ("real networks
 // exhibit near-random loss patterns").
+//
+// Determinism contract: every stochastic model takes a *seed*, not an Rng.
+// Each model owns a private generator constructed from that seed, so its
+// drop sequence is a pure function of (seed, packet arrival order) and two
+// models can never share or fork one another's stream. (An earlier version
+// took `Rng` by value, which silently forked the caller's stream: two links
+// built from the same generator state produced byte-identical drop
+// sequences.) To derive per-link seeds from one experiment seed, draw them
+// explicitly — e.g. `rng.next_u64()` per model — at the call site.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "sim/packet.h"
@@ -24,7 +34,7 @@ class LossModel {
 // Drops each packet independently with probability p.
 class BernoulliLoss : public LossModel {
  public:
-  BernoulliLoss(double p, Rng rng) : p_(p), rng_(rng) {}
+  BernoulliLoss(double p, uint64_t seed) : p_(p), rng_(seed) {}
   bool should_drop(const Packet&, TimePoint) override { return rng_.bernoulli(p_); }
 
  private:
@@ -54,13 +64,56 @@ class GilbertElliottLoss : public LossModel {
     double loss_good = 0.0;
     double loss_bad = 0.5;
   };
-  GilbertElliottLoss(Params params, Rng rng) : params_(params), rng_(rng) {}
+  GilbertElliottLoss(Params params, uint64_t seed)
+      : params_(params), rng_(seed) {}
   bool should_drop(const Packet&, TimePoint) override;
 
  private:
   Params params_;
   Rng rng_;
   bool bad_ = false;
+};
+
+// Wire impairments beyond loss: a link applies the installed impairment to
+// every packet that survived the loss model and honors the returned effect.
+// `copies == 1` is a normal delivery, `copies == 2` duplicates the packet
+// (the second copy trails by one serialization time), `copies == 0` absorbs
+// it (counted as a wire drop); `extra_delay` is added to the propagation
+// delay of every copy, which is how reordering is produced (a delayed
+// packet overtakes nothing, but the packets behind it overtake *it*).
+struct WireEffect {
+  TimeDelta extra_delay = TimeDelta::zero();
+  int32_t copies = 1;
+};
+
+class WireImpairment {
+ public:
+  virtual ~WireImpairment() = default;
+  virtual WireEffect on_packet(const Packet& p, TimePoint now) = 0;
+};
+
+// Seeded random reordering + duplication (same determinism contract as the
+// loss models above).
+class ReorderDupImpairment : public WireImpairment {
+ public:
+  struct Params {
+    double p_reorder = 0.0;  // chance a packet is held back
+    TimeDelta reorder_delay_min = TimeDelta::millis(5);
+    TimeDelta reorder_delay_max = TimeDelta::millis(50);
+    double p_duplicate = 0.0;  // chance a packet is delivered twice
+  };
+  ReorderDupImpairment(Params params, uint64_t seed)
+      : params_(params), rng_(seed) {}
+  WireEffect on_packet(const Packet&, TimePoint) override;
+
+  int64_t reordered() const { return reordered_; }
+  int64_t duplicated() const { return duplicated_; }
+
+ private:
+  Params params_;
+  Rng rng_;
+  int64_t reordered_ = 0;
+  int64_t duplicated_ = 0;
 };
 
 }  // namespace qa::sim

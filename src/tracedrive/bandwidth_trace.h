@@ -27,6 +27,8 @@ struct RunSeries {
   TimeSeries consumption;                   // n_a * C (bytes/s)
   TimeSeries layers;                        // active layer count
   TimeSeries total_buffer;                  // bytes across active layers
+  TimeSeries rebuffering;                   // client paused for rebuffering
+                                            // (0/1; packet-sim runs only)
   std::vector<TimeSeries> layer_buffer;     // bytes per layer
   std::vector<TimeSeries> layer_send_rate;  // bytes/s delivered per layer
   std::vector<TimeSeries> layer_drain_rate; // bytes/s drawn from buffer

@@ -23,7 +23,7 @@ struct RetxFixture {
     topo.rtt = TimeDelta::millis(60);
     d = sim::build_dumbbell(net, topo);
     d.bottleneck->set_loss_model(
-        std::make_unique<sim::BernoulliLoss>(wire_loss, Rng(loss_seed)));
+        std::make_unique<sim::BernoulliLoss>(wire_loss, loss_seed));
     SessionConfig cfg;
     cfg.stream_layers = 4;
     cfg.layer_rate = Rate::kilobytes_per_sec(5);

@@ -43,7 +43,7 @@ TEST(RapRobustness, SurvivesAckPathLoss) {
   Pair pair;
   // 20% of ACKs vanish on the reverse bottleneck.
   pair.d.bottleneck_reverse->set_loss_model(
-      std::make_unique<sim::BernoulliLoss>(0.2, Rng(3)));
+      std::make_unique<sim::BernoulliLoss>(0.2, 3));
   pair.net.run(TimePoint::from_sec(30));
   // The flow keeps delivering (ACK loss must not be mistaken for data
   // loss wholesale) at a meaningful fraction of the link.
@@ -60,7 +60,7 @@ TEST(RapRobustness, RecoversFromForwardBlackout) {
   ASSERT_GT(before, 0);
   // Total forward blackout for 3 seconds: drop everything on the wire.
   pair.d.bottleneck->set_loss_model(
-      std::make_unique<sim::BernoulliLoss>(1.0, Rng(4)));
+      std::make_unique<sim::BernoulliLoss>(1.0, 4));
   pair.net.run(TimePoint::from_sec(13));
   // Timeouts must have collapsed the rate toward the floor.
   EXPECT_LT(pair.src->rate().bps(), 5'000.0);
@@ -78,7 +78,7 @@ TEST(RapRobustness, HandlesBurstyWireLoss) {
   ge.p_bad_to_good = 0.1;
   ge.loss_bad = 0.5;
   pair.d.bottleneck->set_loss_model(
-      std::make_unique<sim::GilbertElliottLoss>(ge, Rng(5)));
+      std::make_unique<sim::GilbertElliottLoss>(ge, 5));
   pair.net.run(TimePoint::from_sec(30));
   // Bursts force repeated backoffs but never wedge the sender.
   EXPECT_GT(pair.src->backoffs(), 5);
@@ -88,10 +88,57 @@ TEST(RapRobustness, HandlesBurstyWireLoss) {
   EXPECT_LT(pair.src->backoffs(), pair.src->losses_detected());
 }
 
+TEST(RapRobustness, AckBlackoutDrivesSourceQuiescent) {
+  Pair pair;
+  pair.net.run(TimePoint::from_sec(10));
+  ASSERT_GT(pair.src->rate().bps(), 5'000.0);  // warmed up well above floor
+  ASSERT_FALSE(pair.src->quiescent());
+
+  // Total ACK-path outage: data still flows, feedback does not.
+  sim::OutagePolicy policy;
+  policy.drop_in_flight = true;
+  policy.drop_arrivals = true;
+  pair.d.bottleneck_reverse->set_down(policy);
+  pair.net.run(TimePoint::from_sec(14));
+  const int64_t sent_at_14 = pair.src->packets_sent();
+  const int64_t sink_at_14 = pair.sink->packets_received();
+  pair.net.run(TimePoint::from_sec(20));
+
+  // Starvation provably exceeded the threshold and the source is quiescent
+  // at the rate floor.
+  EXPECT_GE(pair.net.scheduler().now() - pair.src->last_ack_at(),
+            pair.src->starvation_threshold());
+  EXPECT_TRUE(pair.src->quiescent());
+  EXPECT_EQ(pair.src->quiescence_entries(), 1);
+  EXPECT_LE(pair.src->rate().bps(), 501.0);
+  // Probing is exponentially backed off (cap 2 s): over six quiescent
+  // seconds only a handful of probes go out...
+  EXPECT_LE(pair.src->packets_sent() - sent_at_14, 8);
+  // ...and they reach the sink, because the forward path is healthy.
+  EXPECT_GT(pair.sink->packets_received(), sink_at_14);
+
+  // Restore the feedback path: the first probe ACK exits quiescence with a
+  // paced slow restart from the floor — never a burst. Probes are spaced up
+  // to 2 s apart, so within the first half second at most one probe (plus
+  // at most one floor-paced packet after the exit) can leave.
+  const int64_t sent_at_restore = pair.src->packets_sent();
+  pair.d.bottleneck_reverse->set_up();
+  pair.net.run(TimePoint::from_sec(20.5));
+  EXPECT_LE(pair.src->packets_sent() - sent_at_restore, 3);
+  // By 25 s a probe has certainly been ACKed and the source is live again.
+  pair.net.run(TimePoint::from_sec(25));
+  EXPECT_FALSE(pair.src->quiescent());
+
+  // Additive increase rebuilds the rate from the floor.
+  pair.net.run(TimePoint::from_sec(45));
+  EXPECT_GT(pair.src->rate().bps(), 15'000.0);
+  EXPECT_EQ(pair.src->quiescence_entries(), 1);
+}
+
 TEST(RapRobustness, MinRateFloorUnderPersistentLoss) {
   Pair pair;
   pair.d.bottleneck->set_loss_model(
-      std::make_unique<sim::BernoulliLoss>(0.6, Rng(6)));
+      std::make_unique<sim::BernoulliLoss>(0.6, 6));
   pair.net.run(TimePoint::from_sec(20));
   // AIMD would halve forever; the configured floor keeps the probe alive.
   EXPECT_GE(pair.src->rate().bps(), 499.0);

@@ -34,7 +34,7 @@ TEST(DeterministicLoss, EmptyNeverDrops) {
 }
 
 TEST(BernoulliLoss, ApproximatesProbability) {
-  BernoulliLoss loss(0.2, Rng(1));
+  BernoulliLoss loss(0.2, 1);
   int drops = 0;
   const int n = 100'000;
   for (int i = 0; i < n; ++i) {
@@ -44,12 +44,66 @@ TEST(BernoulliLoss, ApproximatesProbability) {
 }
 
 TEST(BernoulliLoss, ZeroAndOne) {
-  BernoulliLoss never(0.0, Rng(2));
-  BernoulliLoss always(1.0, Rng(3));
+  BernoulliLoss never(0.0, 2);
+  BernoulliLoss always(1.0, 3);
   for (int i = 0; i < 100; ++i) {
     EXPECT_FALSE(never.should_drop(pkt(), TimePoint::origin()));
     EXPECT_TRUE(always.should_drop(pkt(), TimePoint::origin()));
   }
+}
+
+// Determinism contract: the drop sequence is a pure function of (seed,
+// arrival order). Two models with the same seed agree bit-for-bit; models
+// with different seeds decorrelate.
+TEST(BernoulliLoss, SeedDeterminesDropSequence) {
+  BernoulliLoss a(0.3, 42);
+  BernoulliLoss b(0.3, 42);
+  BernoulliLoss c(0.3, 43);
+  int same_ab = 0, same_ac = 0;
+  const int n = 10'000;
+  for (int i = 0; i < n; ++i) {
+    const bool da = a.should_drop(pkt(), TimePoint::origin());
+    const bool db = b.should_drop(pkt(), TimePoint::origin());
+    const bool dc = c.should_drop(pkt(), TimePoint::origin());
+    if (da == db) ++same_ab;
+    if (da == dc) ++same_ac;
+  }
+  EXPECT_EQ(same_ab, n);  // identical seed -> identical sequence
+  EXPECT_LT(same_ac, n);  // different seed -> decorrelated
+}
+
+TEST(ReorderDup, DisabledByDefault) {
+  ReorderDupImpairment imp(ReorderDupImpairment::Params{}, 7);
+  for (int i = 0; i < 100; ++i) {
+    const WireEffect e = imp.on_packet(pkt(), TimePoint::origin());
+    EXPECT_EQ(e.copies, 1);
+    EXPECT_EQ(e.extra_delay, TimeDelta::zero());
+  }
+  EXPECT_EQ(imp.reordered(), 0);
+  EXPECT_EQ(imp.duplicated(), 0);
+}
+
+TEST(ReorderDup, ReordersAndDuplicatesAtConfiguredRates) {
+  ReorderDupImpairment::Params params;
+  params.p_reorder = 0.1;
+  params.reorder_delay_min = TimeDelta::millis(5);
+  params.reorder_delay_max = TimeDelta::millis(50);
+  params.p_duplicate = 0.05;
+  ReorderDupImpairment imp(params, 8);
+  const int n = 50'000;
+  int64_t extra_copies = 0;
+  for (int i = 0; i < n; ++i) {
+    const WireEffect e = imp.on_packet(pkt(), TimePoint::origin());
+    EXPECT_GE(e.copies, 1);
+    extra_copies += e.copies - 1;
+    if (e.extra_delay > TimeDelta::zero()) {
+      EXPECT_GE(e.extra_delay, params.reorder_delay_min);
+      EXPECT_LE(e.extra_delay, params.reorder_delay_max);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(imp.reordered()) / n, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(imp.duplicated()) / n, 0.05, 0.01);
+  EXPECT_EQ(extra_copies, imp.duplicated());
 }
 
 TEST(GilbertElliott, LossRateBetweenStates) {
@@ -58,7 +112,7 @@ TEST(GilbertElliott, LossRateBetweenStates) {
   params.p_bad_to_good = 0.25;
   params.loss_good = 0.0;
   params.loss_bad = 0.5;
-  GilbertElliottLoss loss(params, Rng(4));
+  GilbertElliottLoss loss(params, 4);
   int drops = 0;
   const int n = 200'000;
   for (int i = 0; i < n; ++i) {
@@ -74,7 +128,7 @@ TEST(GilbertElliott, ProducesBursts) {
   params.p_bad_to_good = 0.2;
   params.loss_good = 0.0;
   params.loss_bad = 0.9;
-  GilbertElliottLoss loss(params, Rng(5));
+  GilbertElliottLoss loss(params, 5);
   // Count runs of consecutive drops; a bursty model yields many length>=2.
   int bursts2 = 0, run = 0, singles = 0;
   for (int i = 0; i < 100'000; ++i) {

@@ -106,13 +106,18 @@ int main(int argc, char** argv) {
   std::printf("  buffering efficiency: %.2f%%\n",
               100 * r.metrics.mean_efficiency());
   std::printf("  playback stalls    : %.3f s\n", r.client_base_stall.sec());
+  std::printf("  rebuffer events    : %lld (%.3f s paused, worst recovery "
+              "%.3f s)\n",
+              static_cast<long long>(r.rebuffer_events),
+              r.rebuffer_time.sec(), r.rebuffer_max_recovery.sec());
   std::printf("  backoffs / losses  : %lld / %lld\n",
               static_cast<long long>(r.qa_backoffs),
               static_cast<long long>(r.qa_losses));
 
   if (!csv_path.empty()) {
-    std::vector<std::string> cols = {"t_sec", "rate", "consumption",
-                                     "layers", "total_buffer"};
+    std::vector<std::string> cols = {"t_sec",       "rate",
+                                     "consumption", "layers",
+                                     "total_buffer", "rebuffering"};
     for (int i = 0; i < p.stream_layers; ++i) {
       cols.push_back("buf_L" + std::to_string(i));
     }
@@ -123,7 +128,8 @@ int main(int argc, char** argv) {
           pts[i].t.sec(), pts[i].value,
           r.series.consumption.points()[i].value,
           r.series.layers.points()[i].value,
-          r.series.total_buffer.points()[i].value};
+          r.series.total_buffer.points()[i].value,
+          r.series.rebuffering.points()[i].value};
       for (int l = 0; l < p.stream_layers; ++l) {
         row.push_back(
             r.series.layer_buffer[static_cast<size_t>(l)].points()[i].value);
