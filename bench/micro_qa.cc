@@ -10,8 +10,10 @@
 #include "core/filling_policy.h"
 #include "core/quality_adapter.h"
 #include "core/state_sequence.h"
+#include "sim/profiler.h"
 #include "sim/scheduler.h"
 #include "tracedrive/bandwidth_trace.h"
+#include "util/event.h"
 
 namespace qa::core {
 namespace {
@@ -98,6 +100,54 @@ void BM_SchedulerThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SchedulerThroughput);
+
+// The zero-cost-when-disabled contract: an Event with no subscribers must
+// stay a single empty() branch on the per-packet path.
+void BM_EventEmitNoSubscribers(benchmark::State& state) {
+  Event<int64_t> ev;
+  int64_t i = 0;
+  for (auto _ : state) {
+    ev.emit(i++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventEmitNoSubscribers);
+
+void BM_EventEmitOneSubscriber(benchmark::State& state) {
+  Event<int64_t> ev;
+  int64_t sum = 0;
+  ev.subscribe([&sum](int64_t v) { sum += v; });
+  int64_t i = 0;
+  for (auto _ : state) {
+    ev.emit(i++);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventEmitOneSubscriber);
+
+// Same event mill as BM_SchedulerThroughput but with the profiler attached:
+// the delta between the two is the cost of timing every dispatch.
+void BM_SchedulerThroughputProfiled(benchmark::State& state) {
+  sim::SchedulerProfiler prof;
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    sched.set_profiler(&prof);
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sched.schedule_at(TimePoint::from_ns(i * 997 % 10'000),
+                        [&fired] { ++fired; },
+                        sim::EventCategory::kTransport);
+    }
+    sched.run_until(TimePoint::from_sec(1));
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  state.counters["dispatches"] = static_cast<double>(prof.total_dispatches());
+  state.counters["wall_ms"] =
+      static_cast<double>(prof.total_wall_ns()) * 1e-6;
+}
+BENCHMARK(BM_SchedulerThroughputProfiled);
 
 void BM_TraceDrivenSecond(benchmark::State& state) {
   // Cost of one simulated second of trace-driven quality adaptation.

@@ -64,11 +64,11 @@ ChaosOutcome run_chaos_trial(const ChaosParams& params) {
       out.min_client_buffer =
           std::min({out.min_client_buffer, client.buffer(0),
                     client.total_buffer()});
-    });
+    }, sim::EventCategory::kProbe);
   }
   net.scheduler().schedule_at(fault_end, [&session, &packets_at_fault_end] {
     packets_at_fault_end = session.client().packets_received();
-  });
+  }, sim::EventCategory::kProbe);
 
   net.run(run_end);
   session.client().sync();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "app/observability.h"
 #include "cbr/cbr.h"
 #include "sim/topology.h"
 #include "tcp/tcp_sink.h"
@@ -61,6 +62,12 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
   scfg.layer_rate = params.layer_rate;
   scfg.keep_client_packet_log = params.keep_client_packet_log;
   Session session(net, d.left[0], d.right[0], scfg);
+
+  if (params.observability != nullptr) {
+    params.observability->attach_scheduler(net.scheduler());
+    params.observability->attach_link(*d.bottleneck, "bottleneck");
+    params.observability->attach_session(session);
+  }
 
   // --- Competing plain RAP flows (pairs 1..rap_flows-1). -----------------
   std::vector<rap::RapSource*> rap_competitors;
@@ -157,7 +164,7 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
             at, std::max(0.0, (prev_buf[i] - buf) / dt));
         prev_buf[i] = buf;
       }
-    });
+    }, sim::EventCategory::kProbe);
   }
 
   net.run(TimePoint::from_sec(params.duration_sec));
@@ -194,6 +201,9 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
     }
     result.mean_tcp_rate_bps = sum / static_cast<double>(tcp_sources.size());
   }
+  // The session, links, and scheduler all die with this frame; the hub's
+  // final snapshot (and artifact flush) must happen before they do.
+  if (params.observability != nullptr) params.observability->finish();
   return result;
 }
 

@@ -23,6 +23,8 @@
 
 namespace qa::app {
 
+class Observability;
+
 struct ExperimentParams {
   // Topology / competing load. The bottleneck queue defaults to 200
   // packets, mirroring ns-2's deep drop-tail defaults: on a slow link the
@@ -59,6 +61,13 @@ struct ExperimentParams {
   uint64_t seed = 1;
   double sample_dt_sec = 0.1;
   bool keep_client_packet_log = false;
+
+  // Optional observability hub (not owned). When set, run_experiment
+  // attaches the scheduler, the bottleneck link, and the QA session to it,
+  // and calls finish() — flushing trace/metrics/manifest artifacts — before
+  // returning, since everything attached dies with the run. Populate the
+  // manifest before calling; read the profiler after.
+  Observability* observability = nullptr;
 
   // Named presets.
   static ExperimentParams t1(int kmax = 2, uint64_t seed = 1);

@@ -1,0 +1,239 @@
+#include "app/observability.h"
+
+#include "app/session.h"
+#include "app/video_client.h"
+#include "util/logging.h"
+
+namespace qa::app {
+
+using sim::EventCategory;
+using TraceArgs = ChromeTraceWriter::Args;
+
+Observability::Observability(ObservabilityConfig cfg) : cfg_(std::move(cfg)) {
+  if (!cfg_.out_dir.empty() && cfg_.trace) {
+    trace_ = std::make_unique<ChromeTraceWriter>(cfg_.out_dir + "/trace.json");
+    trace_->name_track(ChromeTraceWriter::kSchedulerTrack, "scheduler");
+    trace_->name_track(ChromeTraceWriter::kTransportTrack, "transport (RAP)");
+    trace_->name_track(ChromeTraceWriter::kAdapterTrack, "quality adapter");
+    trace_->name_track(ChromeTraceWriter::kClientTrack, "video client");
+    trace_->name_track(ChromeTraceWriter::kLinkTrack, "links");
+  }
+}
+
+Observability::~Observability() { finish(); }
+
+void Observability::attach_scheduler(sim::Scheduler& sched) {
+  sched_ = &sched;
+  if (cfg_.profile) {
+    sched.set_profiler(&profiler_);
+    // Snapshot-time gauges over the profiler, so metrics exports carry the
+    // per-category dispatch counts without double bookkeeping.
+    for (int i = 0; i < sim::kEventCategoryCount; ++i) {
+      const auto c = static_cast<EventCategory>(i);
+      const std::string base =
+          std::string("scheduler.") + sim::event_category_name(c);
+      registry_.register_gauge(base + ".dispatches", [this, c] {
+        return static_cast<double>(profiler_.stats(c).dispatches);
+      });
+      registry_.register_gauge(base + ".wall_ms", [this, c] {
+        return static_cast<double>(profiler_.stats(c).wall_ns) * 1e-6;
+      });
+    }
+  }
+  if (trace_) {
+    // One B/E span per executed handler. Handlers are instantaneous in
+    // simulated time, so both halves share the event's sim time and the
+    // measured wall cost rides as an argument.
+    subs_.push_back(sched.on_dispatch().subscribe_scoped(
+        [this](const sim::DispatchRecord& rec) {
+          trace_->span_begin(
+              rec.at, ChromeTraceWriter::kSchedulerTrack,
+              sim::event_category_name(rec.category),
+              TraceArgs{{"wall_ns", ChromeTraceWriter::num(rec.wall_ns)}});
+          trace_->span_end(rec.at, ChromeTraceWriter::kSchedulerTrack);
+        }));
+  }
+}
+
+void Observability::attach_link(sim::Link& link, const std::string& name) {
+  const std::string base = "link." + name;
+  Counter& enq = registry_.counter(base + ".enqueued_packets");
+  Counter& drop = registry_.counter(base + ".queue_drops");
+  Counter& tx = registry_.counter(base + ".tx_packets");
+  Counter& tx_bytes = registry_.counter(base + ".tx_bytes");
+  registry_.register_gauge(base + ".delivered_packets", [&link] {
+    return static_cast<double>(link.packets_delivered());
+  });
+  registry_.register_gauge(base + ".queue_bytes", [&link] {
+    return static_cast<double>(link.queue().bytes());
+  });
+
+  subs_.push_back(link.on_enqueue().subscribe_scoped(
+      [this, &link, &enq, name](const sim::Packet&) {
+        enq.inc();
+        if (trace_) {
+          trace_->counter(sched_ ? sched_->now() : TimePoint::origin(),
+                          ChromeTraceWriter::kLinkTrack, "queue " + name,
+                          "bytes",
+                          static_cast<double>(link.queue().bytes()));
+        }
+      }));
+  subs_.push_back(link.on_queue_drop().subscribe_scoped(
+      [this, &drop, name](const sim::Packet& p) {
+        drop.inc();
+        if (trace_) {
+          trace_->instant(
+              sched_ ? sched_->now() : TimePoint::origin(),
+              ChromeTraceWriter::kLinkTrack, "queue_drop " + name,
+              TraceArgs{{"flow", ChromeTraceWriter::num(int64_t{p.flow_id})},
+                        {"bytes",
+                         ChromeTraceWriter::num(int64_t{p.size_bytes})}});
+        }
+      }));
+  subs_.push_back(link.on_tx().subscribe_scoped(
+      [this, &link, &tx, &tx_bytes, name](const sim::Packet& p) {
+        tx.inc();
+        tx_bytes.inc(p.size_bytes);
+        if (trace_) {
+          trace_->counter(sched_ ? sched_->now() : TimePoint::origin(),
+                          ChromeTraceWriter::kLinkTrack, "queue " + name,
+                          "bytes",
+                          static_cast<double>(link.queue().bytes()));
+        }
+      }));
+}
+
+void Observability::attach_rap_source(rap::RapSource& src) {
+  Counter& rate_changes = registry_.counter("rap.rate_changes");
+  Counter& backoffs = registry_.counter("rap.backoffs");
+  Counter& timeout_losses = registry_.counter("rap.timeout_losses");
+  Counter& quiescence = registry_.counter("rap.quiescence_entries");
+  Histogram& rate_hist = registry_.histogram("rap.rate_bytes_per_sec");
+
+  subs_.push_back(src.on_rate_change().subscribe_scoped(
+      [this, &rate_changes, &rate_hist](TimePoint t, Rate r) {
+        rate_changes.inc();
+        rate_hist.observe(r.bps());
+        if (trace_) {
+          trace_->counter(t, ChromeTraceWriter::kTransportTrack, "rap rate",
+                          "bytes_per_sec", r.bps());
+        }
+      }));
+  subs_.push_back(src.on_backoff().subscribe_scoped(
+      [this, &backoffs](TimePoint t, Rate r) {
+        backoffs.inc();
+        if (trace_) {
+          trace_->instant(
+              t, ChromeTraceWriter::kTransportTrack, "backoff",
+              TraceArgs{{"rate_post", ChromeTraceWriter::num(r.bps())}});
+        }
+      }));
+  subs_.push_back(src.on_timeout_loss().subscribe_scoped(
+      [this, &timeout_losses](TimePoint t, const sim::Packet& p) {
+        timeout_losses.inc();
+        if (trace_) {
+          trace_->instant(
+              t, ChromeTraceWriter::kTransportTrack, "timeout_loss",
+              TraceArgs{{"seq", ChromeTraceWriter::num(p.seq)},
+                        {"layer", ChromeTraceWriter::num(int64_t{p.layer})}});
+        }
+      }));
+  subs_.push_back(src.on_quiescence().subscribe_scoped(
+      [this, &quiescence](TimePoint t, bool active) {
+        if (active) quiescence.inc();
+        if (trace_) {
+          trace_->instant(t, ChromeTraceWriter::kTransportTrack,
+                          active ? "quiescence_enter" : "quiescence_exit");
+        }
+      }));
+}
+
+void Observability::attach_adapter(core::QualityAdapter& adapter) {
+  adapter.metrics().register_metrics(registry_, "adapter");
+  Counter& padding = registry_.counter("adapter.padding_slots");
+  Counter& media = registry_.counter("adapter.media_packets");
+  Histogram& buf_hist = registry_.histogram("adapter.total_buffer_bytes");
+
+  subs_.push_back(adapter.on_drop().subscribe_scoped(
+      [this](const core::DropEvent& e) {
+        if (!trace_) return;
+        trace_->instant(
+            e.time, ChromeTraceWriter::kAdapterTrack, "layer_drop",
+            TraceArgs{
+                {"layer", ChromeTraceWriter::num(int64_t{e.layer})},
+                {"dropped_buf", ChromeTraceWriter::num(e.dropped_buf)},
+                {"total_buf", ChromeTraceWriter::num(e.total_buf)},
+                {"required_buf", ChromeTraceWriter::num(e.required_buf)},
+                {"poor_distribution",
+                 e.poor_distribution ? std::string("true")
+                                     : std::string("false")}});
+      }));
+  subs_.push_back(
+      adapter.on_add().subscribe_scoped([this](const core::AddEvent& e) {
+        if (!trace_) return;
+        trace_->instant(e.time, ChromeTraceWriter::kAdapterTrack, "layer_add",
+                        TraceArgs{{"active_layers",
+                                   ChromeTraceWriter::num(
+                                       int64_t{e.new_active_layers})}});
+      }));
+  subs_.push_back(adapter.on_allocation().subscribe_scoped(
+      [this, &padding, &media,
+       &buf_hist](const core::QualityAdapter::AllocationDecision& d) {
+        (d.layer == core::QualityAdapter::kPaddingSlot ? padding : media)
+            .inc();
+        buf_hist.observe(d.total_buf);
+        if (trace_) {
+          trace_->counter(d.time, ChromeTraceWriter::kAdapterTrack,
+                          "adapter buffer", "total_bytes", d.total_buf);
+        }
+      }));
+}
+
+void Observability::attach_client(VideoClient& client) {
+  client.rebuffers().register_metrics(registry_, "client.rebuffer");
+  registry_.register_gauge("client.base_buffer_bytes",
+                           [&client] { return client.buffer(0); });
+
+  subs_.push_back(client.on_rebuffer().subscribe_scoped(
+      [this](TimePoint t, bool paused) {
+        if (!trace_) return;
+        trace_->instant(t, ChromeTraceWriter::kClientTrack,
+                        paused ? "rebuffer_start" : "rebuffer_end");
+      }));
+  subs_.push_back(client.on_buffer_level().subscribe_scoped(
+      [this](TimePoint t, double bytes) {
+        if (!trace_) return;
+        trace_->counter(t, ChromeTraceWriter::kClientTrack, "client buffer",
+                        "base_bytes", bytes);
+      }));
+}
+
+void Observability::attach_session(Session& session) {
+  attach_rap_source(session.rap_source());
+  attach_adapter(session.server().adapter());
+  attach_client(session.client());
+}
+
+void Observability::finish() {
+  if (finished_) return;
+  finished_ = true;
+  // Drop subscriptions first: nothing may write to the trace after close.
+  subs_.clear();
+  if (sched_) {
+    sched_->set_profiler(nullptr);
+    sched_ = nullptr;
+  }
+  if (!cfg_.out_dir.empty() && cfg_.metrics) {
+    registry_.write_csv(cfg_.out_dir + "/metrics.csv");
+    registry_.write_json(cfg_.out_dir + "/metrics.json");
+  }
+  if (!cfg_.out_dir.empty()) {
+    manifest_.write_json(cfg_.out_dir + "/manifest.json");
+  }
+  if (trace_) {
+    trace_->close();
+    trace_.reset();
+  }
+}
+
+}  // namespace qa::app

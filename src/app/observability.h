@@ -1,0 +1,88 @@
+// Observability hub: one object owning a run's exporters — Chrome trace
+// writer, metrics registry, scheduler profiler, run manifest — plus the
+// wiring from every subsystem's trace points into them.
+//
+// Usage: construct with an output directory, attach the pieces while the
+// scenario is being built (attach_scheduler / attach_link /
+// attach_session), run the simulation, then finish() to flush
+// trace.json + metrics.{csv,json} + manifest.json. All subscriptions are
+// scoped, so the hub detaches cleanly whichever side dies first; callback
+// gauges, however, read live objects at snapshot time, so finish() (the
+// last snapshot) must run before the attached objects are destroyed.
+//
+// A default-constructed hub (no output directory) still profiles and
+// aggregates metrics but writes no trace file — handy for tests and for
+// bench runs that only want the profiler report.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/quality_adapter.h"
+#include "rap/rap_source.h"
+#include "sim/link.h"
+#include "sim/profiler.h"
+#include "sim/scheduler.h"
+#include "util/chrome_trace.h"
+#include "util/event.h"
+#include "util/manifest.h"
+#include "util/metrics_registry.h"
+
+namespace qa::app {
+
+class Session;
+class VideoClient;
+
+struct ObservabilityConfig {
+  // Artifact directory (must already exist). Empty: no files are written,
+  // finish() only closes the books.
+  std::string out_dir;
+  bool trace = true;    // write <out_dir>/trace.json (Perfetto-loadable)
+  bool metrics = true;  // write <out_dir>/metrics.csv and metrics.json
+  bool profile = true;  // attach the scheduler profiler
+};
+
+class Observability {
+ public:
+  Observability() : Observability(ObservabilityConfig{}) {}
+  explicit Observability(ObservabilityConfig cfg);
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+  ~Observability();
+
+  MetricsRegistry& registry() { return registry_; }
+  sim::SchedulerProfiler& profiler() { return profiler_; }
+  RunManifest& manifest() { return manifest_; }
+  // Null when tracing is disabled (or finished).
+  ChromeTraceWriter* trace() { return trace_.get(); }
+
+  // --- Attach points (call during scenario setup). ------------------------
+  void attach_scheduler(sim::Scheduler& sched);
+  // `name` keys the link's metrics ("link.<name>.*") and counter tracks.
+  void attach_link(sim::Link& link, const std::string& name);
+  void attach_rap_source(rap::RapSource& src);
+  void attach_adapter(core::QualityAdapter& adapter);
+  void attach_client(VideoClient& client);
+  // Convenience: RAP source + adapter + client + rebuffer log of one
+  // session.
+  void attach_session(Session& session);
+
+  // Flushes every artifact (metrics snapshot as CSV and JSON, manifest,
+  // finalized trace) and detaches from the scheduler. Idempotent. Must run
+  // before attached objects die; the destructor calls it as a backstop.
+  void finish();
+  bool finished() const { return finished_; }
+
+ private:
+  ObservabilityConfig cfg_;
+  MetricsRegistry registry_;
+  sim::SchedulerProfiler profiler_;
+  RunManifest manifest_;
+  std::unique_ptr<ChromeTraceWriter> trace_;
+  std::vector<ScopedSubscription> subs_;
+  sim::Scheduler* sched_ = nullptr;
+  bool finished_ = false;
+};
+
+}  // namespace qa::app

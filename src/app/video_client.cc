@@ -73,6 +73,7 @@ void VideoClient::on_data(const sim::Packet& p) {
   model_.credit(p.layer, static_cast<double>(p.size_bytes));
   ++packets_;
   update_rebuffer_state(now);
+  on_buffer_level_.emit(now, model_.buffer(0));
 
   if (keep_log_) {
     const double queued_ahead =
@@ -121,6 +122,7 @@ void VideoClient::update_rebuffer_state(TimePoint now) {
       dry_ = false;
       model_.set_playout_start(now);
       rebuffers_.end_event(now);
+      on_rebuffer_.emit(now, false);
     }
     return;
   }
@@ -141,6 +143,7 @@ void VideoClient::update_rebuffer_state(TimePoint now) {
     // future; resume rewinds it to the resume instant.
     model_.set_playout_start(now + TimeDelta::seconds(1'000'000));
     rebuffers_.begin_event(dry_since_, now);
+    on_rebuffer_.emit(now, true);
   }
 }
 

@@ -23,6 +23,7 @@
 #include "core/receiver_model.h"
 #include "sim/packet.h"
 #include "sim/scheduler.h"
+#include "util/event.h"
 
 namespace qa::app {
 
@@ -56,6 +57,14 @@ class VideoClient {
   bool rebuffering() const { return rebuffering_; }
   const core::RebufferLog& rebuffers() const { return rebuffers_; }
   int64_t packets_received() const { return packets_; }
+
+  // --- Trace points (util/event.h). ---------------------------------------
+  // Rebuffer transitions: true when playout pauses, false when it resumes.
+  Event<TimePoint, bool>& on_rebuffer() { return on_rebuffer_; }
+  // Base-layer buffer level after each credited arrival (bytes). Per-packet
+  // hot path: emission is a single branch when nobody subscribes.
+  Event<TimePoint, double>& on_buffer_level() { return on_buffer_level_; }
+
   // Exact wire duplicates discarded on arrival (see on_data).
   int64_t duplicates_discarded() const { return duplicates_discarded_; }
   const std::vector<PacketRecord>& packet_log() const { return log_; }
@@ -87,6 +96,8 @@ class VideoClient {
   TimePoint dry_since_;
   TimeDelta last_stall_ = TimeDelta::zero();
   core::RebufferLog rebuffers_;
+  Event<TimePoint, bool> on_rebuffer_;
+  Event<TimePoint, double> on_buffer_level_;
 
   // Recent (layer, layer_seq) arrivals, for discarding wire duplicates.
   // Bounded ring; legitimate retransmissions fill holes whose original

@@ -15,7 +15,8 @@ void CbrSource::start() {
   const TimeDelta defer = params_.start_time > sched_->now()
                               ? params_.start_time - sched_->now()
                               : TimeDelta::zero();
-  sched_->schedule_after(defer, [this] { send_next(); });
+  sched_->schedule_after(defer, [this] { send_next(); },
+                         sim::EventCategory::kTransport);
 }
 
 void CbrSource::send_next() {
@@ -34,7 +35,8 @@ void CbrSource::send_next() {
   local_->send(p);
   ++sent_;
   sched_->schedule_after(params_.rate.transmit_time(params_.packet_size),
-                         [this] { send_next(); });
+                         [this] { send_next(); },
+                         sim::EventCategory::kTransport);
 }
 
 }  // namespace qa::cbr

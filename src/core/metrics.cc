@@ -28,6 +28,21 @@ double AdapterMetrics::poor_distribution_fraction() const {
   return static_cast<double>(poor) / static_cast<double>(drops_.size());
 }
 
+void AdapterMetrics::register_metrics(MetricsRegistry& reg,
+                                      const std::string& prefix) const {
+  reg.register_gauge(prefix + ".drops",
+                     [this] { return static_cast<double>(drops_.size()); });
+  reg.register_gauge(prefix + ".adds",
+                     [this] { return static_cast<double>(adds_.size()); });
+  reg.register_gauge(prefix + ".quality_changes", [this] {
+    return static_cast<double>(quality_changes());
+  });
+  reg.register_gauge(prefix + ".mean_efficiency",
+                     [this] { return mean_efficiency(); });
+  reg.register_gauge(prefix + ".poor_distribution_fraction",
+                     [this] { return poor_distribution_fraction(); });
+}
+
 void RebufferLog::begin_event(TimePoint stall_start, TimePoint pause_start) {
   QA_CHECK_MSG(!open(), "previous rebuffer event still open");
   QA_CHECK(pause_start >= stall_start);
@@ -78,6 +93,16 @@ TimeDelta RebufferLog::max_time_to_recover() const {
     if (e.recovered) best = std::max(best, e.resumed - e.stall_start);
   }
   return best;
+}
+
+void RebufferLog::register_metrics(MetricsRegistry& reg,
+                                   const std::string& prefix) const {
+  reg.register_gauge(prefix + ".count",
+                     [this] { return static_cast<double>(count()); });
+  reg.register_gauge(prefix + ".mean_time_to_recover",
+                     [this] { return mean_time_to_recover().sec(); });
+  reg.register_gauge(prefix + ".max_time_to_recover",
+                     [this] { return max_time_to_recover().sec(); });
 }
 
 }  // namespace qa::core

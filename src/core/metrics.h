@@ -5,8 +5,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "util/metrics_registry.h"
 #include "util/stats.h"
 #include "util/time.h"
 
@@ -58,6 +60,11 @@ class AdapterMetrics {
     return layer_series_.time_average(from, to);
   }
 
+  // Registers callback gauges under `prefix` (e.g. "adapter") so snapshots
+  // export the live values; this object must outlive the registry's last
+  // snapshot.
+  void register_metrics(MetricsRegistry& reg, const std::string& prefix) const;
+
  private:
   std::vector<DropEvent> drops_;
   std::vector<AddEvent> adds_;
@@ -89,6 +96,10 @@ class RebufferLog {
   TimeDelta mean_time_to_recover() const;
   TimeDelta max_time_to_recover() const;
   const std::vector<RebufferEvent>& events() const { return events_; }
+
+  // Registers callback gauges under `prefix` (e.g. "client.rebuffer");
+  // same lifetime contract as AdapterMetrics::register_metrics.
+  void register_metrics(MetricsRegistry& reg, const std::string& prefix) const;
 
  private:
   std::vector<RebufferEvent> events_;

@@ -73,6 +73,7 @@ void QualityAdapter::drop_top(TimePoint now, double rate, const AimdModel& m,
   e.poor_distribution = poor_distribution;
   metrics_.record_drop(e);
   metrics_.record_layer_count(now, receiver_.active_layers());
+  on_drop_.emit(e);
   plan_valid_ = false;
 }
 
@@ -228,6 +229,7 @@ void QualityAdapter::warm_start(TimePoint now,
       last_add_ = now;
       metrics_.record_add({now, receiver_.active_layers()});
       metrics_.record_layer_count(now, receiver_.active_layers());
+      on_add_.emit(metrics_.adds().back());
     }
     receiver_.credit(layer, cached_bytes[i]);
   }
@@ -269,6 +271,7 @@ int QualityAdapter::on_send_opportunity(TimePoint now, double rate,
     // plan, nothing to distribute.
     receiver_.credit(0, packet_bytes);
     audit_distribution(packet_bytes);
+    trace_allocation(now, 0);
     return 0;
   }
 
@@ -298,6 +301,7 @@ int QualityAdapter::on_send_opportunity(TimePoint now, double rate,
         last_add_ = now;
         metrics_.record_add({now, receiver_.active_layers()});
         metrics_.record_layer_count(now, receiver_.active_layers());
+        on_add_.emit(metrics_.adds().back());
         na = receiver_.active_layers();
         plan_valid_ = false;
       }
@@ -313,6 +317,7 @@ int QualityAdapter::on_send_opportunity(TimePoint now, double rate,
         last_add_ = now;
         metrics_.record_add({now, receiver_.active_layers()});
         metrics_.record_layer_count(now, receiver_.active_layers());
+        on_add_.emit(metrics_.adds().back());
         na = receiver_.active_layers();
         plan_valid_ = false;
       }
@@ -326,10 +331,20 @@ int QualityAdapter::on_send_opportunity(TimePoint now, double rate,
   // entitlements are paid, surplus packets chase the §4.1 buffer targets.
   const int layer = pick_drain_layer(now, rate, m, packet_bytes);
 
-  if (layer == kPaddingSlot) return kPaddingSlot;
+  if (layer == kPaddingSlot) {
+    trace_allocation(now, kPaddingSlot);
+    return kPaddingSlot;
+  }
   receiver_.credit(layer, packet_bytes);
   audit_distribution(packet_bytes);
+  trace_allocation(now, layer);
   return layer;
+}
+
+void QualityAdapter::trace_allocation(TimePoint now, int layer) {
+  if (!on_allocation_.active()) return;  // hot path: skip construction
+  on_allocation_.emit(AllocationDecision{now, layer, plan_valid_,
+                                         receiver_.total_buffer()});
 }
 
 bool QualityAdapter::efficiently_distributed(

@@ -28,6 +28,7 @@
 #include "core/filling_policy.h"
 #include "core/metrics.h"
 #include "core/receiver_model.h"
+#include "util/event.h"
 #include "util/time.h"
 
 namespace qa::core {
@@ -119,6 +120,23 @@ class QualityAdapter {
   bool degraded() const { return degraded_; }
   int64_t degraded_entries() const { return degraded_entries_; }
 
+  // One per-packet allocation decision, with the buffer-state context the
+  // decision was made against.
+  struct AllocationDecision {
+    TimePoint time;
+    int layer = 0;        // chosen layer, or kPaddingSlot
+    bool draining = false;  // a §4.2 drain plan was in force
+    double total_buf = 0;   // mirrored total buffering at decision time
+  };
+
+  // --- Trace points (util/event.h). ---------------------------------------
+  // Layer drops/adds, with the same payloads AdapterMetrics records.
+  Event<const DropEvent&>& on_drop() { return on_drop_; }
+  Event<const AddEvent&>& on_add() { return on_add_; }
+  // Every on_send_opportunity outcome (hot path: argument construction is
+  // guarded, so an unsubscribed event costs one branch).
+  Event<const AllocationDecision&>& on_allocation() { return on_allocation_; }
+
   int active_layers() const { return receiver_.active_layers(); }
   const ReceiverModel& receiver() const { return receiver_; }
   const AdapterMetrics& metrics() const { return metrics_; }
@@ -149,10 +167,15 @@ class QualityAdapter {
                        double packet_bytes);
   // Runtime audit of `efficiently_distributed` over the mirrored buffers.
   void audit_distribution(double packet_bytes) const;
+  // Emits on_allocation() when subscribed; `layer` may be kPaddingSlot.
+  void trace_allocation(TimePoint now, int layer);
 
   AdapterConfig cfg_;
   ReceiverModel receiver_;
   AdapterMetrics metrics_;
+  Event<const DropEvent&> on_drop_;
+  Event<const AddEvent&> on_add_;
+  Event<const AllocationDecision&> on_allocation_;
   bool begun_ = false;
   bool degraded_ = false;
   int64_t degraded_entries_ = 0;

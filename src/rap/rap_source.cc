@@ -26,8 +26,10 @@ void RapSource::start() {
                               ? params_.start_time - sched_->now()
                               : TimeDelta::zero();
   last_ack_at_ = sched_->now() + defer;
-  send_timer_ = sched_->schedule_after(defer, [this] { send_next(); });
-  step_timer_ = sched_->schedule_after(defer + srtt_, [this] { step(); });
+  send_timer_ = sched_->schedule_after(defer, [this] { send_next(); },
+                                       sim::EventCategory::kTransport);
+  step_timer_ = sched_->schedule_after(defer + srtt_, [this] { step(); },
+                                       sim::EventCategory::kTransport);
 }
 
 TimeDelta RapSource::current_ipg() const {
@@ -69,6 +71,7 @@ void RapSource::maybe_enter_quiescence() {
   // doubling from there up to the cap.
   probe_interval_ = std::max(rto(), current_ipg());
   if (listener_) listener_->on_quiescence(true);
+  on_quiescence_.emit(sched_->now(), true);
 }
 
 TimeDelta RapSource::next_probe_interval() {
@@ -84,8 +87,10 @@ void RapSource::exit_quiescence() {
   // pending probe timer is replaced by a normally paced send.
   set_rate(params_.min_rate);
   sched_->cancel(send_timer_);
-  send_timer_ = sched_->schedule_after(current_ipg(), [this] { send_next(); });
+  send_timer_ = sched_->schedule_after(current_ipg(), [this] { send_next(); },
+                                       sim::EventCategory::kTransport);
   if (listener_) listener_->on_quiescence(false);
+  on_quiescence_.emit(sched_->now(), false);
 }
 
 void RapSource::send_next() {
@@ -108,7 +113,8 @@ void RapSource::send_next() {
   local_->send(p);
 
   const TimeDelta gap = quiescent_ ? next_probe_interval() : current_ipg();
-  send_timer_ = sched_->schedule_after(gap, [this] { send_next(); });
+  send_timer_ = sched_->schedule_after(gap, [this] { send_next(); },
+                                       sim::EventCategory::kTransport);
 }
 
 void RapSource::step() {
@@ -125,7 +131,8 @@ void RapSource::step() {
 }
 
 void RapSource::schedule_step() {
-  step_timer_ = sched_->schedule_after(srtt_, [this] { step(); });
+  step_timer_ = sched_->schedule_after(srtt_, [this] { step(); },
+                                       sim::EventCategory::kTransport);
 }
 
 void RapSource::on_packet(const sim::Packet& p) {
@@ -182,6 +189,7 @@ void RapSource::check_timeouts() {
     e.lost = true;
     ++losses_;
     if (listener_) listener_->on_loss(e.pkt);
+    on_timeout_loss_.emit(now, e.pkt);
     if (e.pkt.seq > recovery_until_seq_) {
       trigger_backoff = true;
       max_lost_seq = std::max(max_lost_seq, e.pkt.seq);
@@ -214,6 +222,7 @@ void RapSource::backoff(int64_t trigger_seq) {
   QA_INVARIANT_MSG(srtt_ > TimeDelta::zero(),
                    "srtt must stay positive, got " << srtt_);
   if (listener_) listener_->on_backoff(rate_);
+  on_backoff_.emit(sched_->now(), rate_);
 }
 
 void RapSource::update_rtt(TimeDelta sample) {
@@ -235,7 +244,9 @@ void RapSource::update_rtt(TimeDelta sample) {
 }
 
 void RapSource::set_rate(Rate r) {
+  const double old_bps = rate_.bps();
   rate_ = Rate::bytes_per_sec(std::max(r.bps(), params_.min_rate.bps()));
+  if (rate_.bps() != old_bps) on_rate_change_.emit(sched_->now(), rate_);
 }
 
 TimeDelta RapSource::rto() const {

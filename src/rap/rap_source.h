@@ -32,6 +32,7 @@
 #include "sim/flow.h"
 #include "sim/node.h"
 #include "sim/scheduler.h"
+#include "util/event.h"
 #include "util/units.h"
 
 namespace qa::rap {
@@ -101,6 +102,22 @@ class RapSource : public sim::Agent {
   int64_t losses_detected() const { return losses_; }
   int64_t backoffs() const { return backoffs_; }
 
+  // --- Trace points (util/event.h). ---------------------------------------
+  // The single RapListener slot stays the QA control path; these events
+  // are the multi-subscriber observation path (exporters, metrics).
+  // Every effective rate change, whatever caused it (additive increase,
+  // backoff, quiescence floor, slow restart): time and new rate.
+  Event<TimePoint, Rate>& on_rate_change() { return on_rate_change_; }
+  // Multiplicative decrease: time and post-backoff rate.
+  Event<TimePoint, Rate>& on_backoff() { return on_backoff_; }
+  // A packet condemned by the conservative timeout (as opposed to the
+  // ACK-gap rule); the original packet keeps its layer tagging.
+  Event<TimePoint, const sim::Packet&>& on_timeout_loss() {
+    return on_timeout_loss_;
+  }
+  // Quiescence transitions: true on entry, false on exit.
+  Event<TimePoint, bool>& on_quiescence() { return on_quiescence_; }
+
   // Quiescent-state introspection (graceful degradation under ACK
   // starvation; see RapParams).
   bool quiescent() const { return quiescent_; }
@@ -141,6 +158,11 @@ class RapSource : public sim::Agent {
 
   std::function<void(sim::Packet&)> tagger_;
   RapListener* listener_ = nullptr;
+
+  Event<TimePoint, Rate> on_rate_change_;
+  Event<TimePoint, Rate> on_backoff_;
+  Event<TimePoint, const sim::Packet&> on_timeout_loss_;
+  Event<TimePoint, bool> on_quiescence_;
 
   Rate rate_;
   TimeDelta srtt_;

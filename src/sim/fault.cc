@@ -27,8 +27,10 @@ void FaultInjector::outage(Link* link, TimePoint start, TimeDelta duration,
   QA_CHECK(link != nullptr);
   QA_CHECK(duration > TimeDelta::zero());
   ++faults_;
-  sched_->schedule_at(start, [this, link, policy] { down(link, policy); });
-  sched_->schedule_at(start + duration, [this, link] { up(link); });
+  sched_->schedule_at(start, [this, link, policy] { down(link, policy); },
+                      EventCategory::kFault);
+  sched_->schedule_at(start + duration, [this, link] { up(link); },
+                      EventCategory::kFault);
 }
 
 void FaultInjector::flap(Link* link, TimePoint start, int cycles,
@@ -45,7 +47,8 @@ void FaultInjector::flap(Link* link, TimePoint start, int cycles,
 void FaultInjector::bandwidth_step(Link* link, TimePoint at, Rate bandwidth) {
   QA_CHECK(link != nullptr);
   ++faults_;
-  sched_->schedule_at(at, [link, bandwidth] { link->set_bandwidth(bandwidth); });
+  sched_->schedule_at(at, [link, bandwidth] { link->set_bandwidth(bandwidth); },
+                      EventCategory::kFault);
 }
 
 void FaultInjector::bandwidth_window(Link* link, TimePoint start,
@@ -56,8 +59,9 @@ void FaultInjector::bandwidth_window(Link* link, TimePoint start,
     const Rate original = link->bandwidth();
     link->set_bandwidth(during);
     sched_->schedule_after(duration,
-                           [link, original] { link->set_bandwidth(original); });
-  });
+                           [link, original] { link->set_bandwidth(original); },
+                           EventCategory::kFault);
+  }, EventCategory::kFault);
 }
 
 void FaultInjector::bandwidth_oscillation(Link* link, TimePoint start,
@@ -71,18 +75,21 @@ void FaultInjector::bandwidth_oscillation(Link* link, TimePoint start,
     for (int i = 0; i < 2 * cycles; ++i) {
       const Rate r = (i % 2 == 0) ? low : high;
       sched_->schedule_after(half_period * i,
-                             [link, r] { link->set_bandwidth(r); });
+                             [link, r] { link->set_bandwidth(r); },
+                             EventCategory::kFault);
     }
     sched_->schedule_after(half_period * (2 * cycles),
-                           [link, original] { link->set_bandwidth(original); });
-  });
+                           [link, original] { link->set_bandwidth(original); },
+                           EventCategory::kFault);
+  }, EventCategory::kFault);
 }
 
 void FaultInjector::delay_step(Link* link, TimePoint at, TimeDelta prop_delay) {
   QA_CHECK(link != nullptr);
   ++faults_;
   sched_->schedule_at(at,
-                      [link, prop_delay] { link->set_prop_delay(prop_delay); });
+                      [link, prop_delay] { link->set_prop_delay(prop_delay); },
+                      EventCategory::kFault);
 }
 
 void FaultInjector::delay_window(Link* link, TimePoint start,
@@ -93,8 +100,9 @@ void FaultInjector::delay_window(Link* link, TimePoint start,
     const TimeDelta original = link->prop_delay();
     link->set_prop_delay(prop_delay);
     sched_->schedule_after(
-        duration, [link, original] { link->set_prop_delay(original); });
-  });
+        duration, [link, original] { link->set_prop_delay(original); },
+        EventCategory::kFault);
+  }, EventCategory::kFault);
 }
 
 void FaultInjector::loss_window(Link* link, TimePoint start,
@@ -108,8 +116,8 @@ void FaultInjector::loss_window(Link* link, TimePoint start,
     link->set_loss_model(std::make_unique<GilbertElliottLoss>(params, seed));
     sched_->schedule_after(duration, [this, link, gen] {
       if (state(link).loss_gen == gen) link->set_loss_model(nullptr);
-    });
-  });
+    }, EventCategory::kFault);
+  }, EventCategory::kFault);
 }
 
 void FaultInjector::bernoulli_loss_window(Link* link, TimePoint start,
@@ -122,8 +130,8 @@ void FaultInjector::bernoulli_loss_window(Link* link, TimePoint start,
     link->set_loss_model(std::make_unique<BernoulliLoss>(p, seed));
     sched_->schedule_after(duration, [this, link, gen] {
       if (state(link).loss_gen == gen) link->set_loss_model(nullptr);
-    });
-  });
+    }, EventCategory::kFault);
+  }, EventCategory::kFault);
 }
 
 void FaultInjector::impairment_window(Link* link, TimePoint start,
@@ -138,8 +146,8 @@ void FaultInjector::impairment_window(Link* link, TimePoint start,
         std::make_unique<ReorderDupImpairment>(params, seed));
     sched_->schedule_after(duration, [this, link, gen] {
       if (state(link).imp_gen == gen) link->set_impairment(nullptr);
-    });
-  });
+    }, EventCategory::kFault);
+  }, EventCategory::kFault);
 }
 
 void inject_random_faults(FaultInjector& inj, Link* data, Link* ack, Rng& rng,

@@ -38,7 +38,10 @@ void Link::submit(const Packet& p) {
     return;
   }
   if (queue_->enqueue(p)) {
+    on_enqueue_.emit(p);
     maybe_start_tx();
+  } else {
+    on_queue_drop_.emit(p);
   }
   audit_packet_conservation();
 }
@@ -91,31 +94,35 @@ void Link::maybe_start_tx() {
   busy_ = true;
   in_flight_ = queue_->dequeue();
   const TimeDelta tx_time = bandwidth_.transmit_time(in_flight_.size_bytes);
-  tx_event_ = sched_->schedule_after(tx_time, [this] { on_tx_complete(); });
+  tx_event_ = sched_->schedule_after(tx_time, [this] { on_tx_complete(); },
+                                     EventCategory::kLinkTx);
 }
 
 void Link::schedule_delivery(const Packet& p, TimeDelta delay) {
   const uint64_t epoch = wire_epoch_;
   ++in_flight_wire_;
-  sched_->schedule_after(delay, [this, p, epoch] {
-    --in_flight_wire_;
-    if (epoch != wire_epoch_) {
-      ++outage_drops_;
-      audit_packet_conservation();
-      return;
-    }
-    ++delivered_;
-    bytes_delivered_ += p.size_bytes;
-    to_->deliver(p);
-    audit_packet_conservation();
-  });
+  sched_->schedule_after(
+      delay,
+      [this, p, epoch] {
+        --in_flight_wire_;
+        if (epoch != wire_epoch_) {
+          ++outage_drops_;
+          audit_packet_conservation();
+          return;
+        }
+        ++delivered_;
+        bytes_delivered_ += p.size_bytes;
+        to_->deliver(p);
+        audit_packet_conservation();
+      },
+      EventCategory::kLinkWire);
 }
 
 void Link::on_tx_complete() {
   busy_ = false;
   tx_event_ = kInvalidEventId;
   const Packet p = in_flight_;
-  if (tx_observer_) tx_observer_(p);
+  on_tx_.emit(p);
   const bool lost =
       loss_model_ && loss_model_->should_drop(p, sched_->now());
   if (lost) {

@@ -28,6 +28,7 @@
 #include "sim/packet.h"
 #include "sim/queue.h"
 #include "sim/scheduler.h"
+#include "util/event.h"
 #include "util/units.h"
 
 namespace qa::sim {
@@ -98,11 +99,15 @@ class Link {
   int64_t duplicates_injected() const { return duplicates_injected_; }
   int64_t outages() const { return outages_; }
 
-  // Observer for every packet that finishes serialization (pre wire-loss);
-  // used by probes to measure per-flow throughput at the bottleneck.
-  void set_tx_observer(std::function<void(const Packet&)> obs) {
-    tx_observer_ = std::move(obs);
-  }
+  // --- Trace points (multi-subscriber, util/event.h). ---------------------
+  // Fired when a submitted packet is accepted into the queue.
+  Event<const Packet&>& on_enqueue() { return on_enqueue_; }
+  // Fired when the queue refuses a packet (tail drop / RED drop). Outage
+  // drops are not queue drops and do not fire here.
+  Event<const Packet&>& on_queue_drop() { return on_queue_drop_; }
+  // Fired for every packet that finishes serialization (pre wire-loss);
+  // probes subscribe here to measure per-flow throughput at the bottleneck.
+  Event<const Packet&>& on_tx() { return on_tx_; }
 
   // Packet-conservation audit (public so outage tests can assert balance at
   // arbitrary instants; also run internally after every transition).
@@ -121,7 +126,9 @@ class Link {
   std::unique_ptr<PacketQueue> queue_;
   std::unique_ptr<LossModel> loss_model_;
   std::unique_ptr<WireImpairment> impairment_;
-  std::function<void(const Packet&)> tx_observer_;
+  Event<const Packet&> on_enqueue_;
+  Event<const Packet&> on_queue_drop_;
+  Event<const Packet&> on_tx_;
   bool busy_ = false;
   bool up_ = true;
   OutagePolicy outage_policy_;

@@ -1,0 +1,63 @@
+#include "sim/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace qa::sim {
+
+const char* event_category_name(EventCategory c) {
+  switch (c) {
+    case EventCategory::kGeneric: return "generic";
+    case EventCategory::kLinkTx: return "link_tx";
+    case EventCategory::kLinkWire: return "link_wire";
+    case EventCategory::kTransport: return "transport";
+    case EventCategory::kAdapter: return "adapter";
+    case EventCategory::kProbe: return "probe";
+    case EventCategory::kFault: return "fault";
+  }
+  return "unknown";
+}
+
+uint64_t SchedulerProfiler::total_dispatches() const {
+  uint64_t n = 0;
+  for (const CategoryStats& s : stats_) n += s.dispatches;
+  return n;
+}
+
+int64_t SchedulerProfiler::total_wall_ns() const {
+  int64_t ns = 0;
+  for (const CategoryStats& s : stats_) ns += s.wall_ns;
+  return ns;
+}
+
+std::string SchedulerProfiler::report() const {
+  std::vector<int> order;
+  for (int i = 0; i < kEventCategoryCount; ++i) {
+    if (stats_[static_cast<size_t>(i)].dispatches > 0) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return stats_[static_cast<size_t>(a)].wall_ns >
+           stats_[static_cast<size_t>(b)].wall_ns;
+  });
+  std::string out =
+      "category      dispatches      wall_total      wall_mean\n";
+  char line[128];
+  for (const int i : order) {
+    const CategoryStats& s = stats_[static_cast<size_t>(i)];
+    const double mean_ns = static_cast<double>(s.wall_ns) /
+                           static_cast<double>(s.dispatches);
+    std::snprintf(line, sizeof line, "%-12s %11llu %12.3f ms %9.0f ns\n",
+                  event_category_name(static_cast<EventCategory>(i)),
+                  static_cast<unsigned long long>(s.dispatches),
+                  static_cast<double>(s.wall_ns) * 1e-6, mean_ns);
+    out += line;
+  }
+  std::snprintf(line, sizeof line, "%-12s %11llu %12.3f ms\n", "total",
+                static_cast<unsigned long long>(total_dispatches()),
+                static_cast<double>(total_wall_ns()) * 1e-6);
+  out += line;
+  return out;
+}
+
+}  // namespace qa::sim

@@ -1,24 +1,27 @@
 #include "sim/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 namespace qa::sim {
 
-EventId Scheduler::schedule_at(TimePoint at, std::function<void()> fn) {
+EventId Scheduler::schedule_at(TimePoint at, std::function<void()> fn,
+                               EventCategory category) {
   QA_CHECK_MSG(at >= now_,
                "scheduling into the past: at=" << at << " now=" << now_);
   const EventId id = ++next_id_;
-  heap_.push_back(Entry{at, next_seq_++, id, std::move(fn)});
+  heap_.push_back(Entry{at, next_seq_++, id, category, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   live_.insert(id);
   audit_consistency();
   return id;
 }
 
-EventId Scheduler::schedule_after(TimeDelta delay, std::function<void()> fn) {
+EventId Scheduler::schedule_after(TimeDelta delay, std::function<void()> fn,
+                                  EventCategory category) {
   QA_CHECK_GE(delay, TimeDelta::zero());
-  return schedule_at(now_ + delay, std::move(fn));
+  return schedule_at(now_ + delay, std::move(fn), category);
 }
 
 void Scheduler::cancel(EventId id) {
@@ -71,7 +74,7 @@ void Scheduler::run_until(TimePoint until) {
                                                      << now_);
     now_ = e.at;
     ++executed_;
-    e.fn();
+    dispatch(e);
   }
   if (now_ < until) now_ = until;
 }
@@ -83,8 +86,23 @@ bool Scheduler::run_one() {
                                      << e.at << " with now=" << now_);
   now_ = e.at;
   ++executed_;
-  e.fn();
+  dispatch(e);
   return true;
+}
+
+void Scheduler::dispatch(Entry& e) {
+  if (profiler_ == nullptr && !on_dispatch_.active()) {
+    e.fn();  // untimed fast path: no clock reads, no record construction
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  e.fn();
+  const int64_t wall_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  if (profiler_) profiler_->record(e.category, wall_ns);
+  on_dispatch_.emit(DispatchRecord{e.at, e.category, wall_ns});
 }
 
 }  // namespace qa::sim

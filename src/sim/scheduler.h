@@ -9,6 +9,12 @@
 // the single source of simulated time; its audited invariants are that
 // time never moves backwards and that the heap and the cancellation
 // bookkeeping always partition the pending ids exactly.
+//
+// Observability: every event carries an EventCategory tag (sim/profiler.h)
+// naming the subsystem it belongs to. With a SchedulerProfiler attached or
+// an on_dispatch() subscriber present, each handler execution is timed
+// with steady_clock and reported; with neither — the default — the
+// dispatch path takes no clock readings and emits nothing.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +22,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "sim/profiler.h"
+#include "util/event.h"
 #include "util/logging.h"
 #include "util/time.h"
 
@@ -32,10 +40,13 @@ class Scheduler {
 
   TimePoint now() const { return now_; }
 
-  // Schedules `fn` to run at absolute time `at` (>= now).
-  EventId schedule_at(TimePoint at, std::function<void()> fn);
+  // Schedules `fn` to run at absolute time `at` (>= now). `category` tags
+  // the event for the profiler and trace exporter.
+  EventId schedule_at(TimePoint at, std::function<void()> fn,
+                      EventCategory category = EventCategory::kGeneric);
   // Schedules `fn` after `delay` (>= 0).
-  EventId schedule_after(TimeDelta delay, std::function<void()> fn);
+  EventId schedule_after(TimeDelta delay, std::function<void()> fn,
+                         EventCategory category = EventCategory::kGeneric);
 
   // Cancels a pending event. Cancelling an already-fired or invalid id is a
   // harmless no-op, which keeps timer bookkeeping in agents simple.
@@ -56,11 +67,20 @@ class Scheduler {
   // the next compaction). Exposed so tests can pin the reclaim behaviour.
   size_t cancelled_backlog() const { return cancelled_.size(); }
 
+  // Attaches (or detaches, with nullptr) a dispatch profiler. The profiler
+  // must outlive the scheduler or be detached first.
+  void set_profiler(SchedulerProfiler* profiler) { profiler_ = profiler; }
+
+  // Fired after each executed handler when subscribed; the argument's
+  // wall_ns is the measured execution cost of the handler that just ran.
+  Event<const DispatchRecord&>& on_dispatch() { return on_dispatch_; }
+
  private:
   struct Entry {
     TimePoint at;
     uint64_t seq;
     EventId id;
+    EventCategory category;
     std::function<void()> fn;
   };
   struct Later {
@@ -84,6 +104,10 @@ class Scheduler {
                              << " cancelled=" << cancelled_.size());
   }
 
+  // Runs `e.fn`, timing it only when the profiler or a dispatch
+  // subscriber will consume the measurement.
+  void dispatch(Entry& e);
+
   TimePoint now_ = TimePoint::origin();
   uint64_t next_seq_ = 1;
   EventId next_id_ = 1;
@@ -93,6 +117,8 @@ class Scheduler {
   std::vector<Entry> heap_;
   std::unordered_set<EventId> live_;       // scheduled, not cancelled/fired
   std::unordered_set<EventId> cancelled_;  // cancelled, still in heap_
+  SchedulerProfiler* profiler_ = nullptr;
+  Event<const DispatchRecord&> on_dispatch_;
 };
 
 }  // namespace qa::sim

@@ -12,37 +12,73 @@ PeriodicSampler::PeriodicSampler(Scheduler* sched, TimeDelta interval,
   QA_CHECK(interval_ > TimeDelta::zero());
 }
 
+PeriodicSampler::~PeriodicSampler() { stop(); }
+
 void PeriodicSampler::start() {
-  sched_->schedule_after(interval_, [this] { tick(); });
+  if (running()) return;
+  next_ = sched_->schedule_after(interval_, [this] { tick(); },
+                                 EventCategory::kProbe);
+}
+
+void PeriodicSampler::stop() {
+  if (!running()) return;
+  sched_->cancel(next_);
+  next_ = kInvalidEventId;
 }
 
 void PeriodicSampler::tick() {
   series_.add(sched_->now(), fn_());
-  sched_->schedule_after(interval_, [this] { tick(); });
+  next_ = sched_->schedule_after(interval_, [this] { tick(); },
+                                 EventCategory::kProbe);
 }
 
 LinkRateProbe::LinkRateProbe(Scheduler* sched, Link* link, TimeDelta window)
     : sched_(sched), window_(window) {
   QA_CHECK(window_ > TimeDelta::zero());
-  link->set_tx_observer([this](const Packet& p) {
+  tx_sub_ = link->on_tx().subscribe_scoped([this](const Packet& p) {
     window_bytes_[p.flow_id] += p.size_bytes;
     total_window_bytes_ += p.size_bytes;
   });
 }
 
-void LinkRateProbe::start() {
-  sched_->schedule_after(window_, [this] { flush_window(); });
+LinkRateProbe::~LinkRateProbe() {
+  // Cancel only — a destructor must not grow the series under its
+  // consumers; callers wanting the tail call stop() first.
+  if (next_ != kInvalidEventId) sched_->cancel(next_);
 }
 
-void LinkRateProbe::flush_window() {
-  const double secs = window_.sec();
+void LinkRateProbe::start() {
+  if (next_ != kInvalidEventId) return;
+  window_start_ = sched_->now();
+  next_ = sched_->schedule_after(window_, [this] { on_window_boundary(); },
+                                 EventCategory::kProbe);
+}
+
+void LinkRateProbe::stop() {
+  if (next_ == kInvalidEventId) return;
+  sched_->cancel(next_);
+  next_ = kInvalidEventId;
+  // Flush the partial window so the tail of the run is not silently lost
+  // (a run of 10.5 windows used to report only 10 points).
+  const TimeDelta elapsed = sched_->now() - window_start_;
+  if (elapsed > TimeDelta::zero()) flush(elapsed);
+}
+
+void LinkRateProbe::flush(TimeDelta elapsed) {
+  const double secs = elapsed.sec();
   for (auto& [flow, bytes] : window_bytes_) {
     per_flow_[flow].add(sched_->now(), static_cast<double>(bytes) / secs);
     bytes = 0;
   }
   total_.add(sched_->now(), static_cast<double>(total_window_bytes_) / secs);
   total_window_bytes_ = 0;
-  sched_->schedule_after(window_, [this] { flush_window(); });
+  window_start_ = sched_->now();
+}
+
+void LinkRateProbe::on_window_boundary() {
+  flush(window_);
+  next_ = sched_->schedule_after(window_, [this] { on_window_boundary(); },
+                                 EventCategory::kProbe);
 }
 
 const TimeSeries& LinkRateProbe::flow_series(FlowId flow) const {

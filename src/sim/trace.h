@@ -1,7 +1,11 @@
 // Measurement probes.
 //
 // Probes turn simulator activity into TimeSeries that benches print and
-// tests assert on. They observe; they never change behaviour.
+// tests assert on. They observe; they never change behaviour. Each probe
+// runs between start() and stop(): start schedules the sampling events,
+// stop cancels them (cancellable EventIds, not self-perpetuating timers)
+// and — for windowed probes — flushes the final partial window so a run
+// that is not an exact multiple of the window length loses no tail data.
 #pragma once
 
 #include <functional>
@@ -19,7 +23,13 @@ class PeriodicSampler {
  public:
   PeriodicSampler(Scheduler* sched, TimeDelta interval,
                   std::function<double()> fn);
+  ~PeriodicSampler();
+
   void start();
+  // Cancels the pending tick. Idempotent; start() resumes sampling.
+  void stop();
+  bool running() const { return next_ != kInvalidEventId; }
+
   const TimeSeries& series() const { return series_; }
 
  private:
@@ -28,14 +38,22 @@ class PeriodicSampler {
   TimeDelta interval_;
   std::function<double()> fn_;
   TimeSeries series_;
+  EventId next_ = kInvalidEventId;  // pending tick, cancellable
 };
 
 // Measures per-flow throughput over a link by counting serialized bytes in
-// fixed windows. One probe per link; query any flow's series afterwards.
+// fixed windows (subscribing to the link's on_tx trace point). One probe
+// per link; query any flow's series afterwards.
 class LinkRateProbe {
  public:
   LinkRateProbe(Scheduler* sched, Link* link, TimeDelta window);
+  ~LinkRateProbe();
+
   void start();
+  // Cancels the pending window boundary and flushes the partial window
+  // accumulated since the last one (rate over the actual elapsed time), so
+  // bytes serialized after the final full window still reach the series.
+  void stop();
 
   // Rate series (bytes/s per window) for one flow; empty series if the flow
   // never appeared.
@@ -44,15 +62,19 @@ class LinkRateProbe {
   const TimeSeries& total_series() const { return total_; }
 
  private:
-  void flush_window();
+  void flush(TimeDelta elapsed);
+  void on_window_boundary();
 
   Scheduler* sched_;
   TimeDelta window_;
+  ScopedSubscription tx_sub_;
   std::unordered_map<FlowId, int64_t> window_bytes_;
   std::unordered_map<FlowId, TimeSeries> per_flow_;
   int64_t total_window_bytes_ = 0;
   TimeSeries total_;
   TimeSeries empty_;
+  TimePoint window_start_;          // valid while running
+  EventId next_ = kInvalidEventId;  // pending boundary, cancellable
 };
 
 // Records queue occupancy (bytes) of a link periodically.
@@ -60,6 +82,7 @@ class QueueProbe {
  public:
   QueueProbe(Scheduler* sched, Link* link, TimeDelta interval);
   void start() { sampler_.start(); }
+  void stop() { sampler_.stop(); }
   const TimeSeries& series() const { return sampler_.series(); }
 
  private:

@@ -23,10 +23,13 @@ void TcpSource::start() {
   const TimeDelta defer = params_.start_time > sched_->now()
                               ? params_.start_time - sched_->now()
                               : TimeDelta::zero();
-  send_kick_ = sched_->schedule_after(defer, [this] {
-    try_send();
-    arm_rto();
-  });
+  send_kick_ = sched_->schedule_after(
+      defer,
+      [this] {
+        try_send();
+        arm_rto();
+      },
+      sim::EventCategory::kTransport);
 }
 
 double TcpSource::flight_segments() const {
@@ -144,7 +147,8 @@ void TcpSource::on_timeout() {
 
 void TcpSource::arm_rto() {
   sched_->cancel(rto_timer_);
-  rto_timer_ = sched_->schedule_after(rto(), [this] { on_timeout(); });
+  rto_timer_ = sched_->schedule_after(rto(), [this] { on_timeout(); },
+                                      sim::EventCategory::kTransport);
 }
 
 TimeDelta TcpSource::rto() const {

@@ -1,0 +1,89 @@
+#include "util/chrome_trace.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace qa {
+
+std::string ChromeTraceWriter::num(double v) { return json_number(v); }
+std::string ChromeTraceWriter::num(int64_t v) { return json_number(v); }
+std::string ChromeTraceWriter::str(std::string_view s) {
+  return json_quote(s);
+}
+
+ChromeTraceWriter::ChromeTraceWriter(const std::string& path)
+    : out_(path, std::ios::trunc) {
+  if (!out_) throw std::runtime_error("cannot create trace file: " + path);
+  out_ << "[";
+}
+
+ChromeTraceWriter::~ChromeTraceWriter() { close(); }
+
+std::string ChromeTraceWriter::format_ts(TimePoint t) {
+  // Spec unit is microseconds; keep nanosecond precision as a fraction.
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f",
+                static_cast<double>(t.ns()) * 1e-3);
+  return buf;
+}
+
+void ChromeTraceWriter::write_event(char ph, TimePoint t, int track,
+                                    std::string_view name, const Args& args) {
+  if (closed_) return;
+  out_ << (first_event_ ? "\n" : ",\n");
+  first_event_ = false;
+  out_ << "{\"ph\":\"" << ph << "\",\"pid\":1,\"tid\":" << track
+       << ",\"ts\":" << format_ts(t);
+  if (!name.empty()) out_ << ",\"name\":" << json_quote(name);
+  if (ph == 'i') out_ << ",\"s\":\"t\"";  // instant scoped to its track
+  if (!args.empty()) {
+    out_ << ",\"args\":{";
+    bool first = true;
+    for (const auto& [key, value] : args) {
+      if (!first) out_ << ",";
+      first = false;
+      out_ << json_quote(key) << ":" << value;
+    }
+    out_ << "}";
+  }
+  out_ << "}";
+  ++events_;
+}
+
+void ChromeTraceWriter::name_track(int track, std::string_view name) {
+  // Metadata events carry no meaningful ts; origin keeps them sorted first.
+  write_event('M', TimePoint::origin(), track, "thread_name",
+              {{"name", json_quote(name)}});
+}
+
+void ChromeTraceWriter::span_begin(TimePoint t, int track,
+                                   std::string_view name, const Args& args) {
+  write_event('B', t, track, name, args);
+}
+
+void ChromeTraceWriter::span_end(TimePoint t, int track) {
+  write_event('E', t, track, {}, {});
+}
+
+void ChromeTraceWriter::instant(TimePoint t, int track, std::string_view name,
+                                const Args& args) {
+  write_event('i', t, track, name, args);
+}
+
+void ChromeTraceWriter::counter(TimePoint t, int track, std::string_view name,
+                                std::string_view series, double value) {
+  write_event('C', t, track, name,
+              {{std::string(series), json_number(value)}});
+}
+
+void ChromeTraceWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  out_ << "\n]\n";
+  out_.close();
+  if (!out_) throw std::runtime_error("trace file write failed");
+}
+
+}  // namespace qa

@@ -1,0 +1,96 @@
+// Chrome trace-event exporter: turns simulator trace points into a JSON
+// file loadable by Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Format: the "JSON array" flavour of the trace-event spec, written one
+// event per line so the file doubles as JSONL for ad-hoc grepping. Event
+// phases used:
+//
+//   B/E  span begin/end — scheduler handler execution (the pair shares one
+//        sim-time ts; measured wall-clock cost rides in args)
+//   i    instant — backoffs, layer adds/drops, rebuffer transitions
+//   C    counter track — transmission rate, receiver buffer, queue depth
+//   M    metadata — human-readable track names
+//
+// Timestamps are *simulated* time: ts is sim nanoseconds expressed in the
+// spec's microsecond unit (fractional, so nanosecond precision survives).
+// Tracks (tid) separate subsystems into viewer lanes; all events share one
+// process (pid 1).
+//
+// Args values are preformatted JSON tokens — build them with num()/str()
+// (or json.h directly) so call sites control formatting without the writer
+// growing a value model.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/time.h"
+
+namespace qa {
+
+class ChromeTraceWriter {
+ public:
+  // (key, preformatted JSON value) pairs for an event's "args" object.
+  using Args = std::vector<std::pair<std::string, std::string>>;
+
+  // Args-value helpers: `num` for JSON numbers, `str` for quoted strings.
+  static std::string num(double v);
+  static std::string num(int64_t v);
+  static std::string str(std::string_view s);
+
+  // Viewer lanes, one per subsystem.
+  static constexpr int kSchedulerTrack = 1;
+  static constexpr int kTransportTrack = 2;
+  static constexpr int kAdapterTrack = 3;
+  static constexpr int kClientTrack = 4;
+  static constexpr int kLinkTrack = 5;
+
+  // Opens `path` for writing; throws std::runtime_error on failure.
+  explicit ChromeTraceWriter(const std::string& path);
+  ChromeTraceWriter(const ChromeTraceWriter&) = delete;
+  ChromeTraceWriter& operator=(const ChromeTraceWriter&) = delete;
+  // Destruction closes the file (finalizing the JSON array) if close()
+  // was not called explicitly.
+  ~ChromeTraceWriter();
+
+  // Labels `track` in the viewer ("M" thread_name metadata).
+  void name_track(int track, std::string_view name);
+
+  // Span over a handler execution. Both halves usually carry the same sim
+  // time (handlers are instantaneous in sim time); the measured wall cost
+  // goes in `args` on the begin event.
+  void span_begin(TimePoint t, int track, std::string_view name,
+                  const Args& args = {});
+  void span_end(TimePoint t, int track);
+
+  // Point-in-time marker with optional detail args.
+  void instant(TimePoint t, int track, std::string_view name,
+               const Args& args = {});
+
+  // Counter-track sample: `name` is the track, `series` the line within it.
+  void counter(TimePoint t, int track, std::string_view name,
+               std::string_view series, double value);
+
+  // Finalizes the JSON array and closes the file. Idempotent; events
+  // emitted after close() are dropped.
+  void close();
+  bool is_open() const { return !closed_; }
+  int64_t events_written() const { return events_; }
+
+ private:
+  // Common emission path: one `{...}` object per line.
+  void write_event(char ph, TimePoint t, int track, std::string_view name,
+                   const Args& args);
+  static std::string format_ts(TimePoint t);
+
+  std::ofstream out_;
+  bool first_event_ = true;
+  bool closed_ = false;
+  int64_t events_ = 0;
+};
+
+}  // namespace qa

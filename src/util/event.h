@@ -1,0 +1,149 @@
+// Typed multi-subscriber trace events (the ns-3 TracedCallback idiom).
+//
+// An Event<Args...> is a named hook a subsystem fires at an interesting
+// transition — a packet finishing serialization, a rate halving, a playout
+// pause. Any number of observers subscribe; the owner emits without knowing
+// who (or whether anyone) listens, so instrumentation never changes
+// behaviour and probes stop being single-slot observers that evict each
+// other.
+//
+// Cost discipline: trace points sit on per-packet paths, so emit() with no
+// subscribers is a single empty() branch — no allocation, no formatting,
+// no virtual dispatch. Call sites that must *compute* an argument (format a
+// string, walk a buffer vector) guard with active() first.
+//
+// Dispatch rules (pinned by util_event_test):
+//   * subscribers run in subscription order;
+//   * unsubscribing during a dispatch takes effect immediately — the
+//     removed callback is not invoked later in that same dispatch;
+//   * subscribing during a dispatch takes effect after the current
+//     dispatch completes (the new callback is not invoked re-entrantly).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace qa {
+
+using SubscriptionId = uint64_t;
+inline constexpr SubscriptionId kInvalidSubscription = 0;
+
+// RAII handle detaching a subscription on destruction; type-erased so
+// holders need not spell out the event's argument list. Movable only.
+class ScopedSubscription {
+ public:
+  ScopedSubscription() = default;
+  explicit ScopedSubscription(std::function<void()> detach)
+      : detach_(std::move(detach)) {}
+  ScopedSubscription(ScopedSubscription&& o) noexcept
+      : detach_(std::move(o.detach_)) {
+    o.detach_ = nullptr;
+  }
+  ScopedSubscription& operator=(ScopedSubscription&& o) noexcept {
+    if (this != &o) {
+      reset();
+      detach_ = std::move(o.detach_);
+      o.detach_ = nullptr;
+    }
+    return *this;
+  }
+  ScopedSubscription(const ScopedSubscription&) = delete;
+  ScopedSubscription& operator=(const ScopedSubscription&) = delete;
+  ~ScopedSubscription() { reset(); }
+
+  void reset() {
+    if (detach_) {
+      detach_();
+      detach_ = nullptr;
+    }
+  }
+  bool attached() const { return detach_ != nullptr; }
+
+ private:
+  std::function<void()> detach_;
+};
+
+template <typename... Args>
+class Event {
+ public:
+  using Callback = std::function<void(Args...)>;
+
+  Event() = default;
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  // Registers `cb`; the returned id stays valid until unsubscribed. The
+  // subscriber must not outlive the Event it is attached to.
+  SubscriptionId subscribe(Callback cb) {
+    QA_CHECK(cb != nullptr);
+    subs_.push_back(Slot{next_id_, std::move(cb)});
+    return next_id_++;
+  }
+
+  // subscribe + RAII detach in one step, for observers (probes, exporters)
+  // that may die before the event's owner does.
+  ScopedSubscription subscribe_scoped(Callback cb) {
+    const SubscriptionId id = subscribe(std::move(cb));
+    return ScopedSubscription([this, id] { unsubscribe(id); });
+  }
+
+  // Unknown or already-removed ids are a harmless no-op, which keeps
+  // observer teardown order-insensitive.
+  void unsubscribe(SubscriptionId id) {
+    for (size_t i = 0; i < subs_.size(); ++i) {
+      if (subs_[i].id != id) continue;
+      if (dispatching_ > 0) {
+        // Tombstone: the slot must keep its position (and be skipped) for
+        // the dispatch currently walking the vector; compacted afterwards.
+        subs_[i].cb = nullptr;
+        tombstones_ = true;
+      } else {
+        subs_.erase(subs_.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+      return;
+    }
+  }
+
+  // True when at least one subscriber is attached. Guard expensive
+  // argument construction with this at hot call sites.
+  bool active() const { return !subs_.empty(); }
+
+  size_t subscriber_count() const {
+    size_t n = 0;
+    for (const auto& s : subs_) n += (s.cb != nullptr) ? 1u : 0u;
+    return n;
+  }
+
+  // Fires the event. The no-subscriber case is the common one and costs a
+  // single branch.
+  void emit(Args... args) {
+    if (subs_.empty()) return;
+    ++dispatching_;
+    // Snapshot the length: subscribers added during dispatch start on the
+    // next emit, never re-entrantly within this one.
+    const size_t n = subs_.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (subs_[i].cb) subs_[i].cb(args...);
+    }
+    if (--dispatching_ == 0 && tombstones_) {
+      std::erase_if(subs_, [](const Slot& s) { return s.cb == nullptr; });
+      tombstones_ = false;
+    }
+  }
+
+ private:
+  struct Slot {
+    SubscriptionId id;
+    Callback cb;
+  };
+  std::vector<Slot> subs_;
+  SubscriptionId next_id_ = 1;
+  int dispatching_ = 0;   // re-entrant emit depth
+  bool tombstones_ = false;
+};
+
+}  // namespace qa

@@ -1,0 +1,57 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace qa {
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  // %.17g round-trips any double; shorten when exact.
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  const std::string full = buf;
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return std::stod(buf) == v ? std::string(buf) : full;
+}
+
+std::string json_number(int64_t v) { return std::to_string(v); }
+std::string json_number(uint64_t v) { return std::to_string(v); }
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot create file: " + path);
+  out << content;
+  out.close();
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace qa

@@ -1,0 +1,27 @@
+// Tiny JSON emission helpers shared by the observability exporters
+// (chrome_trace, metrics_registry, manifest). Emission only — the repo has
+// no JSON consumer; tests that validate exporter output carry their own
+// minimal parser.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace qa {
+
+// `s` as a double-quoted JSON string with the mandatory escapes
+// (backslash, quote, control characters).
+std::string json_quote(std::string_view s);
+
+// `v` as a JSON number token. Non-finite values (which JSON cannot
+// represent) become null.
+std::string json_number(double v);
+std::string json_number(int64_t v);
+std::string json_number(uint64_t v);
+
+// Writes `content` to `path`, throwing std::runtime_error when the file
+// cannot be created — the same contract as CsvWriter, so artifact writers
+// fail loudly instead of silently dropping a run's output.
+void write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace qa

@@ -1,14 +1,18 @@
 #include "util/logging.h"
 
 #include <cstdio>
-#include <cstdlib>
+#include <utility>
 
 namespace qa {
 namespace {
 
 LogLevel g_level = LogLevel::kWarn;
+std::function<TimePoint()> g_time_source;
+std::function<void(const LogRecord&)> g_sink;
 
-const char* level_name(LogLevel level) {
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
     case LogLevel::kInfo: return "INFO";
@@ -19,14 +23,37 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
-}  // namespace
-
 void set_log_level(LogLevel level) { g_level = level; }
 LogLevel log_level() { return g_level; }
 
+void set_log_time_source(std::function<TimePoint()> source) {
+  g_time_source = std::move(source);
+}
+
+void set_log_sink(std::function<void(const LogRecord&)> sink) {
+  g_sink = std::move(sink);
+}
+
+std::string format_log_record(const LogRecord& rec) {
+  std::ostringstream os;
+  os << '[' << log_level_name(rec.level);
+  if (rec.has_time) os << " t=" << rec.time.sec() << 's';
+  os << "] " << rec.message;
+  return os.str();
+}
+
 void log_message(LogLevel level, const std::string& msg) {
   if (level < g_level) return;
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  LogRecord rec;
+  rec.level = level;
+  rec.has_time = static_cast<bool>(g_time_source);
+  rec.time = rec.has_time ? g_time_source() : TimePoint::origin();
+  rec.message = msg;
+  if (g_sink) {
+    g_sink(rec);
+    return;
+  }
+  std::fprintf(stderr, "%s\n", format_log_record(rec).c_str());
 }
 
 }  // namespace qa

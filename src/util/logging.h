@@ -1,25 +1,55 @@
 // Leveled logging with simulated-time stamps.
 //
 // The simulator is single-threaded; the logger is a plain global with a
-// settable level. The QA_CHECK contract-macro family lives in
+// settable level. A time source (set_log_time_source) stamps records with
+// the current simulated time — "[INFO t=1.25s] msg" — and a pluggable
+// sink (set_log_sink) lets tests capture structured records instead of
+// scraping stderr. The QA_CHECK contract-macro family lives in
 // util/check.h and is re-exported here so every logging user keeps its
 // checks without an extra include.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
 #include "util/check.h"
+#include "util/time.h"
 
 namespace qa {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+const char* log_level_name(LogLevel level);
+
 // Global log level; messages below it are skipped.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-// Internal sink; prefer the QA_LOG macro.
+// One emitted log message, as handed to the sink.
+struct LogRecord {
+  LogLevel level;
+  TimePoint time;     // simulated time at emission (origin if no source)
+  bool has_time;      // false when no time source is installed
+  std::string message;
+};
+
+// Installs the simulated-clock source records are stamped from (typically
+// [&sched] { return sched.now(); }). Pass nullptr to clear — records then
+// carry has_time=false and print without a stamp. The source must be
+// cleared before the scheduler it reads dies.
+void set_log_time_source(std::function<TimePoint()> source);
+
+// Replaces the default stderr sink. Pass nullptr to restore stderr. The
+// level filter applies before the sink; the sink sees every surviving
+// record, formatted or not as it pleases (format_log_record matches the
+// default output).
+void set_log_sink(std::function<void(const LogRecord&)> sink);
+
+// Default rendering: "[INFO t=1.25s] msg" (or "[INFO] msg" untimed).
+std::string format_log_record(const LogRecord& rec);
+
+// Internal entry point; prefer the QA_LOG macro.
 void log_message(LogLevel level, const std::string& msg);
 
 namespace detail {

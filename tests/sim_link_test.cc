@@ -93,18 +93,33 @@ TEST_F(LinkFixture, WireLossModelDropsAfterSerialization) {
   EXPECT_EQ(link.packets_delivered(), 2);
 }
 
-TEST_F(LinkFixture, TxObserverSeesEveryPacketIncludingWireLost) {
+TEST_F(LinkFixture, TxTraceSeesEveryPacketIncludingWireLost) {
   Link link("l", &sched, &dst, Rate::kilobytes_per_sec(100),
             TimeDelta::millis(5), std::make_unique<DropTailQueue>(100'000));
   link.set_loss_model(
       std::make_unique<DeterministicLoss>(std::vector<int64_t>{0}));
   int observed = 0;
-  link.set_tx_observer([&](const Packet&) { ++observed; });
+  link.on_tx().subscribe([&](const Packet&) { ++observed; });
   link.submit(make_packet(1000));
   link.submit(make_packet(1000));
   sched.run_until(TimePoint::from_sec(1));
   EXPECT_EQ(observed, 2);
   EXPECT_EQ(recorder.arrivals.size(), 1u);
+}
+
+TEST_F(LinkFixture, EnqueueAndQueueDropTracePartitionSubmissions) {
+  // Queue fits two packets; the third submission must fire on_queue_drop.
+  Link link("l", &sched, &dst, Rate::kilobytes_per_sec(1),
+            TimeDelta::millis(5), std::make_unique<DropTailQueue>(2'000));
+  int enqueued = 0, dropped = 0;
+  link.on_enqueue().subscribe([&](const Packet&) { ++enqueued; });
+  link.on_queue_drop().subscribe([&](const Packet&) { ++dropped; });
+  // First submit starts serializing immediately (dequeued), so four
+  // submissions = 1 serializing + 2 queued + 1 tail-dropped.
+  for (int i = 0; i < 4; ++i) link.submit(make_packet(1000));
+  EXPECT_EQ(enqueued, 3);
+  EXPECT_EQ(dropped, 1);
+  EXPECT_EQ(link.queue().total_drops(), 1);
 }
 
 TEST_F(LinkFixture, ThroughputMatchesBandwidthUnderSaturation) {

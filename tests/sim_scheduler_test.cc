@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
 #include <vector>
 
 namespace qa::sim {
@@ -124,6 +126,82 @@ TEST(Scheduler, ManyEventsStressOrdering) {
     EXPECT_LE(times[i - 1], times[i]);
   }
   EXPECT_EQ(times.size(), 1000u);
+}
+
+TEST(SchedulerProfiler, AttributesDispatchesToCategories) {
+  Scheduler s;
+  SchedulerProfiler prof;
+  s.set_profiler(&prof);
+  for (int i = 0; i < 3; ++i) {
+    s.schedule_at(TimePoint::from_sec(i + 1), [] {},
+                  EventCategory::kTransport);
+  }
+  s.schedule_at(TimePoint::from_sec(10), [] {}, EventCategory::kProbe);
+  s.schedule_at(TimePoint::from_sec(11), [] {});  // default: kGeneric
+  s.run_until(TimePoint::from_sec(20));
+
+  EXPECT_EQ(prof.stats(EventCategory::kTransport).dispatches, 3u);
+  EXPECT_EQ(prof.stats(EventCategory::kProbe).dispatches, 1u);
+  EXPECT_EQ(prof.stats(EventCategory::kGeneric).dispatches, 1u);
+  EXPECT_EQ(prof.stats(EventCategory::kLinkTx).dispatches, 0u);
+  EXPECT_EQ(prof.total_dispatches(), 5u);
+  EXPECT_GE(prof.total_wall_ns(), 0);
+
+  prof.reset();
+  EXPECT_EQ(prof.total_dispatches(), 0u);
+}
+
+TEST(SchedulerProfiler, DetachedProfilerStopsRecording) {
+  Scheduler s;
+  SchedulerProfiler prof;
+  s.set_profiler(&prof);
+  s.schedule_at(TimePoint::from_sec(1), [] {});
+  s.run_until(TimePoint::from_sec(2));
+  s.set_profiler(nullptr);
+  s.schedule_at(TimePoint::from_sec(3), [] {});
+  s.run_until(TimePoint::from_sec(4));
+  EXPECT_EQ(prof.total_dispatches(), 1u);
+}
+
+TEST(SchedulerProfiler, ReportNamesEveryDispatchedCategory) {
+  Scheduler s;
+  SchedulerProfiler prof;
+  s.set_profiler(&prof);
+  s.schedule_at(TimePoint::from_sec(1), [] {}, EventCategory::kLinkWire);
+  s.schedule_at(TimePoint::from_sec(2), [] {}, EventCategory::kFault);
+  s.run_until(TimePoint::from_sec(3));
+  const std::string report = prof.report();
+  EXPECT_NE(report.find("link_wire"), std::string::npos);
+  EXPECT_NE(report.find("fault"), std::string::npos);
+  EXPECT_NE(report.find("total"), std::string::npos);
+  // Idle categories stay out of the table.
+  EXPECT_EQ(report.find("adapter"), std::string::npos);
+}
+
+TEST(Scheduler, OnDispatchObserverSeesCategorizedRecords) {
+  Scheduler s;
+  std::vector<DispatchRecord> records;
+  const ScopedSubscription sub = s.on_dispatch().subscribe_scoped(
+      [&](const DispatchRecord& rec) { records.push_back(rec); });
+  s.schedule_at(TimePoint::from_sec(1), [] {}, EventCategory::kAdapter);
+  s.schedule_at(TimePoint::from_sec(2), [] {}, EventCategory::kLinkTx);
+  s.run_until(TimePoint::from_sec(3));
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].at, TimePoint::from_sec(1));
+  EXPECT_EQ(records[0].category, EventCategory::kAdapter);
+  EXPECT_EQ(records[1].category, EventCategory::kLinkTx);
+  EXPECT_GE(records[0].wall_ns, 0);
+}
+
+TEST(EventCategoryName, EveryCategoryHasAUniqueName) {
+  std::vector<std::string> names;
+  for (int i = 0; i < kEventCategoryCount; ++i) {
+    names.emplace_back(event_category_name(static_cast<EventCategory>(i)));
+    EXPECT_NE(names.back(), "unknown");
+    EXPECT_FALSE(names.back().empty());
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
 }
 
 }  // namespace

@@ -75,6 +75,63 @@ TEST_F(ProbeFixture, LinkRateProbeSeparatesFlows) {
   EXPECT_DOUBLE_EQ(f1[1].value, 0.0);
 }
 
+TEST(PeriodicSampler, StopCancelsAndStartResumes) {
+  Scheduler sched;
+  PeriodicSampler sampler(&sched, TimeDelta::millis(100), [] { return 1.0; });
+  sampler.start();
+  EXPECT_TRUE(sampler.running());
+  sched.run_until(TimePoint::from_sec(0.35));
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  sampler.stop();  // idempotent
+  sched.run_until(TimePoint::from_sec(1.0));
+  EXPECT_EQ(sampler.series().points().size(), 3u);  // 0.1 0.2 0.3 only
+  sampler.start();
+  sched.run_until(TimePoint::from_sec(1.25));
+  // Sampling resumed on the new grid: 1.1 and 1.2.
+  EXPECT_EQ(sampler.series().points().size(), 5u);
+}
+
+TEST_F(ProbeFixture, LinkRateProbeStopFlushesPartialTailWindow) {
+  LinkRateProbe probe(&net.scheduler(), ab, TimeDelta::millis(500));
+  probe.start();
+  send(1, 20);  // 20 kB: 0.2 s of serialization at 100 kB/s
+  // Stop mid-second-window, after the traffic has fully serialized.
+  net.scheduler().schedule_at(TimePoint::from_sec(0.75), [&] { probe.stop(); });
+  net.run(TimePoint::from_sec(2.0));
+  const auto& pts = probe.flow_series(1).points();
+  // Window 1 (full, 0.5 s) plus the flushed 0.25 s partial tail.
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0].t, TimePoint::from_sec(0.5));
+  EXPECT_DOUBLE_EQ(pts[0].value, 20'000.0 / 0.5);
+  EXPECT_EQ(pts[1].t, TimePoint::from_sec(0.75));
+  EXPECT_DOUBLE_EQ(pts[1].value, 0.0);  // nothing sent in the tail
+  // Stopped: later windows never materialize.
+  EXPECT_EQ(probe.total_series().points().size(), 2u);
+}
+
+TEST_F(ProbeFixture, LinkRateProbeStopBeforeAnyWindowKeepsPartialOnly) {
+  LinkRateProbe probe(&net.scheduler(), ab, TimeDelta::millis(500));
+  probe.start();
+  send(1, 10);  // 10 kB in 0.1 s
+  net.scheduler().schedule_at(TimePoint::from_sec(0.2), [&] { probe.stop(); });
+  net.run(TimePoint::from_sec(1.0));
+  const auto& pts = probe.flow_series(1).points();
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_EQ(pts[0].t, TimePoint::from_sec(0.2));
+  EXPECT_DOUBLE_EQ(pts[0].value, 10'000.0 / 0.2);
+}
+
+TEST_F(ProbeFixture, QueueProbeStopHaltsSampling) {
+  QueueProbe probe(&net.scheduler(), ab, TimeDelta::millis(10));
+  probe.start();
+  send(1, 10);
+  net.scheduler().schedule_at(TimePoint::from_sec(0.055),
+                              [&] { probe.stop(); });
+  net.run(TimePoint::from_sec(1.0));
+  EXPECT_EQ(probe.series().points().size(), 5u);  // 10..50 ms
+}
+
 TEST_F(ProbeFixture, UnknownFlowYieldsEmptySeries) {
   LinkRateProbe probe(&net.scheduler(), ab, TimeDelta::millis(500));
   probe.start();

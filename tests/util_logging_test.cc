@@ -1,0 +1,89 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace qa {
+namespace {
+
+// The logger is process-global; every test restores the default state so
+// ordering never matters.
+class LoggingTest : public ::testing::Test {
+ protected:
+  LoggingTest() : prev_level_(log_level()) {
+    set_log_level(LogLevel::kDebug);
+    set_log_sink([this](const LogRecord& rec) { records_.push_back(rec); });
+  }
+  ~LoggingTest() override {
+    set_log_sink(nullptr);
+    set_log_time_source(nullptr);
+    set_log_level(prev_level_);
+  }
+
+  LogLevel prev_level_;
+  std::vector<LogRecord> records_;
+};
+
+TEST_F(LoggingTest, SinkCapturesLevelAndMessage) {
+  QA_LOG(Info) << "hello " << 42;
+  ASSERT_EQ(records_.size(), 1u);
+  EXPECT_EQ(records_[0].level, LogLevel::kInfo);
+  EXPECT_EQ(records_[0].message, "hello 42");
+  EXPECT_FALSE(records_[0].has_time);
+}
+
+TEST_F(LoggingTest, LevelFilterAppliesBeforeSink) {
+  set_log_level(LogLevel::kWarn);
+  QA_LOG(Debug) << "dropped";
+  QA_LOG(Info) << "dropped too";
+  QA_LOG(Warn) << "kept";
+  QA_LOG(Error) << "kept too";
+  ASSERT_EQ(records_.size(), 2u);
+  EXPECT_EQ(records_[0].message, "kept");
+  EXPECT_EQ(records_[1].level, LogLevel::kError);
+}
+
+TEST_F(LoggingTest, TimeSourceStampsRecordsWithSimulatedTime) {
+  TimePoint now = TimePoint::from_sec(1.25);
+  set_log_time_source([&now] { return now; });
+  QA_LOG(Info) << "at t1";
+  now = TimePoint::from_sec(2.5);
+  QA_LOG(Info) << "at t2";
+  ASSERT_EQ(records_.size(), 2u);
+  EXPECT_TRUE(records_[0].has_time);
+  EXPECT_EQ(records_[0].time, TimePoint::from_sec(1.25));
+  EXPECT_EQ(records_[1].time, TimePoint::from_sec(2.5));
+}
+
+TEST_F(LoggingTest, ClearedTimeSourceDropsTheStamp) {
+  set_log_time_source([] { return TimePoint::from_sec(9); });
+  QA_LOG(Info) << "timed";
+  set_log_time_source(nullptr);
+  QA_LOG(Info) << "untimed";
+  ASSERT_EQ(records_.size(), 2u);
+  EXPECT_TRUE(records_[0].has_time);
+  EXPECT_FALSE(records_[1].has_time);
+}
+
+TEST_F(LoggingTest, FormatMatchesDocumentedRendering) {
+  LogRecord rec;
+  rec.level = LogLevel::kInfo;
+  rec.has_time = true;
+  rec.time = TimePoint::from_sec(1.25);
+  rec.message = "msg";
+  EXPECT_EQ(format_log_record(rec), "[INFO t=1.25s] msg");
+  rec.has_time = false;
+  rec.level = LogLevel::kError;
+  EXPECT_EQ(format_log_record(rec), "[ERROR] msg");
+}
+
+TEST(LogLevelName, CoversAllLevels) {
+  EXPECT_STREQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(log_level_name(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace qa

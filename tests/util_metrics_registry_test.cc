@@ -1,0 +1,171 @@
+#include "util/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace qa {
+namespace {
+
+TEST(Counter, AccumulatesDeltas) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("x.count");
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42);
+  // Same name returns the same instrument.
+  EXPECT_EQ(&reg.counter("x.count"), &c);
+}
+
+TEST(Gauge, KeepsLastValue) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("x.level");
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST(Histogram, BasicMoments) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 4.0, 8.0}) h.observe(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.75);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 8.0);
+}
+
+TEST(Histogram, EmptyAndNonpositiveValues) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+  h.observe(0.0);
+  h.observe(-5.0);
+  h.observe(10.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  // A third of the mass is <= -5, so low percentiles land nonpositive.
+  EXPECT_LE(h.percentile(10), 0.0);
+  EXPECT_GT(h.percentile(90), 0.0);
+}
+
+// The log-bucketed histogram's percentiles must track the exact
+// (sample-storing) SampleSet within one bucket width: 4 buckets per octave
+// is a 2^(1/4) ~ 1.19x bucket, so 20% relative error is the contract.
+TEST(Histogram, PercentilesTrackExactSampleSetWithinBucketWidth) {
+  Rng rng(7);
+  Histogram h;
+  SampleSet exact;
+  for (int i = 0; i < 20'000; ++i) {
+    // Heavy-tailed positive values across ~6 decades.
+    const double v = std::exp(rng.uniform(0.0, 14.0));
+    h.observe(v);
+    exact.add(v);
+  }
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+    const double want = exact.percentile(p);
+    const double got = h.percentile(p);
+    EXPECT_NEAR(got, want, 0.20 * want) << "p" << p;
+  }
+  // The top extreme is pinned to the recorded max exactly; the bottom
+  // interpolates within the first bucket, so it only tracks to bucket width.
+  EXPECT_DOUBLE_EQ(h.percentile(100), exact.percentile(100));
+  EXPECT_NEAR(h.percentile(0), exact.percentile(0),
+              0.20 * exact.percentile(0));
+}
+
+TEST(Histogram, HigherResolutionTightensPercentiles) {
+  Rng rng(11);
+  Histogram coarse(1);   // one bucket per octave: 2x wide
+  Histogram fine(16);    // 2^(1/16) ~ 4.4% wide
+  SampleSet exact;
+  for (int i = 0; i < 5'000; ++i) {
+    const double v = std::exp(rng.uniform(0.0, 10.0));
+    coarse.observe(v);
+    fine.observe(v);
+    exact.add(v);
+  }
+  const double want = exact.percentile(50);
+  EXPECT_NEAR(fine.percentile(50), want, 0.05 * want);
+  EXPECT_NEAR(coarse.percentile(50), want, 1.0 * want);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("link.tx").inc(3);
+  reg.gauge("adapter.buffer").set(12.5);
+  reg.histogram("rap.rate").observe(100.0);
+  reg.register_gauge("client.stall", [] { return 1.5; });
+  EXPECT_EQ(reg.size(), 4u);
+
+  const auto rows = reg.snapshot();
+  ASSERT_EQ(rows.size(), 4u);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LT(rows[i - 1].name, rows[i].name);
+  }
+  EXPECT_EQ(rows[0].name, "adapter.buffer");
+  EXPECT_EQ(rows[0].kind, "gauge");
+  EXPECT_DOUBLE_EQ(rows[0].value, 12.5);
+  EXPECT_EQ(rows[1].name, "client.stall");
+  EXPECT_DOUBLE_EQ(rows[1].value, 1.5);
+  EXPECT_EQ(rows[2].name, "link.tx");
+  EXPECT_EQ(rows[2].kind, "counter");
+  EXPECT_DOUBLE_EQ(rows[2].value, 3.0);
+  EXPECT_EQ(rows[3].kind, "histogram");
+  EXPECT_EQ(rows[3].count, 1u);
+}
+
+TEST(MetricsRegistry, CallbackGaugeSamplesLiveValueAtSnapshot) {
+  MetricsRegistry reg;
+  double live = 1.0;
+  reg.register_gauge("live", [&] { return live; });
+  live = 99.0;
+  const auto rows = reg.snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].value, 99.0);  // evaluated now, not at register
+}
+
+TEST(MetricsRegistry, NameBoundToOneKind) {
+  const CheckSink prev = check_sink();
+  set_check_sink(CheckSink::kThrow);
+  MetricsRegistry reg;
+  reg.counter("dual");
+  EXPECT_THROW(reg.gauge("dual"), CheckFailure);
+  EXPECT_THROW(reg.histogram("dual"), CheckFailure);
+  set_check_sink(prev);
+}
+
+TEST(MetricsRegistry, CsvAndJsonExports) {
+  MetricsRegistry reg;
+  reg.counter("a.count").inc(7);
+  reg.histogram("b.hist").observe(2.0);
+  const std::string dir = ::testing::TempDir();
+  const std::string csv_path = dir + "/metrics_test.csv";
+  const std::string json_path = dir + "/metrics_test.json";
+  reg.write_csv(csv_path);
+  reg.write_json(json_path);
+
+  std::stringstream csv;
+  csv << std::ifstream(csv_path).rdbuf();
+  EXPECT_NE(csv.str().find("name,kind,value"), std::string::npos);
+  EXPECT_NE(csv.str().find("a.count,counter,7"), std::string::npos);
+
+  std::stringstream js;
+  js << std::ifstream(json_path).rdbuf();
+  EXPECT_NE(js.str().find("\"a.count\""), std::string::npos);
+  EXPECT_NE(js.str().find("\"kind\": \"histogram\""), std::string::npos);
+
+  std::remove(csv_path.c_str());
+  std::remove(json_path.c_str());
+}
+
+}  // namespace
+}  // namespace qa

@@ -11,9 +11,14 @@
 //   qa_chaos --first-seed 1000 --seeds 20 --recovery-bound 15
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
 
 #include "app/chaos.h"
+#include "util/csv.h"
 #include "util/flags.h"
+#include "util/manifest.h"
 
 using namespace qa;
 using namespace qa::app;
@@ -33,7 +38,9 @@ void usage() {
       "  --bottleneck-kbps K    bottleneck bandwidth (default 200)\n"
       "  --layers N             stream layers (default 4)\n"
       "  --layer-rate BPS       per-layer consumption C (default 2500)\n"
-      "  --verbose              per-seed rows even when passing\n");
+      "  --verbose              per-seed rows even when passing\n"
+      "  --out-dir DIR          write chaos.csv (per-seed outcomes) and\n"
+      "                         manifest.json (invocation record) to DIR\n");
 }
 
 }  // namespace
@@ -63,6 +70,7 @@ int main(int argc, char** argv) {
   base.layer_rate =
       Rate::bytes_per_sec(flags.get_double("layer-rate", base.layer_rate.bps()));
   const bool verbose = flags.get_bool("verbose", false);
+  const std::string out_dir = flags.get_or("out-dir", "");
 
   const auto unused = flags.unused();
   if (!unused.empty()) {
@@ -71,6 +79,27 @@ int main(int argc, char** argv) {
     }
     usage();
     return 1;
+  }
+
+  std::unique_ptr<CsvWriter> csv;
+  if (!out_dir.empty()) {
+    std::filesystem::create_directories(out_dir);
+    RunManifest manifest;
+    manifest.set("tool", "qa_chaos");
+    manifest.set_args(argc, argv);
+    manifest.set_int("seeds", seeds);
+    manifest.set_int("first_seed", static_cast<int64_t>(first_seed));
+    manifest.set_int("faults", base.faults);
+    manifest.set_number("recovery_bound", base.recovery_bound.sec());
+    manifest.set_number("bottleneck_bytes_per_sec", base.bottleneck.bps());
+    manifest.write_json(out_dir + "/manifest.json");
+    csv = std::make_unique<CsvWriter>(
+        out_dir + "/chaos.csv",
+        std::vector<std::string>{"seed", "ok", "pre_fault_layers",
+                                 "recovery_time", "rebuffer_events",
+                                 "rebuffer_time", "quiescence_entries",
+                                 "degraded_entries", "outage_drops",
+                                 "packets_received_tail", "final_rate"});
   }
 
   std::printf("chaos sweep: %d seeds from %llu, %d faults over %.0f s, "
@@ -92,6 +121,18 @@ int main(int argc, char** argv) {
     if (!ok) ++failures;
     worst_recovery = std::max(worst_recovery, out.recovery_time);
     total_rebuffers += out.rebuffer_events;
+    if (csv) {
+      csv->row({static_cast<double>(params.seed), ok ? 1.0 : 0.0,
+                static_cast<double>(out.pre_fault_layers),
+                out.recovery_time.sec(),
+                static_cast<double>(out.rebuffer_events),
+                out.rebuffer_time.sec(),
+                static_cast<double>(out.quiescence_entries),
+                static_cast<double>(out.degraded_entries),
+                static_cast<double>(out.outage_drops),
+                static_cast<double>(out.packets_received_tail),
+                out.final_rate_bps});
+    }
     if (!ok || verbose) {
       std::printf("%6llu %5d %5.1f %9lld %7.2f %8lld %6lld %6lld %7lld "
                   "%7.0f  %s\n",

@@ -1,0 +1,126 @@
+// qa_trace — run a streaming scenario with full observability and write
+// the artifact bundle: a Perfetto-loadable Chrome trace, a metrics
+// snapshot (CSV + JSON), and a provenance manifest.
+//
+// The default scenario is a fig-2 style single quality-adaptive flow on a
+// small dumbbell: a lone RAP source against a bottleneck a few layers
+// wide, so the trace shows clean AIMD sawtooths, layer adds/drops, and
+// buffer accumulation without competing-flow noise. Every parameter is a
+// flag; crank --rap-flows/--tcp-flows up for a contended fig-11 style run.
+//
+//   qa_trace --out-dir /tmp/qa_run
+//   qa_trace --out-dir /tmp/qa_run --duration 60 --kmax 2 --seed 7
+//   qa_trace --out-dir /tmp/qa_run --rap-flows 10 --tcp-flows 10
+//
+// Load <out-dir>/trace.json at ui.perfetto.dev (or chrome://tracing); see
+// EXPERIMENTS.md for the lane layout and a reading guide.
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <string>
+
+#include "app/experiment.h"
+#include "app/observability.h"
+#include "util/flags.h"
+
+using namespace qa;
+using namespace qa::app;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "qa_trace [flags]\n"
+      "  --out-dir DIR          artifact directory (required; created)\n"
+      "  --duration SECS        run length (default 20)\n"
+      "  --seed N               RNG seed (default 1)\n"
+      "  --bottleneck-kbps K    bottleneck bandwidth (default 240)\n"
+      "  --layer-rate BPS       per-layer consumption C (default 10000)\n"
+      "  --layers N             stream layers (default 8)\n"
+      "  --kmax N               max backoffs survivable, K_max (default 1)\n"
+      "  --rap-flows N          RAP flows incl. the QA one (default 1)\n"
+      "  --tcp-flows N          competing TCP flows (default 0)\n"
+      "  --no-trace             skip trace.json (metrics/manifest only)\n"
+      "  --no-metrics           skip metrics.csv/json\n"
+      "  --no-profile           skip the scheduler profiler\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.has("help")) {
+    usage();
+    return 0;
+  }
+
+  const std::string out_dir = flags.get_or("out-dir", "");
+  ExperimentParams params;
+  params.rap_flows = static_cast<int>(flags.get_int("rap-flows", 1));
+  params.tcp_flows = static_cast<int>(flags.get_int("tcp-flows", 0));
+  params.duration_sec = flags.get_double("duration", 20.0);
+  params.seed = static_cast<uint64_t>(flags.get_int("seed", 1));
+  params.bottleneck =
+      Rate::kilobits_per_sec(flags.get_double("bottleneck-kbps", 240.0));
+  params.layer_rate =
+      Rate::bytes_per_sec(flags.get_double("layer-rate", 10'000.0));
+  params.stream_layers = static_cast<int>(flags.get_int("layers", 8));
+  params.kmax = static_cast<int>(flags.get_int("kmax", 1));
+
+  ObservabilityConfig ocfg;
+  ocfg.out_dir = out_dir;
+  ocfg.trace = flags.get_bool("trace", true);
+  ocfg.metrics = flags.get_bool("metrics", true);
+  ocfg.profile = flags.get_bool("profile", true);
+
+  const auto unused = flags.unused();
+  if (!unused.empty()) {
+    for (const auto& u : unused) {
+      std::fprintf(stderr, "unknown flag --%s\n", u.c_str());
+    }
+    usage();
+    return 1;
+  }
+  if (out_dir.empty()) {
+    std::fprintf(stderr, "qa_trace: --out-dir is required\n");
+    usage();
+    return 1;
+  }
+
+  try {
+    std::filesystem::create_directories(out_dir);
+
+    Observability obs(ocfg);
+    obs.manifest().set("tool", "qa_trace");
+    obs.manifest().set_args(argc, argv);
+    obs.manifest().set_int("seed", static_cast<int64_t>(params.seed));
+    obs.manifest().set_number("duration", params.duration_sec);
+    obs.manifest().set_number("bottleneck_bytes_per_sec",
+                              params.bottleneck.bps());
+    obs.manifest().set_number("layer_rate_bytes_per_sec",
+                              params.layer_rate.bps());
+    obs.manifest().set_int("stream_layers", params.stream_layers);
+    obs.manifest().set_int("kmax", params.kmax);
+    obs.manifest().set_int("rap_flows", params.rap_flows);
+    obs.manifest().set_int("tcp_flows", params.tcp_flows);
+    params.observability = &obs;
+
+    const ExperimentResult result = run_experiment(params);
+
+    std::printf("run: %.0f s sim, %lld QA packets, %lld losses, "
+                "%d drops / %d adds, stall %.2f s\n",
+                params.duration_sec,
+                static_cast<long long>(result.qa_packets_sent),
+                static_cast<long long>(result.qa_losses),
+                static_cast<int>(result.metrics.drops().size()),
+                static_cast<int>(result.metrics.adds().size()),
+                result.client_base_stall.sec());
+    std::printf("artifacts in %s: trace.json metrics.csv metrics.json "
+                "manifest.json\n\n", out_dir.c_str());
+    std::printf("%s", obs.profiler().report().c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qa_trace: %s\n", e.what());
+    return 1;
+  }
+}
