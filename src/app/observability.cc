@@ -2,6 +2,7 @@
 
 #include "app/session.h"
 #include "app/video_client.h"
+#include "util/json.h"
 #include "util/logging.h"
 
 namespace qa::app {
@@ -17,6 +18,21 @@ Observability::Observability(ObservabilityConfig cfg) : cfg_(std::move(cfg)) {
     trace_->name_track(ChromeTraceWriter::kAdapterTrack, "quality adapter");
     trace_->name_track(ChromeTraceWriter::kClientTrack, "video client");
     trace_->name_track(ChromeTraceWriter::kLinkTrack, "links");
+  }
+  if (cfg_.journeys) {
+    journeys_.bind_metrics(&registry_);
+    subs_.push_back(journeys_.on_span().subscribe_scoped(
+        [this](const JourneySpan& span) { on_journey_span(span); }));
+  }
+  if (cfg_.flightrec) {
+    flightrec_ = std::make_unique<FlightRecorder>(cfg_.flightrec_events);
+    if (!cfg_.out_dir.empty()) {
+      const std::string path = cfg_.out_dir + "/flightrec.jsonl";
+      flightrec_->arm_crash_dump(path);
+      manifest_.set("flightrec_path", path);
+      manifest_.set_int("flightrec_events",
+                        static_cast<int64_t>(cfg_.flightrec_events));
+    }
   }
 }
 
@@ -56,6 +72,9 @@ void Observability::attach_scheduler(sim::Scheduler& sched) {
 }
 
 void Observability::attach_link(sim::Link& link, const std::string& name) {
+  if (cfg_.journeys) {
+    link.set_journey_recorder(&journeys_, journeys_.register_hop(name));
+  }
   const std::string base = "link." + name;
   Counter& enq = registry_.counter(base + ".enqueued_packets");
   Counter& drop = registry_.counter(base + ".queue_drops");
@@ -122,6 +141,8 @@ void Observability::attach_rap_source(rap::RapSource& src) {
   subs_.push_back(src.on_backoff().subscribe_scoped(
       [this, &backoffs](TimePoint t, Rate r) {
         backoffs.inc();
+        flightrec_note(t, "rap.backoff",
+                       "{\"rate_post\":" + json_number(r.bps()) + "}");
         if (trace_) {
           trace_->instant(
               t, ChromeTraceWriter::kTransportTrack, "backoff",
@@ -141,6 +162,9 @@ void Observability::attach_rap_source(rap::RapSource& src) {
   subs_.push_back(src.on_quiescence().subscribe_scoped(
       [this, &quiescence](TimePoint t, bool active) {
         if (active) quiescence.inc();
+        flightrec_note(t, active ? "rap.quiescence_enter"
+                                 : "rap.quiescence_exit",
+                       "{}");
         if (trace_) {
           trace_->instant(t, ChromeTraceWriter::kTransportTrack,
                           active ? "quiescence_enter" : "quiescence_exit");
@@ -156,6 +180,8 @@ void Observability::attach_adapter(core::QualityAdapter& adapter) {
 
   subs_.push_back(adapter.on_drop().subscribe_scoped(
       [this](const core::DropEvent& e) {
+        flightrec_note(e.time, "adapter.layer_drop",
+                       "{\"layer\":" + json_number(int64_t{e.layer}) + "}");
         if (!trace_) return;
         trace_->instant(
             e.time, ChromeTraceWriter::kAdapterTrack, "layer_drop",
@@ -170,6 +196,10 @@ void Observability::attach_adapter(core::QualityAdapter& adapter) {
       }));
   subs_.push_back(
       adapter.on_add().subscribe_scoped([this](const core::AddEvent& e) {
+        flightrec_note(
+            e.time, "adapter.layer_add",
+            "{\"active_layers\":" + json_number(int64_t{e.new_active_layers}) +
+                "}");
         if (!trace_) return;
         trace_->instant(e.time, ChromeTraceWriter::kAdapterTrack, "layer_add",
                         TraceArgs{{"active_layers",
@@ -196,6 +226,8 @@ void Observability::attach_client(VideoClient& client) {
 
   subs_.push_back(client.on_rebuffer().subscribe_scoped(
       [this](TimePoint t, bool paused) {
+        flightrec_note(
+            t, paused ? "client.rebuffer_start" : "client.rebuffer_end", "{}");
         if (!trace_) return;
         trace_->instant(t, ChromeTraceWriter::kClientTrack,
                         paused ? "rebuffer_start" : "rebuffer_end");
@@ -212,6 +244,57 @@ void Observability::attach_session(Session& session) {
   attach_rap_source(session.rap_source());
   attach_adapter(session.server().adapter());
   attach_client(session.client());
+  if (cfg_.journeys) {
+    session.rap_source().set_journey_recorder(&journeys_);
+    session.rap_sink().set_journey_recorder(&journeys_);
+    session.client().set_journey_recorder(&journeys_);
+  }
+}
+
+void Observability::flightrec_note(TimePoint t, std::string_view kind,
+                                   std::string detail_json) {
+  if (flightrec_) flightrec_->note(t, kind, std::move(detail_json));
+}
+
+void Observability::on_journey_span(const JourneySpan& span) {
+  if (flightrec_) {
+    std::string detail = "{\"id\":" + json_number(uint64_t{span.id}) +
+                         ",\"flow\":" + json_number(int64_t{span.flow}) +
+                         ",\"layer\":" + json_number(int64_t{span.layer}) +
+                         ",\"seq\":" + json_number(span.seq);
+    if (span.hop != kNoHop) {
+      detail += ",\"hop\":" + json_quote(journeys_.hop_name(span.hop));
+    }
+    detail += "}";
+    flightrec_->note(span.at,
+                     std::string("journey.") + journey_stage_name(span.stage),
+                     std::move(detail));
+  }
+  if (!trace_ || span.layer < 0) return;
+  // Per-layer lanes. Lifecycle milestones only — the per-hop churn
+  // (enqueue, tx start/complete) stays in the flight recorder, keeping
+  // lane volume proportional to packets, not hops.
+  switch (span.stage) {
+    case JourneyStage::kEnqueue:
+    case JourneyStage::kTxStart:
+    case JourneyStage::kTxComplete:
+      return;
+    default:
+      break;
+  }
+  const int track = ChromeTraceWriter::kJourneyTrackBase + span.layer;
+  if (named_journey_tracks_.insert(track).second) {
+    trace_->name_track(track,
+                       "video layer " + std::to_string(span.layer));
+  }
+  TraceArgs args{{"id", ChromeTraceWriter::num(static_cast<int64_t>(span.id))},
+                 {"seq", ChromeTraceWriter::num(span.seq)},
+                 {"layer_seq", ChromeTraceWriter::num(span.layer_seq)}};
+  if (span.hop != kNoHop) {
+    args.emplace_back("hop",
+                      ChromeTraceWriter::str(journeys_.hop_name(span.hop)));
+  }
+  trace_->instant(span.at, track, journey_stage_name(span.stage), args);
 }
 
 void Observability::finish() {
@@ -219,6 +302,8 @@ void Observability::finish() {
   finished_ = true;
   // Drop subscriptions first: nothing may write to the trace after close.
   subs_.clear();
+  // A run that finished cleanly needs no crash dump.
+  if (flightrec_) flightrec_->disarm();
   if (sched_) {
     sched_->set_profiler(nullptr);
     sched_ = nullptr;

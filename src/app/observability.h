@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include <set>
+
 #include "core/quality_adapter.h"
 #include "rap/rap_source.h"
 #include "sim/link.h"
@@ -26,6 +28,8 @@
 #include "sim/scheduler.h"
 #include "util/chrome_trace.h"
 #include "util/event.h"
+#include "util/flightrec.h"
+#include "util/journey.h"
 #include "util/manifest.h"
 #include "util/metrics_registry.h"
 
@@ -41,6 +45,14 @@ struct ObservabilityConfig {
   bool trace = true;    // write <out_dir>/trace.json (Perfetto-loadable)
   bool metrics = true;  // write <out_dir>/metrics.csv and metrics.json
   bool profile = true;  // attach the scheduler profiler
+  // Packet-journey tracing: per-layer OWD/jitter/loss-attribution metrics
+  // and per-layer lanes in the Chrome trace.
+  bool journeys = true;
+  // Flight recorder: a ring of the last `flightrec_events` journey/trace
+  // events, dumped to <out_dir>/flightrec.jsonl when a QA_CHECK or
+  // invariant fails mid-run (path recorded in the manifest).
+  bool flightrec = true;
+  size_t flightrec_events = 1024;
 };
 
 class Observability {
@@ -56,6 +68,9 @@ class Observability {
   RunManifest& manifest() { return manifest_; }
   // Null when tracing is disabled (or finished).
   ChromeTraceWriter* trace() { return trace_.get(); }
+  JourneyRecorder& journeys() { return journeys_; }
+  // Null when the flight recorder is disabled.
+  FlightRecorder* flightrec() { return flightrec_.get(); }
 
   // --- Attach points (call during scenario setup). ------------------------
   void attach_scheduler(sim::Scheduler& sched);
@@ -75,11 +90,18 @@ class Observability {
   bool finished() const { return finished_; }
 
  private:
+  void on_journey_span(const JourneySpan& span);
+  void flightrec_note(TimePoint t, std::string_view kind,
+                      std::string detail_json);
+
   ObservabilityConfig cfg_;
   MetricsRegistry registry_;
   sim::SchedulerProfiler profiler_;
   RunManifest manifest_;
   std::unique_ptr<ChromeTraceWriter> trace_;
+  JourneyRecorder journeys_;
+  std::unique_ptr<FlightRecorder> flightrec_;
+  std::set<int> named_journey_tracks_;  // lanes labeled on first span
   std::vector<ScopedSubscription> subs_;
   sim::Scheduler* sched_ = nullptr;
   bool finished_ = false;

@@ -49,6 +49,9 @@ void VideoClient::on_data(const sim::Packet& p) {
     // e.g. declared lost through reordering). Crediting it twice would
     // inflate the buffer with media the player cannot use.
     ++duplicates_discarded_;
+    if (journeys_ != nullptr && p.journey_id != kUntracedJourney) {
+      journeys_->record_receiver_discard(p.journey_id, sched_->now());
+    }
     return;
   }
   const TimePoint now = sched_->now();

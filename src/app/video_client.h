@@ -24,6 +24,7 @@
 #include "sim/packet.h"
 #include "sim/scheduler.h"
 #include "util/event.h"
+#include "util/journey.h"
 
 namespace qa::app {
 
@@ -67,6 +68,12 @@ class VideoClient {
 
   // Exact wire duplicates discarded on arrival (see on_data).
   int64_t duplicates_discarded() const { return duplicates_discarded_; }
+
+  // Attaches journey tracing: a traced packet discarded as a duplicate is
+  // attributed as a receiver-side loss. Nullptr detaches.
+  void set_journey_recorder(JourneyRecorder* recorder) {
+    journeys_ = recorder;
+  }
   const std::vector<PacketRecord>& packet_log() const { return log_; }
   const core::ReceiverModel& model() const { return model_; }
 
@@ -105,6 +112,7 @@ class VideoClient {
   std::vector<std::pair<int, int64_t>> recent_;
   size_t recent_next_ = 0;
   int64_t duplicates_discarded_ = 0;
+  JourneyRecorder* journeys_ = nullptr;
 };
 
 }  // namespace qa::app

@@ -16,6 +16,9 @@ void RapSink::on_packet(const sim::Packet& p) {
   ++received_;
   bytes_ += p.size_bytes;
   highest_seq_ = std::max(highest_seq_, p.seq);
+  if (journeys_ != nullptr && p.journey_id != kUntracedJourney) {
+    journeys_->record_deliver(p.journey_id, sched_->now());
+  }
 
   if (consumer_) consumer_(p);
 

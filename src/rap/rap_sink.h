@@ -7,6 +7,7 @@
 #include "sim/flow.h"
 #include "sim/node.h"
 #include "sim/scheduler.h"
+#include "util/journey.h"
 
 namespace qa::rap {
 
@@ -21,6 +22,12 @@ class RapSink : public sim::Agent {
     consumer_ = std::move(consumer);
   }
 
+  // Attaches journey tracing: arrival of a traced data packet records its
+  // delivery. Nullptr detaches.
+  void set_journey_recorder(JourneyRecorder* recorder) {
+    journeys_ = recorder;
+  }
+
   int64_t packets_received() const { return received_; }
   int64_t bytes_received() const { return bytes_; }
   int64_t highest_seq() const { return highest_seq_; }
@@ -30,6 +37,7 @@ class RapSink : public sim::Agent {
   sim::Node* local_;
   int32_t ack_size_;
   std::function<void(const sim::Packet&)> consumer_;
+  JourneyRecorder* journeys_ = nullptr;
   int64_t received_ = 0;
   int64_t bytes_ = 0;
   int64_t highest_seq_ = -1;

@@ -106,6 +106,15 @@ void RapSource::send_next() {
   p.seq = next_seq_++;
   p.ts_sent = sched_->now();
   if (tagger_) tagger_(p);
+  if (journeys_ != nullptr) {
+    JourneyOrigin origin;
+    origin.flow = flow_;
+    origin.layer = p.layer;
+    origin.seq = p.seq;
+    origin.layer_seq = p.layer_seq;
+    origin.size_bytes = p.size_bytes;
+    p.journey_id = journeys_->begin_journey(origin, sched_->now());
+  }
 
   history_.push_back(HistoryEntry{p, false, false});
   ++packets_sent_;
@@ -152,6 +161,9 @@ void RapSource::process_ack(const sim::Packet& ack) {
   if (e != nullptr && !e->acked && !e->lost) {
     e->acked = true;
     if (listener_) listener_->on_ack(e->pkt);
+    if (journeys_ != nullptr && e->pkt.journey_id != kUntracedJourney) {
+      journeys_->record_ack(e->pkt.journey_id, sched_->now());
+    }
   }
   highest_acked_ = std::max(highest_acked_, ack.ack_seq);
   detect_losses_from_ack(ack.ack_seq);
@@ -170,6 +182,9 @@ void RapSource::detect_losses_from_ack(int64_t acked_seq) {
     e.lost = true;
     ++losses_;
     if (listener_) listener_->on_loss(e.pkt);
+    if (journeys_ != nullptr && e.pkt.journey_id != kUntracedJourney) {
+      journeys_->record_loss_detected(e.pkt.journey_id, sched_->now());
+    }
     if (e.pkt.seq > recovery_until_seq_) {
       trigger_backoff = true;
       max_lost_seq = std::max(max_lost_seq, e.pkt.seq);
@@ -190,6 +205,9 @@ void RapSource::check_timeouts() {
     ++losses_;
     if (listener_) listener_->on_loss(e.pkt);
     on_timeout_loss_.emit(now, e.pkt);
+    if (journeys_ != nullptr && e.pkt.journey_id != kUntracedJourney) {
+      journeys_->record_loss_detected(e.pkt.journey_id, now);
+    }
     if (e.pkt.seq > recovery_until_seq_) {
       trigger_backoff = true;
       max_lost_seq = std::max(max_lost_seq, e.pkt.seq);

@@ -33,6 +33,7 @@
 #include "sim/node.h"
 #include "sim/scheduler.h"
 #include "util/event.h"
+#include "util/journey.h"
 #include "util/units.h"
 
 namespace qa::rap {
@@ -88,6 +89,14 @@ class RapSource : public sim::Agent {
     tagger_ = std::move(tagger);
   }
   void set_listener(RapListener* listener) { listener_ = listener; }
+
+  // Attaches journey tracing: every outgoing data packet opens a journey
+  // (stamped after the payload tagger runs, so the origin carries the
+  // video-layer tag), and the ACK/loss bookkeeping closes it. Nullptr
+  // detaches; detached costs one branch per site.
+  void set_journey_recorder(JourneyRecorder* recorder) {
+    journeys_ = recorder;
+  }
 
   // Congestion controller state, as the QA formulas consume it.
   Rate rate() const { return rate_; }
@@ -158,6 +167,7 @@ class RapSource : public sim::Agent {
 
   std::function<void(sim::Packet&)> tagger_;
   RapListener* listener_ = nullptr;
+  JourneyRecorder* journeys_ = nullptr;
 
   Event<TimePoint, Rate> on_rate_change_;
   Event<TimePoint, Rate> on_backoff_;

@@ -30,18 +30,26 @@ void Link::set_impairment(std::unique_ptr<WireImpairment> impairment) {
   impairment_ = std::move(impairment);
 }
 
+void Link::set_journey_recorder(JourneyRecorder* recorder, HopId hop) {
+  journeys_ = recorder;
+  hop_ = hop;
+}
+
 void Link::submit(const Packet& p) {
   ++submitted_;
   if (!up_ && outage_policy_.drop_arrivals) {
     ++outage_drops_;
+    record_journey(p, JourneyStage::kOutageDrop);
     audit_packet_conservation();
     return;
   }
   if (queue_->enqueue(p)) {
     on_enqueue_.emit(p);
+    record_journey(p, JourneyStage::kEnqueue);
     maybe_start_tx();
   } else {
     on_queue_drop_.emit(p);
+    record_journey(p, JourneyStage::kQueueDrop);
   }
   audit_packet_conservation();
 }
@@ -58,6 +66,7 @@ void Link::set_down(const OutagePolicy& policy) {
       tx_event_ = kInvalidEventId;
       busy_ = false;
       ++outage_drops_;
+      record_journey(in_flight_, JourneyStage::kOutageDrop);
     }
     // Packets already propagating are orphaned: their scheduled deliveries
     // see a stale epoch and count themselves as outage drops.
@@ -65,8 +74,9 @@ void Link::set_down(const OutagePolicy& policy) {
   }
   if (policy.drop_queued) {
     while (!queue_->empty()) {
-      (void)queue_->dequeue();
+      const Packet flushed = queue_->dequeue();
       ++outage_drops_;
+      record_journey(flushed, JourneyStage::kOutageDrop);
     }
   }
   audit_packet_conservation();
@@ -93,6 +103,7 @@ void Link::maybe_start_tx() {
   if (busy_ || !up_ || queue_->empty()) return;
   busy_ = true;
   in_flight_ = queue_->dequeue();
+  record_journey(in_flight_, JourneyStage::kTxStart);
   const TimeDelta tx_time = bandwidth_.transmit_time(in_flight_.size_bytes);
   tx_event_ = sched_->schedule_after(tx_time, [this] { on_tx_complete(); },
                                      EventCategory::kLinkTx);
@@ -107,6 +118,7 @@ void Link::schedule_delivery(const Packet& p, TimeDelta delay) {
         --in_flight_wire_;
         if (epoch != wire_epoch_) {
           ++outage_drops_;
+          record_journey(p, JourneyStage::kOutageDrop);
           audit_packet_conservation();
           return;
         }
@@ -123,15 +135,18 @@ void Link::on_tx_complete() {
   tx_event_ = kInvalidEventId;
   const Packet p = in_flight_;
   on_tx_.emit(p);
+  record_journey(p, JourneyStage::kTxComplete);
   const bool lost =
       loss_model_ && loss_model_->should_drop(p, sched_->now());
   if (lost) {
     ++wire_drops_;
+    record_journey(p, JourneyStage::kWireDrop);
   } else {
     WireEffect effect;
     if (impairment_) effect = impairment_->on_packet(p, sched_->now());
     if (effect.copies <= 0) {
       ++wire_drops_;  // absorbed by the impairment
+      record_journey(p, JourneyStage::kWireDrop);
     }
     for (int32_t c = 0; c < effect.copies; ++c) {
       if (c > 0) ++duplicates_injected_;

@@ -29,6 +29,7 @@
 #include "sim/queue.h"
 #include "sim/scheduler.h"
 #include "util/event.h"
+#include "util/journey.h"
 #include "util/units.h"
 
 namespace qa::sim {
@@ -113,10 +114,22 @@ class Link {
   // arbitrary instants; also run internally after every transition).
   void audit_packet_conservation() const;
 
+  // Attaches journey tracing: this link reports its hop-level stages
+  // (enqueue, queue drop, tx start/complete, wire drop, outage drop) for
+  // traced packets under `hop`. Nullptr detaches; detached costs one
+  // branch per record site (the event-bus discipline).
+  void set_journey_recorder(JourneyRecorder* recorder, HopId hop);
+
  private:
   void maybe_start_tx();
   void on_tx_complete();
   void schedule_delivery(const Packet& p, TimeDelta delay);
+  // Single-branch guard for all hop-stage record sites.
+  void record_journey(const Packet& p, JourneyStage stage) {
+    if (journeys_ != nullptr && p.journey_id != kUntracedJourney) {
+      journeys_->record_hop(p.journey_id, stage, hop_, sched_->now());
+    }
+  }
 
   std::string name_;
   Scheduler* sched_;
@@ -129,6 +142,8 @@ class Link {
   Event<const Packet&> on_enqueue_;
   Event<const Packet&> on_queue_drop_;
   Event<const Packet&> on_tx_;
+  JourneyRecorder* journeys_ = nullptr;
+  HopId hop_ = kNoHop;
   bool busy_ = false;
   bool up_ = true;
   OutagePolicy outage_policy_;

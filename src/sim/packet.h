@@ -50,6 +50,10 @@ struct Packet {
   // delivered to probes when dropped).
   bool dropped = false;
 
+  // Journey-tracing id stamped by the source (util/journey.h); 0 means
+  // untraced, and every record site skips the packet.
+  uint64_t journey_id = 0;
+
   std::string summary() const;
 };
 

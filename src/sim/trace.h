@@ -54,6 +54,7 @@ class LinkRateProbe {
   // accumulated since the last one (rate over the actual elapsed time), so
   // bytes serialized after the final full window still reach the series.
   void stop();
+  bool running() const { return next_ != kInvalidEventId; }
 
   // Rate series (bytes/s per window) for one flow; empty series if the flow
   // never appeared.
@@ -83,6 +84,7 @@ class QueueProbe {
   QueueProbe(Scheduler* sched, Link* link, TimeDelta interval);
   void start() { sampler_.start(); }
   void stop() { sampler_.stop(); }
+  bool running() const { return sampler_.running(); }
   const TimeSeries& series() const { return sampler_.series(); }
 
  private:

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 namespace qa {
 namespace {
@@ -10,6 +11,8 @@ namespace {
 CheckSink g_sink = CheckSink::kAbort;
 std::string g_log_path;
 uint64_t g_failures = 0;
+std::function<void()> g_failure_hook;
+bool g_in_failure_hook = false;
 
 }  // namespace
 
@@ -19,6 +22,10 @@ CheckSink check_sink() { return g_sink; }
 void set_check_log_path(const std::string& path) { g_log_path = path; }
 
 uint64_t check_failure_count() { return g_failures; }
+
+void set_check_failure_hook(std::function<void()> hook) {
+  g_failure_hook = std::move(hook);
+}
 
 namespace detail {
 
@@ -43,6 +50,15 @@ namespace detail {
       std::fprintf(f, "%s\n", report.c_str());
       std::fclose(f);
     }
+  }
+  if (g_failure_hook && !g_in_failure_hook) {
+    g_in_failure_hook = true;
+    try {
+      g_failure_hook();
+    } catch (...) {
+      // The post-mortem dump is best-effort; the original failure wins.
+    }
+    g_in_failure_hook = false;
   }
   if (g_sink == CheckSink::kThrow) throw CheckFailure(report);
   std::abort();

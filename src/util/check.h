@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -60,6 +61,12 @@ void set_check_log_path(const std::string& path);
 // Number of check failures delivered so far in this process. Only
 // observable past 0 under CheckSink::kThrow (abort never returns).
 uint64_t check_failure_count();
+
+// Runs `hook` after a failure is reported but before the sink delivers it
+// (so it fires even under kAbort). This is how the flight recorder dumps
+// its ring at crash time. One hook per process; an empty function clears
+// it. A check failing inside the hook does not recurse.
+void set_check_failure_hook(std::function<void()> hook);
 
 namespace detail {
 

@@ -48,6 +48,9 @@ class ChromeTraceWriter {
   static constexpr int kAdapterTrack = 3;
   static constexpr int kClientTrack = 4;
   static constexpr int kLinkTrack = 5;
+  // Per-video-layer journey lanes: layer k renders on track
+  // kJourneyTrackBase + k (named lazily on the layer's first span).
+  static constexpr int kJourneyTrackBase = 16;
 
   // Opens `path` for writing; throws std::runtime_error on failure.
   explicit ChromeTraceWriter(const std::string& path);

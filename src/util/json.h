@@ -1,11 +1,17 @@
-// Tiny JSON emission helpers shared by the observability exporters
-// (chrome_trace, metrics_registry, manifest). Emission only — the repo has
-// no JSON consumer; tests that validate exporter output carry their own
-// minimal parser.
+// Tiny JSON helpers shared by the observability exporters (chrome_trace,
+// metrics_registry, manifest) and their consumers (rundiff, tests).
+//
+// Emission: quote/number formatting plus a whole-file writer. Parsing: a
+// minimal recursive-descent reader covering exactly the JSON the exporters
+// emit (objects, arrays, strings with escapes, numbers, true/false/null),
+// used by qa_diff to canonicalize metrics artifacts and by the exporter
+// tests to round-trip adversarial names.
 #pragma once
 
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace qa {
 
@@ -23,5 +29,35 @@ std::string json_number(uint64_t v);
 // cannot be created — the same contract as CsvWriter, so artifact writers
 // fail loudly instead of silently dropping a run's output.
 void write_text_file(const std::string& path, const std::string& content);
+
+// ---- Parsing ---------------------------------------------------------------
+
+// One parsed JSON value. A plain tagged struct rather than a variant
+// hierarchy: consumers walk small documents (a metrics snapshot, one trace
+// line) and care about simplicity, not allocation counts. Object members
+// keep document order.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_number() const { return type == Type::kNumber; }
+  // First member with `key`, or nullptr. Linear: exporter objects are
+  // small and ordered.
+  const JsonValue* find(std::string_view key) const;
+};
+
+// Parses one complete JSON document (trailing whitespace allowed, nothing
+// else after the value). Returns false and describes the failure —
+// including the byte offset — in *error. Escape sequences in strings are
+// decoded (\uXXXX to UTF-8, surrogate pairs included), so a parse of
+// json_quote(s) round-trips s exactly.
+bool json_parse(std::string_view text, JsonValue* out, std::string* error);
 
 }  // namespace qa

@@ -1,0 +1,230 @@
+#include "util/rundiff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+#include "util/json.h"
+
+namespace qa {
+
+namespace {
+
+constexpr const char* kHistogramColumns[] = {"count", "sum", "min", "max",
+                                             "p50",   "p90", "p99"};
+
+std::string field_key(const std::string& metric, const char* column) {
+  return metric + "." + column;
+}
+
+// Round-trip exact: any representable difference between two runs must
+// produce a different digest, so two digests matching means bitwise-equal
+// comparable fields.
+std::string canonical_number(const RunField& f) {
+  if (f.is_null) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", f.value);
+  return buf;
+}
+
+bool read_file(const std::string& path, std::string* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+void add_field(RunFields* out, const std::string& metric,
+               const std::string& kind, const char* column,
+               const JsonValue& v) {
+  RunField f;
+  f.kind = kind;
+  f.column = column;
+  if (v.is_number()) {
+    f.value = v.number;
+  } else {
+    f.is_null = true;  // exporter writes null for non-finite values
+  }
+  (*out)[field_key(metric, column)] = std::move(f);
+}
+
+}  // namespace
+
+bool load_run_fields(const std::string& path, RunFields* out,
+                     std::string* error) {
+  std::string text;
+  if (!read_file(path, &text, error)) return false;
+  JsonValue doc;
+  if (!json_parse(text, &doc, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  if (!doc.is_object()) {
+    *error = path + ": top-level value is not an object";
+    return false;
+  }
+  out->clear();
+  for (const auto& [metric, body] : doc.object) {
+    if (!body.is_object()) {
+      *error = path + ": metric " + metric + " is not an object";
+      return false;
+    }
+    const JsonValue* kind = body.find("kind");
+    const JsonValue* value = body.find("value");
+    if (kind == nullptr || kind->type != JsonValue::Type::kString ||
+        value == nullptr) {
+      *error = path + ": metric " + metric + " missing kind/value";
+      return false;
+    }
+    add_field(out, metric, kind->str, "value", *value);
+    if (kind->str == "histogram") {
+      for (const char* column : kHistogramColumns) {
+        if (const JsonValue* v = body.find(column)) {
+          add_field(out, metric, kind->str, column, *v);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool RunDiffRules::ignored(const std::string& field_name) const {
+  for (const std::string& needle : ignore_substrings) {
+    if (!needle.empty() && field_name.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+bool exact_field(const RunField& f) {
+  // Event counts: any difference is real drift, never rounding.
+  return f.kind == "counter" || f.column == "count";
+}
+
+bool fields_equal(const RunField& a, const RunField& b,
+                  const RunDiffRules& rules, bool* compared_exact) {
+  *compared_exact = exact_field(a) || exact_field(b);
+  if (a.is_null || b.is_null) return a.is_null == b.is_null;
+  if (*compared_exact) return a.value == b.value;
+  const double diff = std::fabs(a.value - b.value);
+  const double scale = std::max(std::fabs(a.value), std::fabs(b.value));
+  return diff <= rules.abs_tol + rules.rel_tol * scale;
+}
+
+}  // namespace
+
+RunDiffResult diff_runs(const RunFields& a, const RunFields& b,
+                        const RunDiffRules& rules) {
+  RunDiffResult result;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  // Both maps iterate in key order; merge-walk them.
+  while (ia != a.end() || ib != b.end()) {
+    const bool take_a =
+        ib == b.end() || (ia != a.end() && ia->first < ib->first);
+    const bool take_b =
+        ia == a.end() || (ib != b.end() && ib->first < ia->first);
+    if (take_a) {
+      if (rules.ignored(ia->first)) {
+        ++result.fields_ignored;
+      } else {
+        RunDiffEntry e;
+        e.field = ia->first;
+        e.only_in_a = true;
+        e.a = ia->second.value;
+        result.drift.push_back(std::move(e));
+      }
+      ++ia;
+      continue;
+    }
+    if (take_b) {
+      if (rules.ignored(ib->first)) {
+        ++result.fields_ignored;
+      } else {
+        RunDiffEntry e;
+        e.field = ib->first;
+        e.only_in_b = true;
+        e.b = ib->second.value;
+        result.drift.push_back(std::move(e));
+      }
+      ++ib;
+      continue;
+    }
+    if (rules.ignored(ia->first)) {
+      ++result.fields_ignored;
+    } else {
+      ++result.fields_compared;
+      bool exact = false;
+      if (!fields_equal(ia->second, ib->second, rules, &exact)) {
+        RunDiffEntry e;
+        e.field = ia->first;
+        e.a = ia->second.value;
+        e.b = ib->second.value;
+        e.exact = exact;
+        result.drift.push_back(std::move(e));
+      }
+    }
+    ++ia;
+    ++ib;
+  }
+  return result;
+}
+
+std::string RunDiffResult::report() const {
+  std::ostringstream os;
+  if (clean()) {
+    os << "runs identical: " << fields_compared << " fields compared, "
+       << fields_ignored << " ignored\n";
+    return os.str();
+  }
+  os << drift.size() << " field(s) drifted (" << fields_compared
+     << " compared, " << fields_ignored << " ignored):\n";
+  for (const RunDiffEntry& e : drift) {
+    os << "  " << e.field << ": ";
+    if (e.only_in_a) {
+      os << "only in run A (value " << e.a << ")";
+    } else if (e.only_in_b) {
+      os << "only in run B (value " << e.b << ")";
+    } else {
+      char a_buf[40];
+      char b_buf[40];
+      std::snprintf(a_buf, sizeof a_buf, "%.12g", e.a);
+      std::snprintf(b_buf, sizeof b_buf, "%.12g", e.b);
+      os << a_buf << " -> " << b_buf << " (delta "
+         << (e.b - e.a) << (e.exact ? ", exact-match field" : "") << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+uint64_t canonical_digest(const RunFields& fields, const RunDiffRules& rules) {
+  uint64_t hash = 14695981039346656037ull;  // FNV-1a 64 offset basis
+  auto mix = [&hash](std::string_view s) {
+    for (const char c : s) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 1099511628211ull;  // FNV prime
+    }
+  };
+  for (const auto& [name, field] : fields) {
+    if (rules.ignored(name)) continue;
+    mix(name);
+    mix("=");
+    mix(canonical_number(field));
+    mix("\n");
+  }
+  return hash;
+}
+
+}  // namespace qa

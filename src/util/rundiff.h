@@ -1,0 +1,81 @@
+// Golden-run diffing: canonicalize a run's metrics artifact into a flat
+// field map, compare two runs under tolerance rules, and digest one run
+// into a stable 64-bit fingerprint.
+//
+// The unit of comparison is a *field*: "<metric>.<column>" — a counter or
+// gauge contributes its `value`; a histogram contributes value (mean),
+// count, sum, min, max, p50, p90, p99. Tolerance rules:
+//
+//   * counter values and histogram `count` columns are integral event
+//     counts — compared exactly; any difference is drift;
+//   * every other field is a double — |a-b| <= abs_tol + rel_tol*max(|a|,|b|);
+//   * fields whose metric name contains an ignore substring (wall-clock
+//     cost gauges by default) are excluded entirely — they measure the
+//     host, not the simulation;
+//   * a field present in only one run is always drift.
+//
+// The digest hashes the canonical field lines (ignored fields excluded,
+// doubles printed at 9 significant digits) with FNV-1a 64, so two runs
+// that diff clean digest equal and a drifted run does not.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qa {
+
+// One canonical field of a run.
+struct RunField {
+  std::string kind;   // "counter", "gauge", "histogram"
+  std::string column; // "value", "count", "p50", ...
+  double value = 0;
+  bool is_null = false;  // the artifact said null (non-finite at export)
+};
+
+// Flat field map keyed "<metric>.<column>", in name order.
+using RunFields = std::map<std::string, RunField>;
+
+// Parses a metrics.json artifact (as written by MetricsRegistry::write_json)
+// into canonical fields. Returns false and sets *error on malformed input.
+bool load_run_fields(const std::string& path, RunFields* out,
+                     std::string* error);
+
+struct RunDiffRules {
+  double rel_tol = 1e-9;
+  double abs_tol = 1e-9;
+  // Metric names containing any of these are excluded from both the diff
+  // and the digest. Defaults cover the profiler's host-time gauges.
+  std::vector<std::string> ignore_substrings = {"wall_ms", "wall_ns"};
+
+  bool ignored(const std::string& field_name) const;
+};
+
+// One field that differs between two runs.
+struct RunDiffEntry {
+  std::string field;
+  bool only_in_a = false;
+  bool only_in_b = false;
+  double a = 0;
+  double b = 0;
+  bool exact = false;  // compared exactly (counter / histogram count)
+};
+
+struct RunDiffResult {
+  std::vector<RunDiffEntry> drift;
+  size_t fields_compared = 0;
+  size_t fields_ignored = 0;
+
+  bool clean() const { return drift.empty(); }
+  // Human-readable field-level report; "identical" summary when clean.
+  std::string report() const;
+};
+
+RunDiffResult diff_runs(const RunFields& a, const RunFields& b,
+                        const RunDiffRules& rules);
+
+// FNV-1a 64 over the canonical (non-ignored) field lines.
+uint64_t canonical_digest(const RunFields& fields, const RunDiffRules& rules);
+
+}  // namespace qa

@@ -1,0 +1,132 @@
+// End-to-end flight recorder acceptance: the observability hub keeps a
+// bounded ring of recent events, a forced invariant failure dumps that
+// ring to flightrec.jsonl, the ring size is configurable, and the dump
+// path is recorded in the run manifest.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "app/observability.h"
+#include "util/check.h"
+#include "util/journey.h"
+
+namespace qa::app {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::stringstream ss;
+  ss << std::ifstream(path).rdbuf();
+  return ss.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+class AppFlightrecTest : public ::testing::Test {
+ protected:
+  std::string dir_ = ::testing::TempDir() + "/qa_app_flightrec_test";
+  CheckSink old_sink_ = check_sink();
+
+  void SetUp() override {
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    set_check_sink(CheckSink::kThrow);
+  }
+  void TearDown() override {
+    set_check_sink(old_sink_);
+    std::filesystem::remove_all(dir_);
+  }
+
+  // Pushes `n` journeys through the hub's recorder; each emits a submit
+  // span that lands in the flight recorder ring.
+  static void feed_journeys(Observability& obs, int n) {
+    for (int i = 0; i < n; ++i) {
+      JourneyOrigin origin;
+      origin.flow = 1;
+      origin.layer = 0;
+      origin.seq = i;
+      origin.layer_seq = i;
+      origin.size_bytes = 1000;
+      obs.journeys().begin_journey(origin,
+                                   TimePoint::from_sec(1) +
+                                       TimeDelta::millis(i));
+    }
+  }
+};
+
+TEST_F(AppFlightrecTest, InvariantFailureDumpsLastNEvents) {
+  ObservabilityConfig cfg;
+  cfg.out_dir = dir_;
+  cfg.trace = false;
+  cfg.flightrec_events = 8;  // N is configurable
+  Observability obs(cfg);
+  ASSERT_NE(obs.flightrec(), nullptr);
+  EXPECT_EQ(obs.flightrec()->capacity(), 8u);
+
+  feed_journeys(obs, 20);  // more than N: the ring keeps only the tail
+  EXPECT_THROW(QA_CHECK_MSG(false, "forced for app flightrec test"),
+               CheckFailure);
+
+  const std::string dump_path = dir_ + "/flightrec.jsonl";
+  ASSERT_TRUE(std::filesystem::exists(dump_path));
+  const auto lines = lines_of(slurp(dump_path));
+  ASSERT_EQ(lines.size(), 8u);
+  // The tail is journeys 12..19; the oldest surviving entry is seq 12.
+  EXPECT_NE(lines[0].find("\"seq\":12"), std::string::npos) << lines[0];
+  for (const std::string& line : lines) {
+    EXPECT_NE(line.find("\"kind\":\"journey.submit\""), std::string::npos)
+        << line;
+  }
+
+  // The manifest names the dump path and the configured ring size.
+  obs.finish();
+  const std::string manifest = slurp(dir_ + "/manifest.json");
+  EXPECT_NE(manifest.find("\"flightrec_path\""), std::string::npos);
+  EXPECT_NE(manifest.find("flightrec.jsonl"), std::string::npos);
+  EXPECT_NE(manifest.find("\"flightrec_events\": 8"), std::string::npos)
+      << manifest;
+}
+
+TEST_F(AppFlightrecTest, DisabledRecorderMeansNoDumpAndNoManifestKey) {
+  ObservabilityConfig cfg;
+  cfg.out_dir = dir_;
+  cfg.trace = false;
+  cfg.flightrec = false;
+  Observability obs(cfg);
+  EXPECT_EQ(obs.flightrec(), nullptr);
+
+  feed_journeys(obs, 3);
+  EXPECT_THROW(QA_CHECK(false), CheckFailure);
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/flightrec.jsonl"));
+
+  obs.finish();
+  EXPECT_EQ(slurp(dir_ + "/manifest.json").find("flightrec_path"),
+            std::string::npos);
+}
+
+TEST_F(AppFlightrecTest, FinishDisarmsTheCrashDump) {
+  ObservabilityConfig cfg;
+  cfg.out_dir = dir_;
+  cfg.trace = false;
+  Observability obs(cfg);
+  feed_journeys(obs, 2);
+  obs.finish();
+
+  // A failure after the run wrapped up must not resurrect the dump.
+  EXPECT_THROW(QA_CHECK(false), CheckFailure);
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/flightrec.jsonl"));
+}
+
+}  // namespace
+}  // namespace qa::app

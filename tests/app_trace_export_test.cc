@@ -15,6 +15,7 @@
 
 #include "app/experiment.h"
 #include "app/observability.h"
+#include "util/chrome_trace.h"
 
 namespace qa::app {
 namespace {
@@ -147,6 +148,18 @@ TEST_F(TraceExportTest, Fig2StyleRunProducesValidArtifactBundle) {
   EXPECT_GT(spans, 0);     // scheduler handler spans
   EXPECT_GT(counters, 0);  // rate / buffer / queue tracks
 
+  // --- Journey lanes: per-layer tracks carry lifecycle instants. ----------
+  int journey_instants = 0;
+  for (const TraceEvent& e : events) {
+    if (e.ph == 'i' && e.tid >= ChromeTraceWriter::kJourneyTrackBase) {
+      ++journey_instants;
+    }
+  }
+  EXPECT_GT(journey_instants, 0);
+  const std::string raw_trace = slurp(dir_ + "/trace.json");
+  EXPECT_NE(raw_trace.find("video layer 0"), std::string::npos);
+  EXPECT_NE(raw_trace.find("\"deliver\""), std::string::npos);
+
   // --- Metrics: both exports exist and carry cross-subsystem rows. --------
   const std::string csv = slurp(dir_ + "/metrics.csv");
   EXPECT_NE(csv.find("adapter.drops"), std::string::npos);
@@ -154,8 +167,16 @@ TEST_F(TraceExportTest, Fig2StyleRunProducesValidArtifactBundle) {
   EXPECT_NE(csv.find("rap.rate_changes"), std::string::npos);
   EXPECT_NE(csv.find("client.rebuffer.count"), std::string::npos);
   EXPECT_NE(csv.find("scheduler.transport.dispatches"), std::string::npos);
+  // Per-layer journey aggregates (OWD percentiles ride the histogram
+  // columns) and lifecycle counters.
+  EXPECT_NE(csv.find("journey.layer0.owd_ms"), std::string::npos);
+  EXPECT_NE(csv.find("journey.started"), std::string::npos);
+  EXPECT_NE(csv.find("journey.delivered"), std::string::npos);
+  EXPECT_NE(csv.find("journey.queue_wait_ms"), std::string::npos);
   const std::string js = slurp(dir_ + "/metrics.json");
   EXPECT_NE(js.find("\"link.bottleneck.tx_packets\""), std::string::npos);
+  EXPECT_NE(js.find("\"journey.layer0.owd_ms\""), std::string::npos);
+  EXPECT_NE(js.find("\"journey.acked\""), std::string::npos);
 
   // --- Manifest: provenance keys survive to disk. -------------------------
   const std::string manifest = slurp(dir_ + "/manifest.json");

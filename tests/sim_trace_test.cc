@@ -132,6 +132,57 @@ TEST_F(ProbeFixture, QueueProbeStopHaltsSampling) {
   EXPECT_EQ(probe.series().points().size(), 5u);  // 10..50 ms
 }
 
+TEST_F(ProbeFixture, LinkRateProbeStopIsIdempotent) {
+  LinkRateProbe probe(&net.scheduler(), ab, TimeDelta::millis(500));
+  probe.start();
+  EXPECT_TRUE(probe.running());
+  send(1, 10);  // 10 kB in 0.1 s
+  net.run(TimePoint::from_sec(0.2));
+  probe.stop();
+  EXPECT_FALSE(probe.running());
+  const size_t after_first_stop = probe.flow_series(1).points().size();
+  EXPECT_EQ(after_first_stop, 1u);  // the flushed partial window
+  // A second stop must not flush a second (zero-length or duplicate)
+  // tail point.
+  probe.stop();
+  EXPECT_EQ(probe.flow_series(1).points().size(), after_first_stop);
+  EXPECT_EQ(probe.total_series().points().size(), after_first_stop);
+  // stop() on a probe that never started is equally harmless.
+  LinkRateProbe idle(&net.scheduler(), ab, TimeDelta::millis(500));
+  EXPECT_FALSE(idle.running());
+  idle.stop();
+  EXPECT_TRUE(idle.total_series().empty());
+}
+
+TEST_F(ProbeFixture, ProbeDestructionWhileRunningLeavesSchedulerClean) {
+  // A probe destroyed mid-run (stop() never called) must cancel its
+  // pending event instead of leaving a dangling callback.
+  {
+    LinkRateProbe probe(&net.scheduler(), ab, TimeDelta::millis(500));
+    probe.start();
+    QueueProbe qprobe(&net.scheduler(), ab, TimeDelta::millis(10));
+    qprobe.start();
+    EXPECT_TRUE(qprobe.running());
+    send(1, 5);
+    net.run(TimePoint::from_sec(0.1));
+  }
+  // If a stale tick survived, this run would call into freed probes.
+  net.run(TimePoint::from_sec(2.0));
+}
+
+TEST_F(ProbeFixture, QueueProbeStopIsIdempotent) {
+  QueueProbe probe(&net.scheduler(), ab, TimeDelta::millis(10));
+  probe.start();
+  send(1, 10);
+  net.run(TimePoint::from_sec(0.05));
+  probe.stop();
+  probe.stop();
+  EXPECT_FALSE(probe.running());
+  const size_t frozen = probe.series().points().size();
+  net.run(TimePoint::from_sec(1.0));
+  EXPECT_EQ(probe.series().points().size(), frozen);
+}
+
 TEST_F(ProbeFixture, UnknownFlowYieldsEmptySeries) {
   LinkRateProbe probe(&net.scheduler(), ab, TimeDelta::millis(500));
   probe.start();

@@ -1,0 +1,260 @@
+#include "util/journey.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/metrics_registry.h"
+#include "util/time.h"
+
+namespace qa {
+namespace {
+
+JourneyOrigin origin(int16_t layer, int64_t seq, int64_t layer_seq = -1,
+                     int32_t size_bytes = 1000) {
+  JourneyOrigin o;
+  o.flow = 7;
+  o.layer = layer;
+  o.seq = seq;
+  o.layer_seq = layer_seq < 0 ? seq : layer_seq;
+  o.size_bytes = size_bytes;
+  return o;
+}
+
+TEST(JourneyRecorder, IdsAreUniqueAndNonzero) {
+  JourneyRecorder rec;
+  const JourneyId a = rec.begin_journey(origin(0, 0), TimePoint::origin());
+  const JourneyId b = rec.begin_journey(origin(0, 1), TimePoint::origin());
+  EXPECT_NE(a, kUntracedJourney);
+  EXPECT_NE(b, kUntracedJourney);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(rec.journeys_started(), 2);
+}
+
+TEST(JourneyRecorder, UntracedAndUnknownIdsAreIgnored) {
+  JourneyRecorder rec;
+  rec.record_deliver(kUntracedJourney, TimePoint::origin());
+  rec.record_ack(kUntracedJourney, TimePoint::origin());
+  rec.record_hop(kUntracedJourney, JourneyStage::kEnqueue, kNoHop,
+                 TimePoint::origin());
+  // An id that was never begun (or already evicted) must not crash or
+  // count.
+  rec.record_deliver(JourneyId{12345}, TimePoint::origin());
+  EXPECT_EQ(rec.journeys_delivered(), 0);
+  EXPECT_EQ(rec.journeys_acked(), 0);
+}
+
+TEST(JourneyRecorder, DeliveryFeedsPerLayerOwdHistograms) {
+  JourneyRecorder rec;
+  MetricsRegistry reg;
+  rec.bind_metrics(&reg);
+  const TimePoint t0 = TimePoint::origin();
+  const JourneyId a = rec.begin_journey(origin(0, 0), t0);
+  rec.record_deliver(a, t0 + TimeDelta::millis(40));
+  const JourneyId b = rec.begin_journey(origin(2, 1), t0);
+  rec.record_deliver(b, t0 + TimeDelta::millis(10));
+
+  Histogram& owd0 = reg.histogram("journey.layer0.owd_ms");
+  Histogram& owd2 = reg.histogram("journey.layer2.owd_ms");
+  ASSERT_EQ(owd0.count(), 1u);
+  EXPECT_DOUBLE_EQ(owd0.sum(), 40.0);
+  ASSERT_EQ(owd2.count(), 1u);
+  EXPECT_DOUBLE_EQ(owd2.sum(), 10.0);
+  EXPECT_EQ(reg.counter("journey.delivered").value(), 2);
+}
+
+TEST(JourneyRecorder, JitterIsPerLayerAndSkipsFirstDelivery) {
+  JourneyRecorder rec;
+  MetricsRegistry reg;
+  rec.bind_metrics(&reg);
+  const TimePoint t0 = TimePoint::origin();
+  // Layer 0: OWDs 40ms then 25ms -> one jitter sample of 15ms.
+  const JourneyId a = rec.begin_journey(origin(0, 0), t0);
+  rec.record_deliver(a, t0 + TimeDelta::millis(40));
+  const JourneyId b = rec.begin_journey(origin(0, 1), t0);
+  rec.record_deliver(b, t0 + TimeDelta::millis(25));
+  // Layer 1 sees its first delivery only: no jitter sample, even though
+  // layer 0 already has a reference OWD.
+  const JourneyId c = rec.begin_journey(origin(1, 2), t0);
+  rec.record_deliver(c, t0 + TimeDelta::millis(70));
+
+  Histogram& j0 = reg.histogram("journey.layer0.jitter_ms");
+  ASSERT_EQ(j0.count(), 1u);
+  EXPECT_DOUBLE_EQ(j0.sum(), 15.0);
+  EXPECT_EQ(reg.histogram("journey.layer1.jitter_ms").count(), 0u);
+}
+
+TEST(JourneyRecorder, QueueWaitMeasuredFromEnqueueToTxStart) {
+  JourneyRecorder rec;
+  MetricsRegistry reg;
+  rec.bind_metrics(&reg);
+  const HopId hop = rec.register_hop("bottleneck");
+  const TimePoint t0 = TimePoint::origin();
+  const JourneyId id = rec.begin_journey(origin(0, 0), t0);
+  rec.record_hop(id, JourneyStage::kEnqueue, hop, t0 + TimeDelta::millis(1));
+  rec.record_hop(id, JourneyStage::kTxStart, hop, t0 + TimeDelta::millis(9));
+
+  Histogram& wait = reg.histogram("journey.queue_wait_ms");
+  ASSERT_EQ(wait.count(), 1u);
+  EXPECT_DOUBLE_EQ(wait.sum(), 8.0);
+  Histogram& hop_wait = reg.histogram("journey.hop.bottleneck.queue_wait_ms");
+  ASSERT_EQ(hop_wait.count(), 1u);
+  EXPECT_DOUBLE_EQ(hop_wait.sum(), 8.0);
+}
+
+TEST(JourneyRecorder, LossAttributionByCause) {
+  JourneyRecorder rec;
+  MetricsRegistry reg;
+  rec.bind_metrics(&reg);
+  const HopId hop = rec.register_hop("l");
+  const TimePoint t = TimePoint::origin();
+
+  const JourneyId q = rec.begin_journey(origin(0, 0), t);
+  rec.record_hop(q, JourneyStage::kQueueDrop, hop, t);
+  const JourneyId w = rec.begin_journey(origin(1, 1), t);
+  rec.record_hop(w, JourneyStage::kWireDrop, hop, t);
+  const JourneyId o = rec.begin_journey(origin(0, 2), t);
+  rec.record_hop(o, JourneyStage::kOutageDrop, hop, t);
+  const JourneyId r = rec.begin_journey(origin(0, 3), t);
+  rec.record_deliver(r, t);
+  rec.record_receiver_discard(r, t);
+
+  EXPECT_EQ(rec.losses(LossCause::kQueue), 1);
+  EXPECT_EQ(rec.losses(LossCause::kWire), 1);
+  EXPECT_EQ(rec.losses(LossCause::kOutage), 1);
+  EXPECT_EQ(rec.losses(LossCause::kReceiver), 1);
+  EXPECT_EQ(reg.counter("journey.lost.queue").value(), 1);
+  EXPECT_EQ(reg.counter("journey.layer0.lost.queue").value(), 1);
+  EXPECT_EQ(reg.counter("journey.layer1.lost.wire").value(), 1);
+  EXPECT_EQ(reg.counter("journey.lost.outage").value(), 1);
+  EXPECT_EQ(reg.counter("journey.lost.receiver").value(), 1);
+}
+
+TEST(JourneyRecorder, DropAttributedOncePerJourney) {
+  JourneyRecorder rec;
+  const HopId hop = rec.register_hop("l");
+  const TimePoint t = TimePoint::origin();
+  const JourneyId id = rec.begin_journey(origin(0, 0), t);
+  // A queue drop followed by a (bogus) second drop report must count once.
+  rec.record_hop(id, JourneyStage::kQueueDrop, hop, t);
+  rec.record_hop(id, JourneyStage::kOutageDrop, hop, t);
+  EXPECT_EQ(rec.losses(LossCause::kQueue) + rec.losses(LossCause::kOutage), 1);
+}
+
+TEST(JourneyRecorder, AckClosesTheJourney) {
+  JourneyRecorder rec;
+  MetricsRegistry reg;
+  rec.bind_metrics(&reg);
+  const TimePoint t0 = TimePoint::origin();
+  const JourneyId id = rec.begin_journey(origin(0, 0), t0);
+  EXPECT_EQ(rec.open_journeys(), 1u);
+  rec.record_ack(id, t0 + TimeDelta::millis(80));
+  EXPECT_EQ(rec.open_journeys(), 0u);
+  EXPECT_EQ(rec.journeys_acked(), 1);
+  Histogram& rtt = reg.histogram("journey.ack_rtt_ms");
+  ASSERT_EQ(rtt.count(), 1u);
+  EXPECT_DOUBLE_EQ(rtt.sum(), 80.0);
+  // A second ACK for the closed journey is a no-op.
+  rec.record_ack(id, t0 + TimeDelta::millis(90));
+  EXPECT_EQ(rec.journeys_acked(), 1);
+}
+
+TEST(JourneyRecorder, RetransmitRecoveryLatency) {
+  JourneyRecorder rec;
+  MetricsRegistry reg;
+  rec.bind_metrics(&reg);
+  const TimePoint t0 = TimePoint::origin();
+  // Original copy of (layer 1, layer_seq 5) is declared lost at t0+100ms.
+  const JourneyId orig = rec.begin_journey(origin(1, 10, 5), t0);
+  rec.record_loss_detected(orig, t0 + TimeDelta::millis(100));
+  EXPECT_EQ(rec.transport_losses_detected(), 1);
+  // A fresh journey re-carrying the same media is recognized as the
+  // retransmission; its delivery closes the recovery interval.
+  const JourneyId retx =
+      rec.begin_journey(origin(1, 20, 5), t0 + TimeDelta::millis(150));
+  EXPECT_EQ(rec.retransmits_started(), 1);
+  rec.record_deliver(retx, t0 + TimeDelta::millis(220));
+  EXPECT_EQ(rec.retransmits_recovered(), 1);
+  Histogram& recov = reg.histogram("journey.retx.recovery_ms");
+  ASSERT_EQ(recov.count(), 1u);
+  EXPECT_DOUBLE_EQ(recov.sum(), 120.0);  // 220 - 100
+  // The pending key was consumed: another packet with the same layer_seq
+  // is not a retransmission.
+  rec.begin_journey(origin(1, 30, 5), t0 + TimeDelta::millis(300));
+  EXPECT_EQ(rec.retransmits_started(), 1);
+}
+
+TEST(JourneyRecorder, DuplicateDeliveriesCountedSeparately) {
+  JourneyRecorder rec;
+  const TimePoint t = TimePoint::origin();
+  const JourneyId id = rec.begin_journey(origin(0, 0), t);
+  rec.record_deliver(id, t + TimeDelta::millis(10));
+  rec.record_deliver(id, t + TimeDelta::millis(12));  // wire duplicate
+  EXPECT_EQ(rec.journeys_delivered(), 1);
+  EXPECT_EQ(rec.duplicate_deliveries(), 1);
+}
+
+TEST(JourneyRecorder, SpanSubscriberSeesResolvedOrigin) {
+  JourneyRecorder rec;
+  const HopId hop = rec.register_hop("bottleneck");
+  std::vector<JourneySpan> spans;
+  auto sub = rec.on_span().subscribe_scoped(
+      [&spans](const JourneySpan& s) { spans.push_back(s); });
+  const TimePoint t = TimePoint::origin();
+  const JourneyId id = rec.begin_journey(origin(3, 42, 6), t);
+  rec.record_hop(id, JourneyStage::kEnqueue, hop, t + TimeDelta::millis(1));
+  rec.record_deliver(id, t + TimeDelta::millis(5));
+
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].stage, JourneyStage::kSubmit);
+  EXPECT_EQ(spans[1].stage, JourneyStage::kEnqueue);
+  EXPECT_EQ(spans[1].hop, hop);
+  EXPECT_EQ(spans[2].stage, JourneyStage::kDeliver);
+  for (const JourneySpan& s : spans) {
+    EXPECT_EQ(s.id, id);
+    EXPECT_EQ(s.flow, 7);
+    EXPECT_EQ(s.layer, 3);
+    EXPECT_EQ(s.seq, 42);
+    EXPECT_EQ(s.layer_seq, 6);
+  }
+}
+
+TEST(JourneyRecorder, OpenJourneysAreCapped) {
+  JourneyRecorder rec;
+  // One more than the cap: the oldest journey must be evicted, and late
+  // records against it must be ignored.
+  const size_t cap = 1u << 16;
+  const TimePoint t = TimePoint::origin();
+  const JourneyId first = rec.begin_journey(origin(0, 0), t);
+  for (size_t i = 1; i <= cap; ++i) {
+    rec.begin_journey(origin(0, static_cast<int64_t>(i)), t);
+  }
+  EXPECT_EQ(rec.open_journeys(), cap);
+  EXPECT_EQ(rec.journeys_evicted(), 1);
+  rec.record_deliver(first, t + TimeDelta::millis(1));
+  EXPECT_EQ(rec.journeys_delivered(), 0);
+}
+
+TEST(JourneyRecorder, PaddingLayerUsesPaddingLabel) {
+  JourneyRecorder rec;
+  MetricsRegistry reg;
+  rec.bind_metrics(&reg);
+  const TimePoint t = TimePoint::origin();
+  const JourneyId id = rec.begin_journey(origin(-1, 0), t);
+  rec.record_deliver(id, t + TimeDelta::millis(5));
+  EXPECT_EQ(reg.histogram("journey.padding.owd_ms").count(), 1u);
+  // No per-layer jitter reference for padding.
+  EXPECT_EQ(reg.histogram("journey.padding.jitter_ms").count(), 0u);
+}
+
+TEST(JourneyStageNames, AllDistinctAndStable) {
+  EXPECT_STREQ(journey_stage_name(JourneyStage::kSubmit), "submit");
+  EXPECT_STREQ(journey_stage_name(JourneyStage::kQueueDrop), "queue_drop");
+  EXPECT_STREQ(journey_stage_name(JourneyStage::kRetransmit), "retransmit");
+  EXPECT_STREQ(loss_cause_name(LossCause::kQueue), "queue");
+  EXPECT_STREQ(loss_cause_name(LossCause::kReceiver), "receiver");
+}
+
+}  // namespace
+}  // namespace qa

@@ -1,0 +1,122 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace qa {
+namespace {
+
+JsonValue parse_or_die(const std::string& text) {
+  JsonValue v;
+  std::string error;
+  EXPECT_TRUE(json_parse(text, &v, &error)) << error << "\n" << text;
+  return v;
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_EQ(parse_or_die("null").type, JsonValue::Type::kNull);
+  EXPECT_TRUE(parse_or_die("true").boolean);
+  EXPECT_FALSE(parse_or_die("false").boolean);
+  EXPECT_DOUBLE_EQ(parse_or_die("-12.5e2").number, -1250.0);
+  EXPECT_EQ(parse_or_die("\"hi\"").str, "hi");
+}
+
+TEST(JsonParse, NestedObjectKeepsMemberOrder) {
+  const JsonValue v =
+      parse_or_die("{\"z\": 1, \"a\": {\"inner\": [1, 2, 3]}, \"m\": true}");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.object.size(), 3u);
+  EXPECT_EQ(v.object[0].first, "z");
+  EXPECT_EQ(v.object[1].first, "a");
+  EXPECT_EQ(v.object[2].first, "m");
+  const JsonValue* inner = v.object[1].second.find("inner");
+  ASSERT_NE(inner, nullptr);
+  ASSERT_EQ(inner->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(inner->array[2].number, 3.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, QuoteRoundTripsAdversarialStrings) {
+  const std::string adversarial[] = {
+      "plain",
+      "with \"quotes\" inside",
+      "back\\slash and \\\" mix",
+      "new\nline\tand\ttabs\r",
+      "control \x01\x02\x1f chars",
+      "UTF-8: caf\xc3\xa9 \xe6\x97\xa5\xe6\x9c\xac \xf0\x9f\x8e\xac",
+      std::string("embedded\0nul", 12),
+  };
+  for (const std::string& s : adversarial) {
+    const JsonValue v = parse_or_die(json_quote(s));
+    EXPECT_EQ(v.type, JsonValue::Type::kString);
+    EXPECT_EQ(v.str, s) << "round-trip mangled: " << json_quote(s);
+  }
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  EXPECT_EQ(parse_or_die("\"\\u0041\"").str, "A");
+  // BMP code point -> 3-byte UTF-8.
+  EXPECT_EQ(parse_or_die("\"\\u65e5\"").str, "\xe6\x97\xa5");
+  // Surrogate pair -> astral plane (U+1F3AC).
+  EXPECT_EQ(parse_or_die("\"\\ud83c\\udfac\"").str, "\xf0\x9f\x8e\xac");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",
+      "{",
+      "[1, 2",
+      "{\"a\": }",
+      "{\"a\": 1,}",
+      "\"unterminated",
+      "\"lone \\ud800 surrogate\"",
+      "\"bad \\q escape\"",
+      "12 34",          // trailing content
+      "{\"a\": 1} x",   // trailing content
+      "nulL",
+      "--5",
+  };
+  for (const char* text : bad) {
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(json_parse(text, &v, &error)) << "accepted: " << text;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(JsonParse, ErrorCarriesByteOffset) {
+  JsonValue v;
+  std::string error;
+  ASSERT_FALSE(json_parse("{\"a\": 1, \"b\": }", &v, &error));
+  EXPECT_NE(error.find("offset"), std::string::npos) << error;
+}
+
+TEST(JsonParse, DepthLimitStopsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(json_parse(deep, &v, &error));
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  // And parses back as a JSON null, keeping artifacts loadable.
+  EXPECT_EQ(parse_or_die(json_number(
+                             std::numeric_limits<double>::infinity()))
+                .type,
+            JsonValue::Type::kNull);
+}
+
+TEST(JsonNumber, RoundTripsDoubles) {
+  for (double d : {0.0, -1.5, 1e-9, 123456789.123456789, 2e300}) {
+    const JsonValue v = parse_or_die(json_number(d));
+    EXPECT_DOUBLE_EQ(v.number, d);
+  }
+}
+
+}  // namespace
+}  // namespace qa

@@ -5,10 +5,12 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 
 #include "util/check.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -165,6 +167,99 @@ TEST(MetricsRegistry, CsvAndJsonExports) {
 
   std::remove(csv_path.c_str());
   std::remove(json_path.c_str());
+}
+
+TEST(Histogram, SingleSamplePinsAllPercentiles) {
+  Histogram h;
+  h.observe(42.0);
+  for (double p : {0.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), 42.0) << "p" << p;
+  }
+  EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(h.min(), 42.0);
+  EXPECT_DOUBLE_EQ(h.max(), 42.0);
+}
+
+TEST(Histogram, ExtremeMagnitudesStayInRange) {
+  // ~600 decades apart: the log-bucket index must not overflow, and
+  // percentiles must stay clamped to the observed extremes.
+  Histogram h;
+  h.observe(1e-300);
+  h.observe(1e300);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-300);
+  EXPECT_DOUBLE_EQ(h.max(), 1e300);
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    const double v = h.percentile(p);
+    EXPECT_TRUE(std::isfinite(v)) << "p" << p;
+    EXPECT_GE(v, 1e-300);
+    EXPECT_LE(v, 1e300);
+  }
+}
+
+TEST(Histogram, NonFiniteSamplesCountedButKeptOutOfBuckets) {
+  Histogram h;
+  h.observe(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_TRUE(std::isinf(h.max()));
+  // The JSON export turns the non-finite aggregate into null rather than
+  // emitting bare `inf`, which json_parse would reject.
+  EXPECT_EQ(json_number(h.max()), "null");
+}
+
+TEST(MetricsRegistry, EmptyHistogramExportsZeroRow) {
+  MetricsRegistry reg;
+  reg.histogram("e.hist");  // registered, never observed
+  const std::string dir = ::testing::TempDir();
+  const std::string csv_path = dir + "/metrics_empty.csv";
+  const std::string json_path = dir + "/metrics_empty.json";
+  reg.write_csv(csv_path);
+  reg.write_json(json_path);
+
+  std::stringstream csv;
+  csv << std::ifstream(csv_path).rdbuf();
+  EXPECT_NE(csv.str().find("e.hist,histogram,0,0,0,0,0,0,0,0"),
+            std::string::npos)
+      << csv.str();
+
+  std::stringstream js;
+  js << std::ifstream(json_path).rdbuf();
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(js.str(), &doc, &error)) << error;
+  const JsonValue* row = doc.find("e.hist");
+  ASSERT_NE(row, nullptr);
+  EXPECT_DOUBLE_EQ(row->find("count")->number, 0.0);
+  EXPECT_DOUBLE_EQ(row->find("p99")->number, 0.0);
+
+  std::remove(csv_path.c_str());
+  std::remove(json_path.c_str());
+}
+
+TEST(MetricsRegistry, AdversarialNamesSurviveJsonRoundTrip) {
+  MetricsRegistry reg;
+  const std::string names[] = {
+      "with \"quotes\"",
+      "back\\slash.and\nnewline",
+      "utf8.caf\xc3\xa9",
+      "control\x01char",
+  };
+  for (const std::string& n : names) reg.counter(n).inc(1);
+  const std::string path = ::testing::TempDir() + "/metrics_adversarial.json";
+  reg.write_json(path);
+
+  std::stringstream js;
+  js << std::ifstream(path).rdbuf();
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(js.str(), &doc, &error)) << error;
+  ASSERT_EQ(doc.object.size(), 4u);
+  for (const std::string& n : names) {
+    const JsonValue* row = doc.find(n);
+    ASSERT_NE(row, nullptr) << "name mangled: " << n;
+    EXPECT_DOUBLE_EQ(row->find("value")->number, 1.0);
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

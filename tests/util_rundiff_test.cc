@@ -1,0 +1,152 @@
+#include "util/rundiff.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.h"
+#include "util/metrics_registry.h"
+
+namespace qa {
+namespace {
+
+std::string temp_json(const std::string& name, const std::string& content) {
+  const std::string path = testing::TempDir() + "/" + name;
+  write_text_file(path, content);
+  return path;
+}
+
+RunFields load_or_die(const std::string& path) {
+  RunFields fields;
+  std::string error;
+  EXPECT_TRUE(load_run_fields(path, &fields, &error)) << error;
+  return fields;
+}
+
+TEST(RunDiff, LoadsArtifactWrittenByTheRegistry) {
+  MetricsRegistry reg;
+  reg.counter("pkts").inc(42);
+  reg.gauge("level").set(1.5);
+  Histogram& h = reg.histogram("owd_ms");
+  h.observe(10.0);
+  h.observe(20.0);
+  const std::string path = testing::TempDir() + "/rundiff_load.json";
+  reg.write_json(path);
+
+  const RunFields fields = load_or_die(path);
+  ASSERT_TRUE(fields.count("pkts.value"));
+  EXPECT_EQ(fields.at("pkts.value").kind, "counter");
+  EXPECT_DOUBLE_EQ(fields.at("pkts.value").value, 42.0);
+  ASSERT_TRUE(fields.count("owd_ms.count"));
+  EXPECT_DOUBLE_EQ(fields.at("owd_ms.count").value, 2.0);
+  ASSERT_TRUE(fields.count("owd_ms.p50"));
+  // Counter/gauge rows carry no histogram columns.
+  EXPECT_FALSE(fields.count("pkts.count"));
+  EXPECT_FALSE(fields.count("level.p50"));
+}
+
+TEST(RunDiff, IdenticalRunsAreClean) {
+  const std::string doc =
+      "{\"a\": {\"kind\": \"counter\", \"value\": 3},"
+      " \"b\": {\"kind\": \"gauge\", \"value\": 1.25}}";
+  const RunFields a = load_or_die(temp_json("rd_same_a.json", doc));
+  const RunFields b = load_or_die(temp_json("rd_same_b.json", doc));
+  const RunDiffResult r = diff_runs(a, b, RunDiffRules{});
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.fields_compared, 2u);
+  EXPECT_NE(r.report().find("identical"), std::string::npos);
+  EXPECT_EQ(canonical_digest(a, RunDiffRules{}),
+            canonical_digest(b, RunDiffRules{}));
+}
+
+TEST(RunDiff, CountersCompareExactly) {
+  const RunFields a = load_or_die(temp_json(
+      "rd_cnt_a.json", "{\"pkts\": {\"kind\": \"counter\", \"value\": 100}}"));
+  const RunFields b = load_or_die(temp_json(
+      "rd_cnt_b.json",
+      "{\"pkts\": {\"kind\": \"counter\", \"value\": 100.0000001}}"));
+  RunDiffRules rules;
+  rules.rel_tol = 1.0;  // would forgive the delta if counters were fuzzy
+  const RunDiffResult r = diff_runs(a, b, rules);
+  ASSERT_EQ(r.drift.size(), 1u);
+  EXPECT_EQ(r.drift[0].field, "pkts.value");
+  EXPECT_TRUE(r.drift[0].exact);
+  EXPECT_NE(canonical_digest(a, rules), canonical_digest(b, rules));
+}
+
+TEST(RunDiff, GaugesGetEpsilon) {
+  const RunFields a = load_or_die(temp_json(
+      "rd_g_a.json", "{\"level\": {\"kind\": \"gauge\", \"value\": 1.0}}"));
+  const RunFields b = load_or_die(temp_json(
+      "rd_g_b.json",
+      "{\"level\": {\"kind\": \"gauge\", \"value\": 1.0000000001}}"));
+  EXPECT_TRUE(diff_runs(a, b, RunDiffRules{}).clean());
+  RunDiffRules strict;
+  strict.rel_tol = 0;
+  strict.abs_tol = 0;
+  EXPECT_FALSE(diff_runs(a, b, strict).clean());
+}
+
+TEST(RunDiff, MissingAndExtraFieldsAreDrift) {
+  const RunFields a = load_or_die(temp_json(
+      "rd_m_a.json",
+      "{\"only_a\": {\"kind\": \"counter\", \"value\": 1},"
+      " \"shared\": {\"kind\": \"counter\", \"value\": 2}}"));
+  const RunFields b = load_or_die(temp_json(
+      "rd_m_b.json",
+      "{\"only_b\": {\"kind\": \"counter\", \"value\": 1},"
+      " \"shared\": {\"kind\": \"counter\", \"value\": 2}}"));
+  const RunDiffResult r = diff_runs(a, b, RunDiffRules{});
+  ASSERT_EQ(r.drift.size(), 2u);
+  EXPECT_TRUE(r.drift[0].only_in_a);
+  EXPECT_TRUE(r.drift[1].only_in_b);
+  EXPECT_NE(r.report().find("only_a"), std::string::npos);
+  EXPECT_NE(r.report().find("only in run A"), std::string::npos);
+}
+
+TEST(RunDiff, WallClockFieldsIgnoredByDefault) {
+  const RunFields a = load_or_die(temp_json(
+      "rd_w_a.json",
+      "{\"scheduler.transport.wall_ms\": {\"kind\": \"gauge\", \"value\": 5}}"));
+  const RunFields b = load_or_die(temp_json(
+      "rd_w_b.json",
+      "{\"scheduler.transport.wall_ms\": {\"kind\": \"gauge\","
+      " \"value\": 900}}"));
+  const RunDiffResult r = diff_runs(a, b, RunDiffRules{});
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.fields_ignored, 1u);
+  EXPECT_EQ(canonical_digest(a, RunDiffRules{}),
+            canonical_digest(b, RunDiffRules{}));
+}
+
+TEST(RunDiff, NullValuesCompareAsNull) {
+  // Non-finite aggregates export as JSON null: equal nulls are clean,
+  // null-vs-number is drift.
+  const std::string empty_hist =
+      "{\"h\": {\"kind\": \"histogram\", \"value\": null, \"count\": 0,"
+      " \"sum\": 0, \"min\": null, \"max\": null, \"p50\": 0, \"p90\": 0,"
+      " \"p99\": 0}}";
+  const RunFields a = load_or_die(temp_json("rd_n_a.json", empty_hist));
+  const RunFields b = load_or_die(temp_json("rd_n_b.json", empty_hist));
+  EXPECT_TRUE(diff_runs(a, b, RunDiffRules{}).clean());
+
+  const RunFields c = load_or_die(temp_json(
+      "rd_n_c.json",
+      "{\"h\": {\"kind\": \"histogram\", \"value\": 1, \"count\": 0,"
+      " \"sum\": 0, \"min\": null, \"max\": 2, \"p50\": 0, \"p90\": 0,"
+      " \"p99\": 0}}"));
+  EXPECT_FALSE(diff_runs(a, c, RunDiffRules{}).clean());
+}
+
+TEST(RunDiff, MalformedArtifactReportsError) {
+  RunFields fields;
+  std::string error;
+  EXPECT_FALSE(load_run_fields(temp_json("rd_bad.json", "{\"a\": [1,2,"),
+                               &fields, &error));
+  EXPECT_NE(error.find("rd_bad.json"), std::string::npos);
+  EXPECT_FALSE(load_run_fields(testing::TempDir() + "/does_not_exist.json",
+                               &fields, &error));
+}
+
+}  // namespace
+}  // namespace qa

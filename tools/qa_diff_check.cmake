@@ -1,0 +1,49 @@
+# Determinism check driven by ctest (see tools/CMakeLists.txt):
+#   1. run qa_trace twice with the same seed -> qa_diff must exit 0;
+#   2. run once more with a longer duration  -> qa_diff must exit 1
+#      (drift detected and reported), not 2 (comparison error).
+# The perturbation is the sim length, not the seed: the fig-2 scenario has
+# no stochastic elements, so only a workload change guarantees drift.
+# Inputs: QA_TRACE, QA_DIFF (executables), WORK_DIR.
+
+set(common_args --layers 4 --no-trace --no-profile)
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+foreach(run a b perturbed)
+  if(run STREQUAL "perturbed")
+    set(duration 6)
+  else()
+    set(duration 5)
+  endif()
+  execute_process(
+    COMMAND ${QA_TRACE} --out-dir ${WORK_DIR}/${run} --seed 1
+            --duration-s ${duration} ${common_args}
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "qa_trace run '${run}' failed with ${rc}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${QA_DIFF} ${WORK_DIR}/a ${WORK_DIR}/b --print-digest
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "identical-seed runs drifted (qa_diff exit ${rc}):\n${out}")
+endif()
+message(STATUS "same-seed diff clean:\n${out}")
+
+execute_process(
+  COMMAND ${QA_DIFF} ${WORK_DIR}/a ${WORK_DIR}/perturbed
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR
+          "perturbed (longer) run was not reported as drift (exit ${rc}):\n"
+          "${out}")
+endif()
+message(STATUS "perturbed-duration drift detected as expected")

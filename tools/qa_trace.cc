@@ -32,7 +32,8 @@ void usage() {
   std::printf(
       "qa_trace [flags]\n"
       "  --out-dir DIR          artifact directory (required; created)\n"
-      "  --duration SECS        run length (default 20)\n"
+      "  --duration-s SECS      run length (default 20; --duration is an\n"
+      "                         accepted alias)\n"
       "  --seed N               RNG seed (default 1)\n"
       "  --bottleneck-kbps K    bottleneck bandwidth (default 240)\n"
       "  --layer-rate BPS       per-layer consumption C (default 10000)\n"
@@ -40,9 +41,12 @@ void usage() {
       "  --kmax N               max backoffs survivable, K_max (default 1)\n"
       "  --rap-flows N          RAP flows incl. the QA one (default 1)\n"
       "  --tcp-flows N          competing TCP flows (default 0)\n"
+      "  --flightrec-events N   flight-recorder ring size (default 1024)\n"
       "  --no-trace             skip trace.json (metrics/manifest only)\n"
       "  --no-metrics           skip metrics.csv/json\n"
-      "  --no-profile           skip the scheduler profiler\n");
+      "  --no-profile           skip the scheduler profiler\n"
+      "  --no-journeys          skip packet-journey tracing\n"
+      "  --no-flightrec         skip the crash-time flight recorder\n");
 }
 
 }  // namespace
@@ -58,7 +62,10 @@ int main(int argc, char** argv) {
   ExperimentParams params;
   params.rap_flows = static_cast<int>(flags.get_int("rap-flows", 1));
   params.tcp_flows = static_cast<int>(flags.get_int("tcp-flows", 0));
-  params.duration_sec = flags.get_double("duration", 20.0);
+  // --duration-s is the canonical spelling; --duration remains an alias
+  // for scripts written against earlier revisions.
+  params.duration_sec =
+      flags.get_double("duration-s", flags.get_double("duration", 20.0));
   params.seed = static_cast<uint64_t>(flags.get_int("seed", 1));
   params.bottleneck =
       Rate::kilobits_per_sec(flags.get_double("bottleneck-kbps", 240.0));
@@ -72,6 +79,10 @@ int main(int argc, char** argv) {
   ocfg.trace = flags.get_bool("trace", true);
   ocfg.metrics = flags.get_bool("metrics", true);
   ocfg.profile = flags.get_bool("profile", true);
+  ocfg.journeys = flags.get_bool("journeys", true);
+  ocfg.flightrec = flags.get_bool("flightrec", true);
+  ocfg.flightrec_events =
+      static_cast<size_t>(flags.get_int("flightrec-events", 1024));
 
   const auto unused = flags.unused();
   if (!unused.empty()) {

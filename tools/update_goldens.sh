@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Regenerates the checked-in golden artifacts in tests/goldens/ after an
+# *intentional* behavior change. Run from the repo root with a configured
+# build (cmake -B build -S . && cmake --build build -j), review the metric
+# deltas in the git diff, and explain the change in the commit message.
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${BUILD_DIR:-$root/build}"
+qa_trace="$build/tools/qa_trace"
+
+if [ ! -x "$qa_trace" ]; then
+  echo "update_goldens: $qa_trace not built" >&2
+  exit 1
+fi
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+# The pinned fig-2 scenario; must match tools/qa_golden_check.cmake.
+"$qa_trace" --out-dir "$work/fig2" --seed 1 --duration-s 10 \
+    --layers 4 --kmax 1 --no-trace --no-profile > /dev/null
+
+mkdir -p "$root/tests/goldens/fig2"
+cp "$work/fig2/metrics.json" "$root/tests/goldens/fig2/metrics.json"
+echo "updated $root/tests/goldens/fig2/metrics.json"
