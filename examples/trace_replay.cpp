@@ -6,21 +6,40 @@
 // factors, prints the quality/buffering trade-off, and shows the CSV
 // round-trip so recorded traces can be replayed the same way:
 //
-//   $ ./trace_replay            # synthetic trace
-//   $ ./trace_replay my.csv     # your own trace (header: rate,slope,cap)
+//   $ ./trace_replay                          # synthetic trace
+//   $ ./trace_replay my.csv                   # your own trace
+//   $ ./trace_replay --out-dir /tmp/replay    # artifacts somewhere else
+//
+// The round-tripped trace CSV is written under --out-dir (default
+// ./trace_replay_out), never into the source tree or bare working
+// directory.
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "tracedrive/bandwidth_trace.h"
+#include "util/flags.h"
 #include "util/rng.h"
 
 using namespace qa;
 
 int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::string out_dir = flags.get_or("out-dir", "trace_replay_out");
+  const auto unused = flags.unused();
+  if (!unused.empty()) {
+    for (const auto& u : unused) {
+      std::fprintf(stderr, "unknown flag --%s\n", u.c_str());
+    }
+    std::fprintf(stderr, "trace_replay [trace.csv] [--out-dir DIR]\n");
+    return 1;
+  }
+
   core::AimdTrajectory traj = [&] {
-    if (argc > 1) {
-      std::printf("replaying trace %s\n", argv[1]);
-      return tracedrive::load_trace_csv(argv[1]);
+    if (!flags.positional().empty()) {
+      const std::string& path = flags.positional().front();
+      std::printf("replaying trace %s\n", path.c_str());
+      return tracedrive::load_trace_csv(path);
     }
     // Synthetic: ~6 kB/s fair share, Poisson backoffs every ~2.5 s plus
     // drop-tail overflows at the 9 kB/s cap.
@@ -57,7 +76,8 @@ int main(int argc, char** argv) {
   }
 
   // Round-trip demo: persist the trace for later replays.
-  const std::string out = "trace_replay_last.csv";
+  std::filesystem::create_directories(out_dir);
+  const std::string out = out_dir + "/trace_replay_last.csv";
   tracedrive::save_trace_csv(traj, out);
   std::printf("\ntrace saved to %s (replay with: trace_replay %s)\n",
               out.c_str(), out.c_str());

@@ -5,6 +5,8 @@
 
 #include "app/observability.h"
 #include "cbr/cbr.h"
+#include "sim/fault.h"
+#include "sim/loss_model.h"
 #include "sim/topology.h"
 #include "tcp/tcp_sink.h"
 #include "tcp/tcp_source.h"
@@ -46,6 +48,27 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
   topo.red = params.red_bottleneck;
   topo.red_seed = params.seed * 977 + 13;
   const sim::Dumbbell d = sim::build_dumbbell(net, topo);
+
+  // Optional sweep axes. Seeds are drawn only when the axis is enabled so
+  // the default configuration's draw sequence (and therefore every golden
+  // run) is unchanged.
+  QA_CHECK(params.bottleneck_loss_rate >= 0 &&
+           params.bottleneck_loss_rate < 1);
+  if (params.bottleneck_loss_rate > 0) {
+    d.bottleneck->set_loss_model(std::make_unique<sim::BernoulliLoss>(
+        params.bottleneck_loss_rate, rng.next_u64()));
+  }
+  std::unique_ptr<sim::FaultInjector> fault_injector;
+  if (params.random_faults > 0) {
+    fault_injector = std::make_unique<sim::FaultInjector>(&net.scheduler());
+    sim::ChaosProfile profile;
+    profile.start = TimePoint::from_sec(params.duration_sec * 0.25);
+    profile.window = TimeDelta::from_sec(params.duration_sec * 0.5);
+    profile.faults = params.random_faults;
+    Rng fault_rng(rng.next_u64());
+    sim::inject_random_faults(*fault_injector, d.bottleneck,
+                              d.bottleneck_reverse, fault_rng, profile);
+  }
 
   // --- The quality-adaptive flow (pair 0). -------------------------------
   SessionConfig scfg;

@@ -57,6 +57,13 @@ struct ExperimentParams {
   TimeDelta playout_delay = TimeDelta::seconds(1);
   int32_t packet_size = 250;
 
+  // Sweep axes beyond the paper's grid (tools/qa_sweep): independent
+  // Bernoulli wire loss on the data-path bottleneck (0 = the paper's pure
+  // drop-tail loss process) and a seeded random fault schedule
+  // (sim/inject_random_faults) over the middle half of the run.
+  double bottleneck_loss_rate = 0;
+  int random_faults = 0;
+
   // Reproducibility.
   uint64_t seed = 1;
   double sample_dt_sec = 0.1;

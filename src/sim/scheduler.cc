@@ -6,58 +6,140 @@
 
 namespace qa::sim {
 
-EventId Scheduler::schedule_at(TimePoint at, std::function<void()> fn,
+uint32_t Scheduler::alloc_node() {
+  if (free_head_ != kNoNode) {
+    const uint32_t idx = free_head_;
+    free_head_ = pool_[idx].free_next;
+    pool_[idx].free_next = kNoNode;
+    return idx;
+  }
+  pool_.emplace_back();
+  return static_cast<uint32_t>(pool_.size() - 1);
+}
+
+void Scheduler::release_node(uint32_t index) {
+  Node& n = pool_[index];
+  n.fn.reset();
+  n.id = kInvalidEventId;
+  n.cancelled = false;
+  n.free_next = free_head_;
+  free_head_ = index;
+}
+
+EventId Scheduler::schedule_at(TimePoint at, SmallFn fn,
                                EventCategory category) {
   QA_CHECK_MSG(at >= now_,
                "scheduling into the past: at=" << at << " now=" << now_);
-  const EventId id = ++next_id_;
-  heap_.push_back(Entry{at, next_seq_++, id, category, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  live_.insert(id);
+  const uint32_t idx = alloc_node();
+  Node& n = pool_[idx];
+  n.at = at;
+  n.category = category;
+  n.cancelled = false;
+  n.fn = std::move(fn);
+  ++n.generation;
+  n.id = make_id(n.generation, idx);
+  heap_.push_back(HeapItem{at, next_seq_++, idx});
+  sift_up(heap_.size() - 1);
+  ++live_;
   audit_consistency();
-  return id;
+  return n.id;
 }
 
-EventId Scheduler::schedule_after(TimeDelta delay, std::function<void()> fn,
+EventId Scheduler::schedule_after(TimeDelta delay, SmallFn fn,
                                   EventCategory category) {
   QA_CHECK_GE(delay, TimeDelta::zero());
   return schedule_at(now_ + delay, std::move(fn), category);
 }
 
 void Scheduler::cancel(EventId id) {
-  // Only ids still pending move to the cancelled set; already-fired (or
-  // bogus) ids are dropped on the floor so the set cannot grow without
-  // bound under fire-then-cancel timer patterns.
-  if (live_.erase(id) == 0) return;
-  cancelled_.insert(id);
+  // Only ids still pending flip to cancelled; already-fired (or bogus,
+  // or reused-node) ids miss the generation check and are dropped on the
+  // floor, so fire-then-cancel timer patterns cost nothing.
+  if (id == kInvalidEventId) return;
+  const uint64_t slot = id & 0xffffffffull;
+  if (slot == 0 || slot > pool_.size()) return;
+  Node& n = pool_[static_cast<size_t>(slot - 1)];
+  if (n.id != id || n.cancelled) return;
+  n.cancelled = true;
+  --live_;
+  ++cancelled_;
   compact_if_worthwhile();
   audit_consistency();
 }
 
 void Scheduler::compact_if_worthwhile() {
   // Rebuilding is O(n); amortize it against the >= n/2 dead entries freed.
-  if (cancelled_.size() < 64 || cancelled_.size() * 2 < heap_.size()) return;
-  std::erase_if(heap_,
-                [&](const Entry& e) { return cancelled_.count(e.id) > 0; });
-  std::make_heap(heap_.begin(), heap_.end(), Later{});
-  cancelled_.clear();
+  if (cancelled_ < 64 || cancelled_ * 2 < heap_.size()) return;
+  size_t kept = 0;
+  for (const HeapItem& item : heap_) {
+    if (pool_[item.node].cancelled) {
+      release_node(item.node);
+    } else {
+      heap_[kept++] = item;
+    }
+  }
+  heap_.resize(kept);
+  cancelled_ = 0;
+  // Floyd heap construction: sift down every internal node.
+  if (heap_.size() > 1) {
+    for (size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) sift_down(i);
+  }
+}
+
+void Scheduler::sift_up(size_t i) {
+  const HeapItem item = heap_[i];
+  while (i > 0) {
+    const size_t parent = (i - 1) / 4;
+    if (!earlier(item, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = item;
+}
+
+void Scheduler::sift_down(size_t i) {
+  const size_t n = heap_.size();
+  const HeapItem item = heap_[i];
+  while (true) {
+    const size_t first = i * 4 + 1;
+    if (first >= n) break;
+    size_t best = first;
+    const size_t last = std::min(first + 4, n);
+    for (size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], item)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = item;
+}
+
+void Scheduler::pop_root() {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
 }
 
 void Scheduler::prune_top() {
-  while (!heap_.empty() && cancelled_.count(heap_.front().id) > 0) {
-    cancelled_.erase(heap_.front().id);
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+  while (!heap_.empty() && pool_[heap_[0].node].cancelled) {
+    release_node(heap_[0].node);
+    pop_root();
+    --cancelled_;
   }
 }
 
 bool Scheduler::pop_next(Entry& out) {
   prune_top();
   if (heap_.empty()) return false;
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  out = std::move(heap_.back());
-  heap_.pop_back();
-  live_.erase(out.id);
+  const uint32_t idx = heap_[0].node;
+  out.at = heap_[0].at;
+  pop_root();
+  Node& n = pool_[idx];
+  out.category = n.category;
+  out.fn = std::move(n.fn);
+  release_node(idx);
+  --live_;
   audit_consistency();
   return true;
 }
@@ -67,7 +149,7 @@ void Scheduler::run_until(TimePoint until) {
   while (true) {
     // Prune cancelled entries from the top so the peeked time is real.
     prune_top();
-    if (heap_.empty() || heap_.front().at > until) break;
+    if (heap_.empty() || heap_[0].at > until) break;
     if (!pop_next(e)) break;
     QA_INVARIANT_MSG(e.at >= now_,
                      "time ran backwards: event at " << e.at << " with now="

@@ -1,14 +1,24 @@
 // Discrete-event scheduler.
 //
-// A binary-heap event queue keyed by (time, insertion sequence) so that
-// simultaneous events run in deterministic FIFO order. Events are plain
-// callbacks; `schedule` returns an EventId that can be cancelled (lazy
-// deletion with periodic compaction, so long-lived simulations that cancel
-// many timers — every RAP retransmission timer, for one — do not
-// accumulate dead heap entries or their captured state). The scheduler is
-// the single source of simulated time; its audited invariants are that
-// time never moves backwards and that the heap and the cancellation
-// bookkeeping always partition the pending ids exactly.
+// The event queue is a 4-ary implicit min-heap keyed by (time, insertion
+// sequence) so that simultaneous events run in deterministic FIFO order —
+// 4-ary rather than binary because sift-down then touches a quarter of the
+// levels, and the four children of a node share a cache line. The heap
+// itself holds only 24-byte {time, seq, node} items; the callback and its
+// capture live in a pool-allocated event node (free-list recycled, so a
+// steady-state run performs no allocation per event), and callbacks are
+// SmallFn (util/small_fn.h) with 48 bytes of inline capture storage, so
+// scheduling does not heap-allocate the way std::function did.
+//
+// `schedule` returns an EventId that can be cancelled (lazy deletion with
+// periodic compaction, so long-lived simulations that cancel many timers —
+// every RAP retransmission timer, for one — do not accumulate dead heap
+// entries or their captured state). Cancellation is O(1): the id encodes
+// the node index plus a per-node generation, so no side lookup tables are
+// maintained on the schedule/dispatch path. The scheduler is the single
+// source of simulated time; its audited invariants are that time never
+// moves backwards and that live + cancelled node counts always account for
+// the heap exactly.
 //
 // Observability: every event carries an EventCategory tag (sim/profiler.h)
 // naming the subsystem it belongs to. With a SchedulerProfiler attached or
@@ -18,13 +28,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/profiler.h"
 #include "util/event.h"
 #include "util/logging.h"
+#include "util/small_fn.h"
 #include "util/time.h"
 
 namespace qa::sim {
@@ -42,10 +51,10 @@ class Scheduler {
 
   // Schedules `fn` to run at absolute time `at` (>= now). `category` tags
   // the event for the profiler and trace exporter.
-  EventId schedule_at(TimePoint at, std::function<void()> fn,
+  EventId schedule_at(TimePoint at, SmallFn fn,
                       EventCategory category = EventCategory::kGeneric);
   // Schedules `fn` after `delay` (>= 0).
-  EventId schedule_after(TimeDelta delay, std::function<void()> fn,
+  EventId schedule_after(TimeDelta delay, SmallFn fn,
                          EventCategory category = EventCategory::kGeneric);
 
   // Cancels a pending event. Cancelling an already-fired or invalid id is a
@@ -60,12 +69,12 @@ class Scheduler {
   // empty. Used by tests that single-step the simulation.
   bool run_one();
 
-  size_t pending_events() const { return live_.size(); }
+  size_t pending_events() const { return live_; }
   uint64_t events_executed() const { return executed_; }
 
   // Cancelled entries still occupying the heap (awaiting lazy deletion or
   // the next compaction). Exposed so tests can pin the reclaim behaviour.
-  size_t cancelled_backlog() const { return cancelled_.size(); }
+  size_t cancelled_backlog() const { return cancelled_; }
 
   // Attaches (or detaches, with nullptr) a dispatch profiler. The profiler
   // must outlive the scheduler or be detached first.
@@ -76,32 +85,64 @@ class Scheduler {
   Event<const DispatchRecord&>& on_dispatch() { return on_dispatch_; }
 
  private:
-  struct Entry {
+  static constexpr uint32_t kNoNode = UINT32_MAX;
+
+  // Pool-allocated event body. Free nodes are chained through `free_next`;
+  // `generation` increments on every reuse so stale EventIds miss.
+  struct Node {
+    TimePoint at;
+    EventId id = kInvalidEventId;  // kInvalidEventId when free or fired
+    uint32_t generation = 0;
+    uint32_t free_next = kNoNode;
+    EventCategory category = EventCategory::kGeneric;
+    bool cancelled = false;
+    SmallFn fn;
+  };
+
+  // Compact heap entry: comparisons never touch the node pool.
+  struct HeapItem {
     TimePoint at;
     uint64_t seq;
-    EventId id;
-    EventCategory category;
-    std::function<void()> fn;
+    uint32_t node;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+  static bool earlier(const HeapItem& a, const HeapItem& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  // A popped event, detached from the pool before dispatch so handlers may
+  // freely schedule (and grow the pool) while it runs.
+  struct Entry {
+    TimePoint at;
+    EventCategory category = EventCategory::kGeneric;
+    SmallFn fn;
   };
+
+  static EventId make_id(uint32_t generation, uint32_t index) {
+    return (static_cast<EventId>(generation) << 32) |
+           (static_cast<EventId>(index) + 1);
+  }
+
+  uint32_t alloc_node();
+  void release_node(uint32_t index);
+
+  // 4-ary heap maintenance.
+  void sift_up(size_t i);
+  void sift_down(size_t i);
+  void pop_root();
 
   // Pops the next non-cancelled entry, or returns false.
   bool pop_next(Entry& out);
-  // Drops cancelled entries from the heap top so heap_.front() is live.
+  // Drops cancelled entries from the heap top so heap_[0] is live.
   void prune_top();
   // Rebuilds the heap without the cancelled entries once they dominate it,
-  // releasing their captured callables; clears `cancelled_`.
+  // releasing their captured callables.
   void compact_if_worthwhile();
-  // Audited invariant: {live ids} and {cancelled ids} partition the heap.
+  // Audited invariant: live and cancelled nodes account for the heap.
   void audit_consistency() const {
-    QA_INVARIANT_MSG(heap_.size() == live_.size() + cancelled_.size(),
-                     "heap=" << heap_.size() << " live=" << live_.size()
-                             << " cancelled=" << cancelled_.size());
+    QA_INVARIANT_MSG(heap_.size() == live_ + cancelled_,
+                     "heap=" << heap_.size() << " live=" << live_
+                             << " cancelled=" << cancelled_);
   }
 
   // Runs `e.fn`, timing it only when the profiler or a dispatch
@@ -110,13 +151,12 @@ class Scheduler {
 
   TimePoint now_ = TimePoint::origin();
   uint64_t next_seq_ = 1;
-  EventId next_id_ = 1;
   uint64_t executed_ = 0;
-  // Min-heap over `Later` maintained with std::push_heap/pop_heap (not
-  // std::priority_queue: compaction needs access to the container).
-  std::vector<Entry> heap_;
-  std::unordered_set<EventId> live_;       // scheduled, not cancelled/fired
-  std::unordered_set<EventId> cancelled_;  // cancelled, still in heap_
+  std::vector<HeapItem> heap_;
+  std::vector<Node> pool_;
+  uint32_t free_head_ = kNoNode;
+  size_t live_ = 0;       // scheduled, not cancelled/fired
+  size_t cancelled_ = 0;  // cancelled, still in heap_
   SchedulerProfiler* profiler_ = nullptr;
   Event<const DispatchRecord&> on_dispatch_;
 };

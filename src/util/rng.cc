@@ -3,15 +3,16 @@
 #include <cmath>
 
 namespace qa {
-namespace {
 
-uint64_t splitmix64(uint64_t& x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  uint64_t z = x;
+uint64_t splitmix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
 }
+
+namespace {
 
 constexpr uint64_t rotl(uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
 

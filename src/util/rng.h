@@ -9,6 +9,12 @@
 
 namespace qa {
 
+// One SplitMix64 step: advances `state` and returns the next output. The
+// generator behind Rng's seeding, exposed for deterministic seed
+// derivation (e.g. the sweep runner hashes grid coordinates through it so
+// per-job seeds are pure functions of the grid, never of thread timing).
+uint64_t splitmix64(uint64_t& state);
+
 class Rng {
  public:
   explicit Rng(uint64_t seed);

@@ -1,0 +1,124 @@
+// Small-buffer-optimised move-only callable holder.
+//
+// The scheduler dispatches millions of events per simulated run, and under
+// libstdc++ a `std::function<void()>` heap-allocates for any capture larger
+// than two pointers — which covers essentially every simulator callback
+// (they capture `this` plus a packet, a rate, a couple of ids). SmallFn
+// stores captures up to kInlineBytes in place and only falls back to the
+// heap beyond that, so the scheduler's schedule/dispatch hot path performs
+// zero allocations for every callback the codebase actually creates.
+//
+// Move-only by design: event callbacks are consumed exactly once and never
+// shared, and requiring movability (not copyability) of the capture keeps
+// move-only state (unique_ptr payloads) usable in callbacks. Copyable
+// callables — including std::function itself — still convert in, so call
+// sites that kept a reusable std::function keep working.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace qa {
+
+class SmallFn {
+ public:
+  // Sized so a capture of `this` plus a handful of scalar/struct values
+  // (the simulator's worst case is a Packet copy at ~40 bytes) stays
+  // inline; raising it trades per-entry footprint for fewer heap outliers.
+  static constexpr size_t kInlineBytes = 48;
+
+  SmallFn() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, SmallFn> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): callable adaptor
+    using Fn = std::decay_t<F>;
+    if constexpr (inline_eligible<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { take(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  // Destroys the held callable (if any); leaves the holder empty.
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  // True when a callable of type F would be stored without heap fallback.
+  template <typename F>
+  static constexpr bool inline_eligible() {
+    return sizeof(F) <= kInlineBytes &&
+           alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-constructs `dst` from `src`, then destroys `src`'s callable.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename F>
+  static F* as(void* storage) {
+    return std::launder(reinterpret_cast<F*>(storage));
+  }
+
+  template <typename F>
+  static constexpr Ops kInlineOps = {
+      [](void* s) { (*as<F>(s))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) F(std::move(*as<F>(src)));
+        as<F>(src)->~F();
+      },
+      [](void* s) noexcept { as<F>(s)->~F(); },
+  };
+
+  template <typename F>
+  static constexpr Ops kHeapOps = {
+      [](void* s) { (**as<F*>(s))(); },
+      // The stored pointer itself is trivially destructible: relocation is
+      // just copying it across.
+      [](void* dst, void* src) noexcept { ::new (dst) F*(*as<F*>(src)); },
+      [](void* s) noexcept { delete *as<F*>(s); },
+  };
+
+  void take(SmallFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(buf_, other.buf_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace qa

@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "app/experiment.h"
 #include "sim/network.h"
 #include "sim/topology.h"
 
@@ -50,6 +51,35 @@ TEST(CbrSource, HonorsStartAndStopWindow) {
   net.run(TimePoint::from_sec(10));
   // 2 s window at 10 pkt/s = ~20 packets; nothing after the stop time.
   EXPECT_NEAR(static_cast<double>(src->packets_sent()), 20.0, 2.0);
+}
+
+// Cross-traffic responsiveness (fig 13 in miniature): when the CBR source
+// switches on mid-run, the quality-adaptive RAP flow must yield bandwidth
+// during the burst and recover after it — the CBR source itself is
+// unresponsive, so all of the adjustment shows up in the QA flow's rate.
+TEST(CbrSource, QaRapYieldsDuringCbrBurstAndRecovers) {
+  app::ExperimentParams params;
+  params.rap_flows = 1;
+  params.tcp_flows = 0;
+  params.with_cbr = true;
+  params.cbr_fraction = 0.5;
+  params.cbr_start_sec = 10;
+  params.cbr_stop_sec = 20;
+  params.duration_sec = 30;
+  params.seed = 2;
+  const app::ExperimentResult r = app::run_experiment(params);
+
+  // Skip the first seconds (startup ramp) and the first moments after each
+  // transition (reaction time).
+  const double before = r.series.rate.time_average(TimePoint::from_sec(4),
+                                                   TimePoint::from_sec(10));
+  const double during = r.series.rate.time_average(TimePoint::from_sec(12),
+                                                   TimePoint::from_sec(20));
+  const double after = r.series.rate.time_average(TimePoint::from_sec(24),
+                                                  TimePoint::from_sec(30));
+  ASSERT_GT(before, 0);
+  EXPECT_LT(during, before * 0.85);  // yields while the CBR burst holds
+  EXPECT_GT(after, during);          // claims bandwidth back afterwards
 }
 
 TEST(CbrSource, IgnoresIncomingPackets) {

@@ -1,0 +1,252 @@
+// Property-based tests of the quality adapter: 200 seeded random episodes
+// (random AIMD bandwidth trajectory, Kmax, layer count) drive the adapter
+// packet by packet and assert the paper's structural invariants at every
+// step, not just at run end:
+//
+//   * §2.3–§2.4 efficient distribution — per-layer buffering is skewed
+//     toward lower layers, within the documented slack for packet
+//     granularity and bounded transients;
+//   * buffer non-negativity — the mirrored receiver never goes below zero;
+//   * add/drop hysteresis — consecutive layer additions are separated by
+//     min_add_spacing, and every add/drop event moves the active-layer
+//     count by exactly one, in order.
+//
+// On failure the episode is re-run at shrinking durations to find the
+// shortest failing prefix, and the offending seed (plus a reproduction
+// hint) is logged — a seeded property harness is only useful if a red run
+// tells you exactly which seed to replay.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/quality_adapter.h"
+#include "tracedrive/bandwidth_trace.h"
+#include "util/rng.h"
+
+namespace qa {
+namespace {
+
+constexpr int kEpisodes = 200;
+constexpr uint64_t kBaseSeed = 20260807;
+constexpr double kPacketBytes = 250;
+constexpr double kStepSec = 0.002;
+
+struct Episode {
+  uint64_t seed = 0;
+  core::AdapterConfig cfg;
+  double initial_rate = 0;
+  double slope = 0;
+  double cap = 0;
+  double mean_backoff_interval = 0;
+};
+
+// Draws one episode's scenario from its seed. Parameter ranges bracket the
+// paper's operating points: rates from below one layer to several layers'
+// worth, Kmax 1..4, 2..8 layers.
+Episode draw_episode(uint64_t seed) {
+  Rng rng(seed);
+  Episode e;
+  e.seed = seed;
+  e.cfg.consumption_rate = 10'000;
+  e.cfg.kmax = 1 + static_cast<int>(rng.next_below(4));
+  e.cfg.max_layers = 2 + static_cast<int>(rng.next_below(7));
+  e.initial_rate = rng.uniform(0.5, 3.0) * e.cfg.consumption_rate;
+  // RAP's linear-increase slope is about one packet per RTT each RTT
+  // (S = P/RTT^2): ~1e5 B/s^2 at P=250, RTT=50ms. Cover an order of
+  // magnitude around that so sawtooths genuinely cross layer boundaries.
+  e.slope = rng.uniform(2e4, 2e5);
+  e.cap = rng.uniform(1.5, 1.5 * e.cfg.max_layers) * e.cfg.consumption_rate;
+  e.mean_backoff_interval = rng.uniform(0.3, 2.0);
+  return e;
+}
+
+// Activity counters across episodes: a property suite that silently
+// exercises nothing would pass vacuously, so the test asserts totals.
+struct Activity {
+  int64_t packets = 0;
+  int64_t backoffs = 0;
+  int64_t adds = 0;
+  int64_t drops = 0;
+};
+
+// Replays `e` for `duration_sec`, checking every invariant after every
+// packet decision and every add/drop event. Returns the first violation's
+// description, or nullopt on a clean run. Deliberately does not use gtest
+// assertions internally so the caller can shrink before reporting.
+std::optional<std::string> run_episode(const Episode& e, double duration_sec,
+                                       Activity* activity = nullptr) {
+  // The trajectory is a pure function of the episode seed (fresh Rng, same
+  // draw order), so shrinking re-runs a prefix of the *same* episode.
+  Rng traj_rng(e.seed ^ 0x9e3779b97f4a7c15ULL);
+  const core::AimdTrajectory traj = tracedrive::random_backoff_trajectory(
+      e.initial_rate, e.slope, e.cap, duration_sec, e.mean_backoff_interval,
+      traj_rng);
+
+  core::QualityAdapter adapter(e.cfg);
+  std::optional<std::string> failure;
+  auto fail = [&failure](const std::string& msg) {
+    if (!failure) failure = msg;
+  };
+
+  // Event-stream invariants: adds move the count up by one and respect the
+  // hysteresis spacing; drops remove exactly the top layer.
+  int expected_layers = 0;
+  std::optional<TimePoint> last_add;
+  adapter.on_add().subscribe([&](const core::AddEvent& ev) {
+    if (ev.new_active_layers != expected_layers + 1) {
+      std::ostringstream os;
+      os << "add to " << ev.new_active_layers << " layers at " << ev.time
+         << " but " << expected_layers << " were active";
+      fail(os.str());
+    }
+    if (last_add && ev.time - *last_add <
+                        e.cfg.min_add_spacing - TimeDelta::micros(1)) {
+      std::ostringstream os;
+      os << "adds at " << *last_add << " and " << ev.time << " violate "
+         << "min_add_spacing=" << e.cfg.min_add_spacing;
+      fail(os.str());
+    }
+    last_add = ev.time;
+    expected_layers = ev.new_active_layers;
+    if (activity != nullptr) ++activity->adds;
+  });
+  adapter.on_drop().subscribe([&](const core::DropEvent& ev) {
+    if (ev.layer != expected_layers - 1) {
+      std::ostringstream os;
+      os << "drop of layer " << ev.layer << " at " << ev.time << " but "
+         << expected_layers << " were active (top is "
+         << expected_layers - 1 << ")";
+      fail(os.str());
+    }
+    expected_layers = std::max(0, expected_layers - 1);
+    if (activity != nullptr) ++activity->drops;
+  });
+
+  adapter.begin(TimePoint::origin());
+  expected_layers = adapter.active_layers();  // begin() activates the base
+
+  // The documented audit slack: packet granularity plus bounded transients
+  // (see QualityAdapter::audit_distribution).
+  const double slack =
+      8.0 * kPacketBytes +
+      4.0 * e.cfg.consumption_rate * e.cfg.drain_period.sec();
+
+  auto check_buffers = [&](TimePoint now) {
+    const std::vector<double> bufs = adapter.receiver().buffers();
+    for (size_t i = 0; i < bufs.size(); ++i) {
+      if (bufs[i] < -1e-6) {
+        std::ostringstream os;
+        os << "negative buffer: layer " << i << " = " << bufs[i] << " at "
+           << now;
+        fail(os.str());
+      }
+    }
+    if (e.cfg.allocation == core::AllocationPolicy::kOptimal &&
+        !core::QualityAdapter::efficiently_distributed(bufs, slack)) {
+      std::ostringstream os;
+      os << "inefficient distribution at " << now << ":";
+      for (double b : bufs) os << " " << b;
+      os << " (slack " << slack << ")";
+      fail(os.str());
+    }
+    if (adapter.active_layers() != expected_layers) {
+      std::ostringstream os;
+      os << "active_layers=" << adapter.active_layers()
+         << " but add/drop events imply " << expected_layers << " at " << now;
+      fail(os.str());
+    }
+  };
+
+  // The drive loop of tracedrive::run_trace, with invariant checks after
+  // every adapter interaction.
+  const double traj_slope = traj.slope();
+  const auto& backoffs = traj.backoff_times();
+  size_t backoff_idx = 0;
+  double credit = 0;
+  const int64_t steps = static_cast<int64_t>(duration_sec / kStepSec);
+  for (int64_t step = 0; step < steps && !failure; ++step) {
+    const double t = static_cast<double>(step) * kStepSec;
+    const TimePoint now = TimePoint::from_sec(t);
+    while (backoff_idx < backoffs.size() && backoffs[backoff_idx] <= t) {
+      const double tb = backoffs[backoff_idx];
+      adapter.on_backoff(TimePoint::from_sec(tb), traj.rate_at(tb),
+                         traj_slope);
+      check_buffers(TimePoint::from_sec(tb));
+      ++backoff_idx;
+      if (activity != nullptr) ++activity->backoffs;
+    }
+    const double rate = traj.rate_at(t);
+    credit += rate * kStepSec;
+    while (credit >= kPacketBytes && !failure) {
+      credit -= kPacketBytes;
+      const int layer =
+          adapter.on_send_opportunity(now, rate, traj_slope, kPacketBytes);
+      if (layer != core::QualityAdapter::kPaddingSlot &&
+          (layer < 0 || layer >= e.cfg.max_layers)) {
+        std::ostringstream os;
+        os << "allocation to out-of-range layer " << layer << " at " << now;
+        fail(os.str());
+      }
+      check_buffers(now);
+      if (activity != nullptr) ++activity->packets;
+    }
+  }
+  return failure;
+}
+
+TEST(QaPropertyTest, RandomEpisodesHoldCoreInvariants) {
+  constexpr double kDurationSec = 6.0;
+  Activity activity;
+  for (int i = 0; i < kEpisodes; ++i) {
+    const Episode e = draw_episode(kBaseSeed + static_cast<uint64_t>(i));
+    const auto failure = run_episode(e, kDurationSec, &activity);
+    if (!failure) continue;
+
+    // Shrink: find the shortest failing duration by halving, so the logged
+    // reproduction is as small as the failure allows.
+    double shortest = kDurationSec;
+    std::string message = *failure;
+    for (double d = kDurationSec / 2; d >= 4 * kStepSec; d /= 2) {
+      const auto shorter = run_episode(e, d);
+      if (!shorter) break;
+      shortest = d;
+      message = *shorter;
+    }
+    ADD_FAILURE() << "episode seed " << e.seed << " (index " << i
+                  << ") failed: " << message
+                  << "\n  shrunk to duration " << shortest << " s"
+                  << "\n  repro: draw_episode(" << e.seed
+                  << "), run_episode(e, " << shortest << ")"
+                  << "\n  params: kmax=" << e.cfg.kmax
+                  << " layers=" << e.cfg.max_layers
+                  << " rate0=" << e.initial_rate << " slope=" << e.slope
+                  << " cap=" << e.cap
+                  << " backoff_mean=" << e.mean_backoff_interval;
+    return;  // one detailed failure beats 200 cascading ones
+  }
+  // Vacuity guard: across 200 episodes the suite must have made real
+  // per-packet decisions and seen real adaptation events.
+  EXPECT_GT(activity.packets, 100'000);
+  EXPECT_GT(activity.backoffs, 500);
+  EXPECT_GT(activity.adds, 200);
+  EXPECT_GT(activity.drops, 50);
+}
+
+// The efficiency predicate itself: monotone profiles pass, an inversion
+// beyond slack fails, inversions within slack are tolerated.
+TEST(QaPropertyTest, EfficientDistributionPredicate) {
+  EXPECT_TRUE(core::QualityAdapter::efficiently_distributed(
+      {3000, 2000, 1000, 0}, 0));
+  EXPECT_FALSE(core::QualityAdapter::efficiently_distributed(
+      {1000, 2000}, 500));
+  EXPECT_TRUE(core::QualityAdapter::efficiently_distributed(
+      {1000, 1400}, 500));
+  EXPECT_TRUE(core::QualityAdapter::efficiently_distributed({}, 0));
+}
+
+}  // namespace
+}  // namespace qa

@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "app/experiment.h"
 #include "sim/network.h"
 #include "sim/topology.h"
 #include "tcp/tcp_sink.h"
@@ -120,6 +121,40 @@ TEST(TcpSource, TwoFlowsShareBottleneck) {
   EXPECT_LT(std::max(g0, g1) / std::min(g0, g1), 2.5);
   // Combined they still respect the link capacity.
   EXPECT_LE((g0 + g1) * 1000.0 / 60.0, 105'000);
+}
+
+// Cross-traffic fairness: the quality-adaptive RAP flow sharing a dumbbell
+// with two TCP flows and a CBR burst must end up inside a TCP-friendly
+// envelope — comparable per-flow goodput, not starvation or domination —
+// while the aggregate respects the link. This is the fig-11/13 mixed-load
+// setting that the per-protocol tests above never exercise together.
+TEST(TcpSource, QaRapWithinTcpFriendlyEnvelopeUnderMixedLoad) {
+  app::ExperimentParams params;
+  params.rap_flows = 1;  // just the QA flow
+  params.tcp_flows = 2;
+  params.with_cbr = true;
+  params.cbr_start_sec = 10;
+  params.cbr_stop_sec = 20;
+  params.duration_sec = 30;
+  params.seed = 3;
+  const app::ExperimentResult r = app::run_experiment(params);
+
+  ASSERT_GT(r.mean_tcp_rate_bps, 0);
+  ASSERT_GT(r.qa_mean_rate_bps, 0);
+  // TCP-friendly envelope: within a factor of 4 of the TCP flows' mean
+  // goodput in either direction (RAP matches TCP's AIMD in structure; the
+  // envelope absorbs its different loss-detection dynamics).
+  EXPECT_GT(r.qa_mean_rate_bps, r.mean_tcp_rate_bps / 4.0);
+  EXPECT_LT(r.qa_mean_rate_bps, r.mean_tcp_rate_bps * 4.0);
+  // The QA flow alone never exceeds the bottleneck.
+  const double qa_goodput_Bps =
+      static_cast<double>(r.qa_packets_sent) * params.packet_size /
+      params.duration_sec;
+  EXPECT_LE(qa_goodput_Bps, params.bottleneck.bps() * 1.05);
+  // It kept streaming across the CBR burst rather than collapsing.
+  EXPECT_GT(r.metrics.mean_quality(TimePoint::from_sec(5),
+                                   TimePoint::from_sec(30)),
+            0.9);
 }
 
 TEST(TcpSink, ReassemblesOutOfOrder) {

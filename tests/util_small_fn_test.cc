@@ -1,0 +1,153 @@
+// SmallFn: the scheduler's callback holder. These tests pin the storage
+// contract (inline vs heap fallback), move/relocation semantics (capture
+// destroyed exactly once, on time), and move-only capture support — the
+// properties the pool-allocating scheduler depends on.
+#include "util/small_fn.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace qa {
+namespace {
+
+// Counts alive instances so tests can observe destruction timing across
+// moves and resets.
+struct Tracked {
+  static int alive;
+  int* hits;
+  explicit Tracked(int* h) : hits(h) { ++alive; }
+  Tracked(const Tracked& o) : hits(o.hits) { ++alive; }
+  Tracked(Tracked&& o) noexcept : hits(o.hits) { ++alive; }
+  ~Tracked() { --alive; }
+  void operator()() { ++*hits; }
+};
+int Tracked::alive = 0;
+
+TEST(SmallFnTest, EmptyByDefault) {
+  SmallFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(SmallFnTest, InvokesSmallLambdaInline) {
+  int hits = 0;
+  auto lambda = [&hits] { ++hits; };
+  ASSERT_TRUE(SmallFn::inline_eligible<decltype(lambda)>());
+  SmallFn fn(lambda);
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFnTest, FatCaptureFallsBackToHeapAndStillWorks) {
+  std::array<double, 16> fat{};  // 128 bytes: over kInlineBytes
+  fat[0] = 1;
+  fat[15] = 2;
+  int hits = 0;
+  auto lambda = [fat, &hits] { hits += static_cast<int>(fat[0] + fat[15]); };
+  ASSERT_FALSE(SmallFn::inline_eligible<decltype(lambda)>());
+  SmallFn fn(std::move(lambda));
+  fn();
+  EXPECT_EQ(hits, 3);
+}
+
+TEST(SmallFnTest, BoundaryCaptureSizesStayInline) {
+  struct Exactly48 {
+    unsigned char pad[SmallFn::kInlineBytes];
+    void operator()() {}
+  };
+  struct Over48 {
+    unsigned char pad[SmallFn::kInlineBytes + 1];
+    void operator()() {}
+  };
+  EXPECT_TRUE(SmallFn::inline_eligible<Exactly48>());
+  EXPECT_FALSE(SmallFn::inline_eligible<Over48>());
+}
+
+TEST(SmallFnTest, MoveTransfersCallableAndEmptiesSource) {
+  int hits = 0;
+  SmallFn a([&hits] { ++hits; });
+  SmallFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(SmallFnTest, MoveAssignmentDestroysPreviousCallable) {
+  int old_hits = 0;
+  int new_hits = 0;
+  ASSERT_EQ(Tracked::alive, 0);
+  SmallFn fn{Tracked(&old_hits)};
+  EXPECT_EQ(Tracked::alive, 1);
+  fn = SmallFn(Tracked(&new_hits));
+  EXPECT_EQ(Tracked::alive, 1);  // old capture destroyed by the assignment
+  fn();
+  EXPECT_EQ(old_hits, 0);
+  EXPECT_EQ(new_hits, 1);
+  fn.reset();
+  EXPECT_EQ(Tracked::alive, 0);
+}
+
+TEST(SmallFnTest, RelocationDestroysExactlyOnce) {
+  int hits = 0;
+  {
+    SmallFn a{Tracked(&hits)};
+    ASSERT_EQ(Tracked::alive, 1);
+    SmallFn b(std::move(a));
+    EXPECT_EQ(Tracked::alive, 1);  // relocated, not duplicated
+    SmallFn c(std::move(b));
+    EXPECT_EQ(Tracked::alive, 1);
+    c();
+  }
+  EXPECT_EQ(Tracked::alive, 0);
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(SmallFnTest, MoveOnlyCaptureIsSupported) {
+  auto value = std::make_unique<int>(41);
+  int got = 0;
+  SmallFn fn([v = std::move(value), &got] { got = *v + 1; });
+  fn();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(SmallFnTest, StdFunctionConvertsIn) {
+  int hits = 0;
+  std::function<void()> f = [&hits] { ++hits; };
+  SmallFn fn(f);  // copyable callables still convert
+  fn();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(SmallFnTest, ResetOnEmptyIsANoOp) {
+  SmallFn fn;
+  fn.reset();
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(SmallFnTest, HeapCallableDestroyedOnReset) {
+  struct FatTracked {
+    Tracked tracked;
+    unsigned char pad[SmallFn::kInlineBytes] = {};
+    void operator()() { tracked(); }
+  };
+  ASSERT_FALSE(SmallFn::inline_eligible<FatTracked>());
+  int hits = 0;
+  {
+    SmallFn fn{FatTracked{Tracked(&hits)}};
+    EXPECT_EQ(Tracked::alive, 1);
+    fn();
+    fn.reset();
+    EXPECT_EQ(Tracked::alive, 0);
+  }
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(Tracked::alive, 0);
+}
+
+}  // namespace
+}  // namespace qa
