@@ -214,6 +214,8 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opts) {
   }
   result.rows.resize(points.size());
 
+  // qa-analyzer: allow(wall-clock) — self-measured sweep wall time; lands
+  // in wall_s / the wall_* report fields, which qa_diff ignores by contract.
   const auto start = std::chrono::steady_clock::now();
   std::atomic<size_t> cursor{0};
   auto worker = [&grid, &points, &cursor, &result] {
@@ -235,6 +237,8 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opts) {
     for (auto& t : threads) t.join();
   }
   result.wall_s = std::chrono::duration<double>(
+                      // qa-analyzer: allow(wall-clock) — closes the wall_s
+                      // interval opened above; wall_* is qa_diff-exempt.
                       std::chrono::steady_clock::now() - start)
                       .count();
 

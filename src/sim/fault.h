@@ -83,6 +83,9 @@ class FaultInjector {
   void up(Link* link);
 
   Scheduler* sched_;
+  // Keyed lookups only — never iterated (the unordered-iter analyzer
+  // rule): pointer-keyed hash order varies run to run with ASLR, so any
+  // loop over this map would be nondeterministic by construction.
   std::unordered_map<Link*, LinkState> state_;
   int64_t faults_ = 0;
 };

@@ -112,19 +112,37 @@ void Link::maybe_start_tx() {
 void Link::schedule_delivery(const Packet& p, TimeDelta delay) {
   const uint64_t epoch = wire_epoch_;
   ++in_flight_wire_;
+  // The packet rides the wire parked in a slot pool and the callback
+  // captures {this, slot, epoch} — 24 bytes, inside SmallFn's inline
+  // buffer — instead of an ~88-byte Packet copy that would heap-allocate
+  // on every delivery (the per-packet hot path). Slots are recycled via a
+  // free list, so steady state allocates nothing; indices stay valid
+  // across pool growth because the slot is only dereferenced at fire
+  // time, on the single scheduler thread.
+  uint32_t slot;
+  if (wire_free_.empty()) {
+    slot = static_cast<uint32_t>(wire_slots_.size());
+    wire_slots_.push_back(p);
+  } else {
+    slot = wire_free_.back();
+    wire_free_.pop_back();
+    wire_slots_[slot] = p;
+  }
   sched_->schedule_after(
       delay,
-      [this, p, epoch] {
+      [this, slot, epoch] {
+        const Packet pkt = wire_slots_[slot];
+        wire_free_.push_back(slot);
         --in_flight_wire_;
         if (epoch != wire_epoch_) {
           ++outage_drops_;
-          record_journey(p, JourneyStage::kOutageDrop);
+          record_journey(pkt, JourneyStage::kOutageDrop);
           audit_packet_conservation();
           return;
         }
         ++delivered_;
-        bytes_delivered_ += p.size_bytes;
-        to_->deliver(p);
+        bytes_delivered_ += pkt.size_bytes;
+        to_->deliver(pkt);
         audit_packet_conservation();
       },
       EventCategory::kLinkWire);

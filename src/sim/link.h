@@ -23,6 +23,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "sim/loss_model.h"
 #include "sim/packet.h"
@@ -154,6 +155,11 @@ class Link {
   // drops instead of arriving from a dead wire.
   uint64_t wire_epoch_ = 0;
   int64_t in_flight_wire_ = 0;  // deliveries scheduled but not yet landed
+  // Parking for packets on the wire: the delivery callback captures a slot
+  // index (SmallFn-inline, no per-delivery allocation) and the pool grows
+  // to the peak concurrent in-flight count, recycled through wire_free_.
+  std::vector<Packet> wire_slots_;
+  std::vector<uint32_t> wire_free_;
   int64_t submitted_ = 0;
   int64_t delivered_ = 0;
   int64_t bytes_delivered_ = 0;

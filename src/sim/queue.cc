@@ -39,7 +39,8 @@ Packet DropTailQueue::dequeue() {
   return p;
 }
 
-RedQueue::RedQueue(Params params, Rng rng) : params_(params), rng_(rng) {
+RedQueue::RedQueue(Params params, uint64_t seed)
+    : params_(params), rng_(seed) {
   QA_CHECK(params_.min_thresh_pkts < params_.max_thresh_pkts);
   QA_CHECK(params_.max_p > 0 && params_.max_p <= 1.0);
 }

@@ -101,7 +101,10 @@ class RedQueue : public PacketQueue {
     size_t capacity_packets = 64;
   };
 
-  RedQueue(Params params, Rng rng);
+  // `seed` follows the repo-wide plumbing contract (uint64 seed, never an
+  // Rng by value): the queue owns its generator so RED drop decisions are a
+  // pure function of (params, seed, arrival sequence).
+  RedQueue(Params params, uint64_t seed);
 
   bool enqueue(const Packet& p) override;
   Packet dequeue() override;

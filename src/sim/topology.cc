@@ -40,7 +40,7 @@ Dumbbell build_dumbbell(Network& net, const DumbbellParams& params) {
     red.capacity_packets = static_cast<size_t>(cap_pkts);
     red.min_thresh_pkts = cap_pkts / 4;
     red.max_thresh_pkts = 3 * cap_pkts / 4;
-    return std::make_unique<RedQueue>(red, Rng(seed));
+    return std::make_unique<RedQueue>(red, seed);
   };
   d.bottleneck =
       net.add_link(d.router_left, d.router_right, params.bottleneck_bw,

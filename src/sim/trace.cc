@@ -1,5 +1,6 @@
 #include "sim/trace.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/logging.h"
@@ -66,7 +67,19 @@ void LinkRateProbe::stop() {
 
 void LinkRateProbe::flush(TimeDelta elapsed) {
   const double secs = elapsed.sec();
-  for (auto& [flow, bytes] : window_bytes_) {
+  // Sorted drain: window_bytes_ is an unordered map, and its iteration
+  // order must never leak into exported series (flow ids are the stable
+  // order; see DESIGN.md §13 and the unordered-iter analyzer rule).
+  drain_order_.clear();
+  // qa-analyzer: allow(unordered-iter) — key collection only; the keys
+  // are sorted below before any export-visible work happens.
+  for (const auto& [flow, bytes] : window_bytes_) {
+    (void)bytes;
+    drain_order_.push_back(flow);
+  }
+  std::sort(drain_order_.begin(), drain_order_.end());
+  for (FlowId flow : drain_order_) {
+    int64_t& bytes = window_bytes_[flow];
     per_flow_[flow].add(sched_->now(), static_cast<double>(bytes) / secs);
     bytes = 0;
   }

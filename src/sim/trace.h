@@ -69,8 +69,12 @@ class LinkRateProbe {
   Scheduler* sched_;
   TimeDelta window_;
   ScopedSubscription tx_sub_;
+  // Unordered by design (hot per-packet increment); every flush drains in
+  // sorted flow-id order via drain_order_ so exported series never depend
+  // on hash/bucket iteration order.
   std::unordered_map<FlowId, int64_t> window_bytes_;
   std::unordered_map<FlowId, TimeSeries> per_flow_;
+  std::vector<FlowId> drain_order_;  // reused flush scratch
   int64_t total_window_bytes_ = 0;
   TimeSeries total_;
   TimeSeries empty_;

@@ -164,6 +164,10 @@ class JourneyRecorder {
   Event<const JourneySpan&> on_span_;
 
   JourneyId next_id_ = 1;
+  // Keyed lookups and capped eviction only — never iterated (the
+  // unordered-iter analyzer rule): eviction walks open_order_, and every
+  // exported aggregate is updated incrementally at record time, so hash
+  // iteration order cannot reach metrics, traces, or digests.
   std::unordered_map<JourneyId, OpenJourney> open_;
   std::deque<JourneyId> open_order_;  // begin order, for capped eviction
 

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Fixture-corpus test for tools/qa_analyzer.
+
+Runs the analyzer over the deliberately-broken trees under
+tests/analyzer/fixtures/ and asserts exact finding counts per rule, so a
+regex regression in any checker (a rule that stops firing, or starts
+over-firing) fails tier-1 immediately. Also exercises the CLI contract:
+exit codes, --rules subsets, suppression accounting, and the committed-
+baseline round trip (--update-baseline → exit 0 → --no-baseline →
+exit 1), which doubles as the "a seeded violation fails ctest" check.
+
+Registered as the `qa_analyzer_fixtures` ctest (tools/CMakeLists.txt).
+"""
+
+import collections
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+TOOLS = REPO / "tools"
+sys.path.insert(0, str(TOOLS))
+
+from qa_analyzer.driver import run_analysis  # noqa: E402
+
+FIXTURES = REPO / "tests" / "analyzer" / "fixtures"
+TREE = FIXTURES / "tree"
+BASELINE_TREE = FIXTURES / "baseline_tree"
+
+# The contract of the fixture corpus: exactly these counts, per rule.
+EXPECTED_TREE_ERRORS = {
+    "wall-clock": 5,        # src/core/wall_clock_bad.cc
+    "unordered-iter": 2,    # src/sim/unordered_iter_bad.cc
+    "smallfn-capture": 2,   # src/sim/smallfn_bad.cc
+    "layering": 2,          # src/core/layering_bad.cc
+    "seed-plumbing": 3,     # src/sim/seed_bad.cc
+    "bad-suppression": 1,   # src/core/suppression_bad.cc (no reason)
+}
+EXPECTED_TREE_WARNINGS = {
+    "unused-suppression": 1,  # src/core/suppression_bad.cc (stale allow)
+}
+EXPECTED_TREE_SUPPRESSED = 4  # wall_clock_allowed ×2, unordered_iter_good ×2
+
+
+def cli(*args, cwd=REPO):
+    return subprocess.run(
+        [sys.executable, str(TOOLS / "qa_analyzer"), *args],
+        cwd=cwd, capture_output=True, text=True)
+
+
+class TreeFixtureTest(unittest.TestCase):
+    """run_analysis() over fixtures/tree: exact per-rule counts."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.result = run_analysis(TREE, frontend="lex")
+
+    def counts(self, severity):
+        return collections.Counter(
+            f.rule for f in self.result.findings if f.severity == severity)
+
+    def test_error_counts_per_rule(self):
+        self.assertEqual(dict(self.counts("error")), EXPECTED_TREE_ERRORS)
+
+    def test_warning_counts_per_rule(self):
+        self.assertEqual(dict(self.counts("warning")), EXPECTED_TREE_WARNINGS)
+
+    def test_suppression_accounting(self):
+        self.assertEqual(self.result.suppressed, EXPECTED_TREE_SUPPRESSED)
+
+    def test_findings_sorted_and_deduped(self):
+        keys = [(f.path, f.line, f.rule) for f in self.result.findings]
+        self.assertEqual(keys, sorted(keys))
+        self.assertEqual(len(keys), len(set(keys)))
+
+    def test_wall_clock_sites(self):
+        lines = sorted(f.line for f in self.result.findings
+                       if f.rule == "wall-clock")
+        self.assertEqual(lines, [10, 15, 19, 21, 24])
+
+    def test_smallfn_reports_capture_breakdown(self):
+        msgs = [f.message for f in self.result.findings
+                if f.rule == "smallfn-capture"]
+        self.assertTrue(any("pkt:88" in m for m in msgs), msgs)
+
+    def test_rules_subset_runs_only_that_checker(self):
+        # bad-suppression is syntax checking, always on regardless of the
+        # rule subset — malformed armor must never pass silently.
+        sub = run_analysis(TREE, rules={"layering"}, frontend="lex")
+        rules = {f.rule for f in sub.findings if f.severity == "error"}
+        self.assertEqual(rules, {"layering", "bad-suppression"})
+
+
+class CliContractTest(unittest.TestCase):
+    """Exit codes and flags, via the real CLI."""
+
+    def test_tree_fails_without_baseline(self):
+        p = cli("--root", str(TREE), "--no-baseline")
+        self.assertEqual(p.returncode, 1, p.stdout + p.stderr)
+
+    def test_baselined_tree_is_clean(self):
+        p = cli("--root", str(BASELINE_TREE),
+                "--baseline", str(BASELINE_TREE / "baseline.json"))
+        self.assertEqual(p.returncode, 0, p.stdout + p.stderr)
+        self.assertIn("1 baselined", p.stdout)
+
+    def test_baselined_tree_fails_with_no_baseline(self):
+        p = cli("--root", str(BASELINE_TREE), "--no-baseline")
+        self.assertEqual(p.returncode, 1, p.stdout + p.stderr)
+        self.assertIn("wall-clock", p.stdout)
+
+    def test_update_baseline_round_trip(self):
+        with tempfile.TemporaryDirectory() as td:
+            bl = pathlib.Path(td) / "bl.json"
+            p = cli("--root", str(TREE), "--update-baseline",
+                    "--baseline", str(bl))
+            self.assertEqual(p.returncode, 0, p.stdout + p.stderr)
+            entries = json.loads(bl.read_text())["findings"]
+            self.assertEqual(len(entries), sum(EXPECTED_TREE_ERRORS.values()))
+            p = cli("--root", str(TREE), "--baseline", str(bl))
+            self.assertEqual(p.returncode, 0, p.stdout + p.stderr)
+
+    def test_fresh_violation_fails_even_with_baseline(self):
+        # The acceptance check: drop an unsuppressed steady_clock read
+        # into a clean tree's src/core and the analyzer must exit 1.
+        with tempfile.TemporaryDirectory() as td:
+            core = pathlib.Path(td) / "src" / "core"
+            core.mkdir(parents=True)
+            (core / "sneaky.cc").write_text(
+                "#include <chrono>\n"
+                "double t() {\n"
+                "  return std::chrono::steady_clock::now()"
+                ".time_since_epoch().count();\n"
+                "}\n")
+            p = cli("--root", td)
+            self.assertEqual(p.returncode, 1, p.stdout + p.stderr)
+            self.assertIn("steady_clock", p.stdout)
+
+    def test_unknown_rule_is_usage_error(self):
+        p = cli("--root", str(TREE), "--rules", "no-such-rule")
+        self.assertEqual(p.returncode, 2, p.stdout + p.stderr)
+
+    def test_empty_root_is_usage_error(self):
+        with tempfile.TemporaryDirectory() as td:
+            p = cli("--root", td)
+            self.assertEqual(p.returncode, 2, p.stdout + p.stderr)
+
+    def test_json_report_shape(self):
+        with tempfile.TemporaryDirectory() as td:
+            out = pathlib.Path(td) / "report.json"
+            cli("--root", str(TREE), "--no-baseline", "--json", str(out))
+            payload = json.loads(out.read_text())
+            self.assertEqual(payload["tool"], "qa_analyzer")
+            self.assertEqual(payload["errors"],
+                             sum(EXPECTED_TREE_ERRORS.values()))
+            self.assertEqual(payload["warnings"],
+                             sum(EXPECTED_TREE_WARNINGS.values()))
+            self.assertEqual(payload["suppressed"], EXPECTED_TREE_SUPPRESSED)
+            for f in payload["findings"]:
+                self.assertIn("rule", f)
+                self.assertIn("context", f)
+
+    def test_real_tree_is_clean(self):
+        # The repo itself must hold zero non-baselined findings — the
+        # same invariant the `qa_analyzer` ctest pins.
+        p = cli("--root", str(REPO))
+        self.assertEqual(p.returncode, 0, p.stdout + p.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,0 +1,13 @@
+// Fixture: a pre-existing violation that is grandfathered via the
+// committed baseline.json next to this tree. With the baseline applied
+// the analyzer exits 0; with --no-baseline it exits 1.
+#include <chrono>
+
+namespace qa {
+
+double legacy_wall_read() {
+  const auto t = std::chrono::system_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+}  // namespace qa

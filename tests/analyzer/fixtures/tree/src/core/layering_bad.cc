@@ -1,0 +1,12 @@
+// Fixture: include-DAG violations — core reaching up into app and
+// sideways into sim, both forbidden edges. The util include is a
+// permitted downward edge and must not fire. Expected findings: 2.
+#include "app/experiment.h"  // finding 1: core -> app
+#include "sim/scheduler.h"   // finding 2: core -> sim
+#include "util/rng.h"        // OK: core -> util
+
+namespace qa::core {
+
+int fixture_symbol() { return 1; }
+
+}  // namespace qa::core

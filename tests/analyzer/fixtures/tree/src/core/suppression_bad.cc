@@ -1,0 +1,12 @@
+// Fixture: malformed and stale suppressions. The first allow() has no
+// reason text -> bad-suppression (error). The second names a rule that
+// never fires on its line -> unused-suppression (warning, report-only).
+// Expected: 1 bad-suppression error finding, 1 unused-suppression warning.
+namespace qa {
+
+// qa-analyzer: allow(wall-clock)
+int no_reason_given() { return 0; }
+
+int stale_site() { return 1; }  // qa-analyzer: allow(unordered-iter) — nothing here iterates
+
+}  // namespace qa

@@ -1,0 +1,15 @@
+// Fixture: the same hazards carrying valid suppressions — both the
+// standalone-comment form and the trailing form. Expected findings: 0
+// (2 suppressed).
+#include <chrono>
+
+namespace qa {
+
+double profiled_section() {
+  // qa-analyzer: allow(wall-clock) — fixture: profiling-only read
+  const auto a = std::chrono::steady_clock::now();
+  const auto b = std::chrono::steady_clock::now();  // qa-analyzer: allow(wall-clock) — fixture: trailing form
+  return static_cast<double>((b - a).count());
+}
+
+}  // namespace qa

@@ -1,0 +1,28 @@
+// Fixture: every determinism hazard the wall-clock rule must catch,
+// unsuppressed, inside a digest-affecting module. Expected findings: 5.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace qa {
+
+double sample_wall_time() {
+  const auto t = std::chrono::steady_clock::now();  // finding 1
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+unsigned hardware_entropy() {
+  std::random_device rd;  // finding 2
+  return rd();
+}
+
+int c_rand() { return std::rand(); }  // finding 3
+
+const char* env_knob() { return getenv("QA_KNOB"); }  // finding 4
+
+unsigned default_seeded_engine() {
+  std::mt19937 gen;  // finding 5
+  return gen();
+}
+
+}  // namespace qa

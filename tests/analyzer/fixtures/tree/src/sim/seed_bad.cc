@@ -1,0 +1,24 @@
+// Fixture: seed-plumbing violations — an Rng taken by value (copies the
+// stream state), a literal-seeded Rng, and a literal-seeded std engine,
+// all in production code. Expected findings: 3.
+#include <random>
+
+#include "util/rng.h"
+
+namespace qa::sim {
+
+double draw_from_copy(Rng rng) {  // finding 1: Rng by value
+  return rng.uniform();
+}
+
+double magic_seed() {
+  Rng rng(42);  // finding 2: literal seed outside ExperimentParams
+  return rng.uniform();
+}
+
+unsigned magic_engine() {
+  std::mt19937 gen(123);  // finding 3: literal-seeded engine
+  return gen();
+}
+
+}  // namespace qa::sim

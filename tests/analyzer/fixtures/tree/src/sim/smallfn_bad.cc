@@ -1,0 +1,33 @@
+// Fixture: lambda capture footprints at scheduler sites. Two oversized
+// captures (a by-value Packet is 88 bytes > the 48-byte inline buffer)
+// and one comfortably-inline capture that must NOT fire.
+// Expected findings: 2.
+#include <cstdint>
+
+namespace qa::sim {
+
+struct Packet;
+struct Scheduler {
+  template <typename F>
+  void schedule_at(int64_t when, F&& fn);
+  template <typename F>
+  void schedule_after(int64_t delay, F&& fn);
+};
+
+void arm(Scheduler& sched, Packet& incoming) {
+  Packet pkt = incoming;
+  int64_t when = 10;
+  sched.schedule_at(when, [pkt]() {  // finding 1: 88 bytes
+    (void)pkt;
+  });
+  sched.schedule_after(5, [pkt, when]() {  // finding 2: 96 bytes
+    (void)pkt;
+    (void)when;
+  });
+  sched.schedule_after(7, [&incoming, when]() {  // OK: 16 bytes inline
+    (void)incoming;
+    (void)when;
+  });
+}
+
+}  // namespace qa::sim

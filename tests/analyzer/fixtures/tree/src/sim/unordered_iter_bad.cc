@@ -1,0 +1,23 @@
+// Fixture: unordered iteration feeding an export — range-for over a
+// member declared in the sibling header, plus an iterator loop over a
+// local. Expected findings: 2.
+#include <unordered_map>
+
+#include "sim/unordered_iter_bad.h"
+
+namespace qa::sim {
+
+void Exporter::export_rows() {
+  for (const auto& [flow, bytes] : window_bytes_) {  // finding 1
+    emit_row(flow, bytes);
+  }
+}
+
+void export_local() {
+  std::unordered_map<int, double> totals;
+  for (auto it = totals.begin(); it != totals.end(); ++it) {  // finding 2
+    emit_row(it->first, static_cast<long long>(it->second));
+  }
+}
+
+}  // namespace qa::sim

@@ -1,0 +1,19 @@
+// Fixture header: declares the unordered member the .cc iterates, so the
+// checker's sibling-header pairing is exercised.
+#pragma once
+
+#include <unordered_map>
+
+namespace qa::sim {
+
+void emit_row(int flow, long long bytes);
+
+class Exporter {
+ public:
+  void export_rows();
+
+ private:
+  std::unordered_map<int, long long> window_bytes_;
+};
+
+}  // namespace qa::sim

@@ -1,0 +1,35 @@
+// Fixture: the two blessed patterns — a sorted drain (collection loop
+// annotated as order-insensitive) and a plain annotated loop. Expected
+// findings: 0 (2 suppressed).
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace qa::sim {
+
+void emit_row(int flow, long long bytes);
+
+void sorted_drain() {
+  std::unordered_map<int, long long> window_bytes;
+  std::vector<int> order;
+  // qa-analyzer: allow(unordered-iter) — key collection only; sorted below
+  for (const auto& [flow, bytes] : window_bytes) {
+    (void)bytes;
+    order.push_back(flow);
+  }
+  std::sort(order.begin(), order.end());
+  for (int flow : order) emit_row(flow, window_bytes[flow]);
+}
+
+void order_insensitive_fold() {
+  std::unordered_map<int, long long> counts;
+  long long total = 0;
+  // qa-analyzer: allow(unordered-iter) — integer sum; commutative fold
+  for (const auto& [k, v] : counts) {
+    (void)k;
+    total += v;
+  }
+  emit_row(0, total);
+}
+
+}  // namespace qa::sim

@@ -1,0 +1,14 @@
+// Fixture: literal seeds are the norm in test code — the seed-plumbing
+// rule scopes to src/ and must stay quiet here. Expected findings: 0.
+#include "util/rng.h"
+
+namespace {
+
+int check_fixed_stream() {
+  qa::Rng rng(7);
+  return rng.uniform() < 1.0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return check_fixed_stream(); }

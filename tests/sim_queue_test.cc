@@ -80,7 +80,7 @@ TEST(RedQueue, NoDropsBelowMinThreshold) {
   params.min_thresh_pkts = 5;
   params.max_thresh_pkts = 15;
   params.capacity_packets = 64;
-  RedQueue q(params, Rng(1));
+  RedQueue q(params, 1);
   // Keep instantaneous queue at <= 2 packets: never any drop.
   for (int i = 0; i < 1000; ++i) {
     EXPECT_TRUE(q.enqueue(make_packet(100)));
@@ -96,7 +96,7 @@ TEST(RedQueue, RandomDropsUnderSustainedLoad) {
   params.max_p = 0.2;
   params.weight = 0.2;  // fast EWMA so the test converges quickly
   params.capacity_packets = 16;
-  RedQueue q(params, Rng(2));
+  RedQueue q(params, 2);
   int dropped = 0;
   // Sustained overload: enqueue 3, dequeue 1.
   for (int i = 0; i < 3000; ++i) {
@@ -114,14 +114,14 @@ TEST(RedQueue, ForcedDropAtCapacity) {
   params.min_thresh_pkts = 100;  // early drop effectively off
   params.max_thresh_pkts = 200;
   params.capacity_packets = 4;
-  RedQueue q(params, Rng(3));
+  RedQueue q(params, 3);
   for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.enqueue(make_packet(10)));
   EXPECT_FALSE(q.enqueue(make_packet(10)));
 }
 
 TEST(RedQueue, FifoAndByteAccounting) {
   RedQueue::Params params;
-  RedQueue q(params, Rng(4));
+  RedQueue q(params, 4);
   q.enqueue(make_packet(100, 7));
   q.enqueue(make_packet(50, 8));
   EXPECT_EQ(q.bytes(), 150);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 #include "sim/network.h"
 
@@ -188,6 +189,59 @@ TEST_F(ProbeFixture, UnknownFlowYieldsEmptySeries) {
   probe.start();
   net.run(TimePoint::from_sec(1.0));
   EXPECT_TRUE(probe.flow_series(42).empty());
+}
+
+TEST(LinkRateProbe, ExportIsStableUnderFlowArrivalOrder) {
+  // Regression for the unordered-iter hazard in flush(): window_bytes_
+  // is an unordered map, and its bucket layout depends on insertion
+  // order. Two runs that differ only in which flow touches the map
+  // first (ascending vs descending flow ids, interleaved differently)
+  // must export identical series for every flow — any dependence on
+  // hash iteration order in the drain breaks this.
+  constexpr int kFlows = 16;
+  auto run = [](bool ascending) {
+    Network net;
+    Node* a = net.add_node("a");
+    Node* b = net.add_node("b");
+    Link* ab = net.add_link(a, b, Rate::kilobytes_per_sec(1000),
+                            TimeDelta::millis(1),
+                            std::make_unique<DropTailQueue>(1 << 20));
+    Sink sink;
+    for (int f = 1; f <= kFlows; ++f) b->attach_agent(f, &sink);
+    LinkRateProbe probe(&net.scheduler(), ab, TimeDelta::millis(500));
+    probe.start();
+    for (int i = 0; i < kFlows; ++i) {
+      const int f = ascending ? i + 1 : kFlows - i;
+      for (int n = 0; n < f; ++n) {  // flow f sends f packets of 1 kB
+        Packet p;
+        p.src = a->id();
+        p.dst = b->id();
+        p.flow_id = f;
+        p.size_bytes = 1000;
+        a->send(p);
+      }
+    }
+    net.run(TimePoint::from_sec(1.0));
+    std::vector<std::vector<TimeSeries::Point>> out;
+    for (int f = 1; f <= kFlows; ++f)
+      out.push_back(probe.flow_series(f).points());
+    out.push_back(probe.total_series().points());
+    return out;
+  };
+  const auto fwd = run(true);
+  const auto rev = run(false);
+  ASSERT_EQ(fwd.size(), rev.size());
+  for (size_t s = 0; s < fwd.size(); ++s) {
+    ASSERT_EQ(fwd[s].size(), rev[s].size()) << "series " << s;
+    for (size_t i = 0; i < fwd[s].size(); ++i) {
+      EXPECT_EQ(fwd[s][i].t, rev[s][i].t) << "series " << s;
+      EXPECT_DOUBLE_EQ(fwd[s][i].value, rev[s][i].value) << "series " << s;
+    }
+  }
+  // And the values themselves: flow f serialized f kB inside window 1.
+  for (int f = 1; f <= kFlows; ++f)
+    EXPECT_DOUBLE_EQ(fwd[static_cast<size_t>(f - 1)][0].value,
+                     f * 1000.0 / 0.5);
 }
 
 TEST_F(ProbeFixture, QueueProbeSeesBacklog) {

@@ -21,17 +21,39 @@ sensitive to). This lint enforces the repo's unit discipline statically:
   header-guard         Every header uses #pragma once.
   file-naming          snake_case file names; tests end in _test.cc.
 
+File walking, suppression comments, and reporting are shared with
+tools/qa_analyzer via tools/qa_lint_common.py. Individual sites can be
+suppressed with
+
+    // qa-lint: allow(<rule>) — <reason>
+
+either trailing the offending line or on the line directly above it.
 Runs as a ctest (see tools/CMakeLists.txt), so tier-1 catches regressions.
-Run locally with:  python3 tools/lint_units.py [--root <repo>]
+Run locally with:  python3 tools/lint_units.py [--root <repo>] [--json F]
 """
 
 import argparse
+import json
 import pathlib
-import re
 import sys
 
-CXX_SUFFIXES = {".h", ".cc", ".cpp"}
-LINT_DIRS = ("src", "tests", "bench", "examples", "tools")
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from qa_lint_common import (  # noqa: E402
+    Finding,
+    Suppressions,
+    iter_cxx_files,
+    line_context,
+    print_human,
+    report_json,
+    strip_noise,
+)
+
+import re  # noqa: E402
+
+TOOL = "lint_units"
+RULES = {"naked-time-literal", "double-seconds", "int-byte-count",
+         "header-guard", "file-naming"}
 
 # (rule, path, identifier-or-None): pre-existing debt, deliberately
 # grandfathered so the lint can land without a repo-wide unit refactor.
@@ -63,68 +85,55 @@ INT_BYTES = re.compile(
 )
 SNAKE_CASE = re.compile(r"^[a-z0-9_.]+$")
 
-BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.DOTALL)
-LINE_COMMENT = re.compile(r"//[^\n]*")
-STRING_LIT = re.compile(r'"(?:[^"\\\n]|\\.)*"')
-
-
-def strip_noise(text: str) -> str:
-    """Blanks comments and string literals, preserving line numbers.
-
-    Character literals are left alone: C++14 digit separators ("1'000")
-    would be mangled by naive single-quote stripping.
-    """
-
-    def blank(m: re.Match) -> str:
-        return re.sub(r"[^\n]", " ", m.group(0))
-
-    text = BLOCK_COMMENT.sub(blank, text)
-    text = LINE_COMMENT.sub(blank, text)
-    return STRING_LIT.sub(blank, text)
-
 
 class Linter:
     def __init__(self, root: pathlib.Path):
         self.root = root
-        self.findings: list[str] = []
-
-    def report(self, rule: str, path: pathlib.Path, line: int, msg: str,
-               ident: str | None = None) -> None:
-        rel = path.relative_to(self.root).as_posix()
-        if (rule, rel, ident) in ALLOWLIST:
-            return
-        self.findings.append(f"{rel}:{line}: [{rule}] {msg}")
+        self.findings: list[Finding] = []
+        self.suppressed = 0
 
     def lint_file(self, path: pathlib.Path) -> None:
         rel = path.relative_to(self.root).as_posix()
         raw = path.read_text(encoding="utf-8")
         code = strip_noise(raw)
         lines = code.splitlines()
+        supp = Suppressions(raw, code, rel, TOOL)
+        self.findings.extend(supp.bad)
+
+        def report(rule: str, line: int, msg: str,
+                   ident: str | None = None) -> None:
+            if (rule, rel, ident) in ALLOWLIST:
+                return
+            if supp.allows(rule, line):
+                self.suppressed += 1
+                return
+            self.findings.append(Finding(
+                TOOL, rule, rel, line, msg,
+                context=line_context(code, line)))
 
         if not SNAKE_CASE.match(path.name):
-            self.report("file-naming", path, 1,
-                        f"file name '{path.name}' is not snake_case")
+            report("file-naming", 1,
+                   f"file name '{path.name}' is not snake_case")
         if rel.startswith("tests/") and path.suffix == ".cc" \
                 and not path.name.endswith("_test.cc"):
-            self.report("file-naming", path, 1,
-                        "test sources must be named *_test.cc")
+            report("file-naming", 1,
+                   "test sources must be named *_test.cc")
 
         if path.suffix == ".h" and "#pragma once" not in raw:
-            self.report("header-guard", path, 1,
-                        "header is missing '#pragma once'")
+            report("header-guard", 1, "header is missing '#pragma once'")
 
         time_literal_applies = (
             rel != "src/util/time.h" and not rel.startswith("tests/"))
         for i, line in enumerate(lines, start=1):
             if time_literal_applies and TIME_LITERAL.search(line):
-                self.report(
-                    "naked-time-literal", path, i,
+                report(
+                    "naked-time-literal", i,
                     "nanosecond-scale literal outside util/time.h — use "
                     "TimeDelta::seconds()/nanos() instead")
 
             for m in INT_BYTES.finditer(line):
-                self.report(
-                    "int-byte-count", path, i,
+                report(
+                    "int-byte-count", i,
                     f"byte count '{m.group('name')}' typed as a bare "
                     "int — use int64_t (exact accounting) or double "
                     "(QA rate math)", m.group("name"))
@@ -134,31 +143,36 @@ class Linter:
                     name = m.group("name")
                     if "per_sec" in name:  # a rate, not a time
                         continue
-                    self.report(
-                        "double-seconds", path, i,
+                    report(
+                        "double-seconds", i,
                         f"raw double time quantity '{name}' crossing a "
                         "header boundary — use TimeDelta/TimePoint",
                         name)
 
-    def run(self) -> int:
-        files = sorted(
-            p for d in LINT_DIRS
-            for p in (self.root / d).rglob("*")
-            if p.suffix in CXX_SUFFIXES and p.is_file()
-        )
+        self.findings.extend(supp.unused(RULES))
+
+    def run(self, json_path: pathlib.Path | None) -> int:
+        files = iter_cxx_files(self.root)
         if not files:
             print("lint_units: no C++ sources found — wrong --root?",
                   file=sys.stderr)
             return 2
         for f in files:
             self.lint_file(f)
-        for finding in self.findings:
-            print(finding)
-        if self.findings:
-            print(f"lint_units: {len(self.findings)} violation(s)",
-                  file=sys.stderr)
+        self.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        print_human(self.findings)
+        errors = [f for f in self.findings if f.severity == "error"]
+        warnings = len(self.findings) - len(errors)
+        if json_path is not None:
+            payload = report_json(TOOL, self.root, self.findings,
+                                  self.suppressed, 0, len(files))
+            json_path.write_text(json.dumps(payload, indent=2) + "\n",
+                                 encoding="utf-8")
+        if errors:
+            print(f"lint_units: {len(errors)} violation(s)", file=sys.stderr)
             return 1
-        print(f"lint_units: {len(files)} files clean")
+        print(f"lint_units: {len(files)} files clean "
+              f"({self.suppressed} suppressed, {warnings} warning(s))")
         return 0
 
 
@@ -167,8 +181,10 @@ def main() -> int:
     ap.add_argument("--root", type=pathlib.Path,
                     default=pathlib.Path(__file__).resolve().parent.parent,
                     help="repository root (default: this script's parent)")
+    ap.add_argument("--json", type=pathlib.Path, default=None,
+                    help="also write the machine-readable report here")
     args = ap.parse_args()
-    return Linter(args.root.resolve()).run()
+    return Linter(args.root.resolve()).run(args.json)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,16 @@
+"""qa_analyzer: repo-specific determinism & concurrency static analysis.
+
+Five rules, each its own checker module under `checks/`:
+
+  wall-clock       nondeterminism sources inside digest-affecting modules
+  unordered-iter   iteration over unordered containers feeding exports
+  smallfn-capture  lambda captures overflowing SmallFn's 48-byte buffer
+  layering         include-DAG violations between the src/ layers
+  seed-plumbing    Rng passed by value / literal-seeded generators
+
+Run over the tree as a ctest (`qa_analyzer`) and in the CI `analyze` job;
+see tools/qa_analyzer/driver.py for the CLI and DESIGN.md §13 for the
+contract each rule guards.
+"""
+
+__version__ = "1.0"

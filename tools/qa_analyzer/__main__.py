@@ -1,0 +1,12 @@
+"""Entry point so `python3 tools/qa_analyzer` works as a command."""
+
+import pathlib
+import sys
+
+# tools/ must be importable both for the qa_analyzer package itself and
+# for the shared qa_lint_common module.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from qa_analyzer.driver import main  # noqa: E402
+
+sys.exit(main())

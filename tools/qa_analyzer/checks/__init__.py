@@ -1,0 +1,13 @@
+"""Checker registry. Each module exposes RULES (names it owns) and
+run(ctx) -> list[Finding]; the driver owns suppression filtering and the
+baseline, so checkers just report raw findings."""
+
+from qa_analyzer.checks import (determinism, layering, seed_plumbing,
+                                smallfn_capture, unordered_iter)
+
+ALL_CHECKS = (determinism, unordered_iter, smallfn_capture, layering,
+              seed_plumbing)
+
+ALL_RULES: set[str] = set()
+for _check in ALL_CHECKS:
+    ALL_RULES.update(_check.RULES)

@@ -1,0 +1,67 @@
+"""Rule `seed-plumbing`: the "uint64 seed, never Rng by value" contract.
+
+Since PR 2, every stochastic component takes a `uint64_t seed` (or an
+`Rng&` it draws from) and constructs its own generator; experiment seeds
+flow down from ExperimentParams, and the sweep runner derives per-job
+seeds as pure functions of grid coordinates. Two anti-patterns undo
+that:
+
+  * functions taking `Rng` by value — the copy forks the stream
+    invisibly, so two call sites that look identical consume different
+    randomness depending on copy elision and call order;
+  * `Rng` (or a std engine) constructed from an integer literal in
+    product code — a hidden seed that no experiment configuration can
+    reach, so "same params, same run" silently stops being true.
+
+Scope is src/ only: tests and benches pin literal seeds deliberately.
+"""
+
+from __future__ import annotations
+
+import re
+
+from qa_lint_common import Finding
+
+RULES = ("seed-plumbing",)
+
+# `Rng name` directly after '(' or ',' — a by-value parameter. `Rng&`,
+# `const Rng&`, and `Rng*` never match (no '&'/'*' allowed before name).
+_RNG_BY_VALUE = re.compile(r"[(,]\s*(?:qa\s*::\s*)?Rng\s+([A-Za-z_]\w*)\s*[,)]")
+
+# Rng r(42); Rng r{42}; Rng(42); foo(Rng(7)); = Rng{13}
+_RNG_LITERAL = re.compile(
+    r"\bRng\s*(?:[A-Za-z_]\w*\s*)?[({]\s*\d[\d'uUlL]*\s*[)}]")
+
+_ENGINE_LITERAL = re.compile(
+    r"\b(?:std\s*::\s*)?(mt19937(?:_64)?|minstd_rand0?|"
+    r"default_random_engine|ranlux(?:24|48)(?:_base)?|knuth_b)\s*"
+    r"(?:[A-Za-z_]\w*\s*)?[({]\s*\d[\d'uUlL]*\s*[)}]")
+
+
+def run(ctx) -> list[Finding]:
+    findings = []
+    for sf in ctx.files:
+        if sf.top_dir != "src":
+            continue
+        for m in _RNG_BY_VALUE.finditer(sf.code):
+            line = sf.line_of(m.start())
+            findings.append(Finding(
+                "qa_analyzer", "seed-plumbing", sf.rel, line,
+                f"parameter '{m.group(1)}' takes Rng by value — the copy "
+                "forks the stream; take a uint64_t seed (construct the Rng "
+                "inside) or an Rng& drawn from the caller's stream",
+                context=sf.context(line)))
+        for pattern, msg in (
+                (_RNG_LITERAL,
+                 "Rng constructed from an integer literal — seeds must "
+                 "flow from ExperimentParams (or be derived via "
+                 "splitmix64), never hard-coded in product code"),
+                (_ENGINE_LITERAL,
+                 "std engine seeded from an integer literal — same "
+                 "contract as Rng: plumb the experiment seed")):
+            for m in pattern.finditer(sf.code):
+                line = sf.line_of(m.start())
+                findings.append(Finding(
+                    "qa_analyzer", "seed-plumbing", sf.rel, line, msg,
+                    context=sf.context(line)))
+    return findings

@@ -1,0 +1,96 @@
+"""Rule `smallfn-capture`: lambda captures overflowing SmallFn's buffer.
+
+Scheduler callbacks are SmallFn (util/small_fn.h): captures up to
+kInlineBytes = 48 are stored in place, anything larger silently falls
+back to a heap allocation — exactly the per-event cost the PR 5 hot-path
+rewrite removed. This checker computes a capture-footprint estimate for
+every lambda handed to `Scheduler::schedule_at`/`schedule_after` or used
+to construct a `SmallFn`, and flags sites whose estimate exceeds the
+inline buffer.
+
+Footprint model (lexical frontend): `this`, reference captures, pointers
+and init-captures count 8 bytes; by-value captures are sized by the
+nearest preceding declaration of that name against a table of known repo
+types (Packet, the fault Params structs, Time/Rate wrappers, ...); each
+entry is rounded up to 8 (the alignment worst case). Lambdas with a
+default capture (`[=]`/`[&]`) cannot be enumerated lexically and are
+skipped — unless the libclang frontend is available, in which case every
+lambda's closure type is sized exactly via sizeof and defaults are
+covered too.
+
+Oversized captures that are deliberate (cold paths where clarity beats
+the allocation) carry allow(smallfn-capture) with the justification.
+"""
+
+from __future__ import annotations
+
+import re
+
+from qa_analyzer import source as src
+from qa_analyzer.small_fn_abi import INLINE_BYTES, capture_size
+from qa_lint_common import Finding
+
+RULES = ("smallfn-capture",)
+
+_SITE = re.compile(r"\b(schedule_at|schedule_after|SmallFn)\b")
+
+
+def _statement_end(code: str, start: int) -> int:
+    depth = 0
+    for i in range(start, len(code)):
+        c = code[i]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+            if depth < 0:
+                return i
+        elif c == ";" and depth == 0:
+            return i
+    return len(code)
+
+
+def run(ctx) -> list[Finding]:
+    findings = []
+    for sf in ctx.files:
+        if sf.top_dir != "src":
+            continue
+        clang_sizes = ctx.clang_capture_sizes(sf)
+        for m in _SITE.finditer(sf.code):
+            site_kind = m.group(1)
+            if site_kind == "SmallFn":
+                # Skip the definition itself and plain member/param decls;
+                # only statements that also contain a lambda matter.
+                if sf.rel == "src/util/small_fn.h":
+                    continue
+            end = _statement_end(sf.code, m.end())
+            for lam_idx, captures in src.find_lambdas(sf.code, m.end(), end):
+                line = sf.line_of(lam_idx)
+                est, detail = _estimate(sf, lam_idx, captures)
+                if clang_sizes is not None and line in clang_sizes:
+                    est, detail = clang_sizes[line], "sizeof(closure)"
+                if est is None or est <= INLINE_BYTES:
+                    continue
+                findings.append(Finding(
+                    "qa_analyzer", "smallfn-capture", sf.rel, line,
+                    f"lambda capture footprint ~{est} bytes ({detail}) "
+                    f"exceeds SmallFn's {INLINE_BYTES}-byte inline buffer "
+                    "— this callback heap-allocates at every schedule; "
+                    "shrink the capture (index/pointer instead of a copy) "
+                    "or annotate allow(smallfn-capture) with why the site "
+                    "is cold", context=sf.context(line)))
+    return findings
+
+
+def _estimate(sf, lam_idx: int, captures: str):
+    """(estimated bytes, detail string) or (None, reason) when unsizable."""
+    entries = src.split_top_level(captures)
+    total = 0
+    parts = []
+    for entry in entries:
+        if entry in ("=", "&"):
+            return None, "default capture (lexically unsizable)"
+        size = capture_size(entry, sf.code, lam_idx)
+        total += (size + 7) // 8 * 8
+        parts.append(f"{entry}:{size}")
+    return total, ", ".join(parts) if parts else "no captures"

@@ -1,0 +1,74 @@
+"""Rule `unordered-iter`: iteration over unordered containers in src/.
+
+std::unordered_{map,set} iteration order is an implementation detail of
+the hash, the bucket count, and the insertion history. Any loop over one
+that feeds exported state — metrics rows, CSV/JSON output, trace streams,
+digests — makes the export order (and with floating-point accumulation,
+the values) depend on that detail. The repo's pattern is the sorted
+drain: snapshot the keys, sort, then iterate; loops that are provably
+order-insensitive instead carry
+
+    // qa-analyzer: allow(unordered-iter) — <why order cannot matter>
+
+The checker flags every range-for whose range expression is a name
+declared as unordered in the same file or its sibling header, and every
+iterator loop calling .begin() on such a name inside a for-header.
+"""
+
+from __future__ import annotations
+
+import re
+
+from qa_analyzer import source as src
+from qa_lint_common import Finding
+
+RULES = ("unordered-iter",)
+
+_NAME_IN_EXPR = re.compile(r"^(?:\*|&)?\s*(?:this\s*->\s*)?([A-Za-z_]\w*)$")
+
+
+def _names_for(sf, by_rel: dict) -> set[str]:
+    names = set(src.unordered_container_names(sf.code))
+    if sf.rel.endswith((".cc", ".cpp")):
+        stem = sf.rel.rsplit(".", 1)[0]
+        sibling = by_rel.get(stem + ".h")
+        if sibling is not None:
+            names |= src.unordered_container_names(sibling.code)
+    return names
+
+
+def run(ctx) -> list[Finding]:
+    by_rel = {sf.rel: sf for sf in ctx.files}
+    findings = []
+    for sf in ctx.files:
+        if sf.top_dir != "src":
+            continue
+        names = _names_for(sf, by_rel)
+        if not names:
+            continue
+        for idx, range_expr in src.range_for_loops(sf.code):
+            m = _NAME_IN_EXPR.match(range_expr)
+            if m is None or m.group(1) not in names:
+                continue
+            line = sf.line_of(idx)
+            findings.append(Finding(
+                "qa_analyzer", "unordered-iter", sf.rel, line,
+                f"range-for over unordered container '{m.group(1)}' — "
+                "iteration order is hash/insertion dependent; use a "
+                "sorted drain, or annotate with allow(unordered-iter) "
+                "and a proof of order-insensitivity",
+                context=sf.context(line)))
+        # Iterator loops: `for (auto it = name.begin(); ...`.
+        for name in names:
+            for m in re.finditer(
+                    r"\bfor\s*\([^;)]*=\s*(?:this\s*->\s*)?" +
+                    re.escape(name) + r"\s*\.\s*(?:c?begin)\s*\(",
+                    sf.code):
+                line = sf.line_of(m.start())
+                findings.append(Finding(
+                    "qa_analyzer", "unordered-iter", sf.rel, line,
+                    f"iterator loop over unordered container '{name}' — "
+                    "same hazard as a range-for; sorted drain or "
+                    "allow(unordered-iter)",
+                    context=sf.context(line)))
+    return findings

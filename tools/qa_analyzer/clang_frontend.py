@@ -1,0 +1,88 @@
+"""Optional libclang (Python bindings) frontend.
+
+When `clang.cindex` is importable and a libclang shared library can be
+loaded, the smallfn-capture checker swaps its lexical capture-size
+estimates for exact `sizeof` answers computed on the AST: each lambda
+expression's closure type is sized directly, which also covers default
+captures (`[=]`, `[&]`) that the lexical frontend cannot enumerate.
+
+The container this repo builds in ships no libclang, so everything here
+is defensive: `available()` is the gate, every entry point degrades to
+"no answer" (None), and the lexical frontend stays authoritative when
+this module sits out. Do not add a hard `import clang` at module scope.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+_CINDEX = None
+_PROBED = False
+
+
+def _load():
+    global _CINDEX, _PROBED
+    if _PROBED:
+        return _CINDEX
+    _PROBED = True
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return None
+    try:
+        cindex.Index.create()
+    except Exception:  # missing/incompatible libclang.so
+        return None
+    _CINDEX = cindex
+    return _CINDEX
+
+
+def available() -> bool:
+    return _load() is not None
+
+
+def lambda_capture_sizes(path: pathlib.Path,
+                         args: list[str]) -> dict[int, int] | None:
+    """{line: sizeof(closure type) in bytes} for every lambda in `path`.
+
+    `args` is the TU's compile command (from compile_commands.json) minus
+    the compiler/output parts; returns None when libclang is unavailable
+    or the parse fails, in which case the caller falls back to lexical
+    estimates.
+    """
+    cindex = _load()
+    if cindex is None:
+        return None
+    # Keep only flags libclang understands; drop the compiler argv[0],
+    # -c/-o pairs, and the source file itself.
+    keep: list[str] = []
+    skip_next = False
+    for a in args[1:]:
+        if skip_next:
+            skip_next = False
+            continue
+        if a in ("-c", "-o"):
+            skip_next = a == "-o"
+            continue
+        if a.endswith((".cc", ".cpp", ".o")):
+            continue
+        keep.append(a)
+    try:
+        tu = cindex.Index.create().parse(str(path), args=keep)
+    except Exception:
+        return None
+    if tu is None:
+        return None
+    sizes: dict[int, int] = {}
+    try:
+        for cur in tu.cursor.walk_preorder():
+            if cur.kind == cindex.CursorKind.LAMBDA_EXPR and \
+                    cur.location.file and \
+                    str(cur.location.file) == str(path):
+                size = cur.type.get_size()
+                if size and size > 0:
+                    sizes[cur.location.line] = max(
+                        sizes.get(cur.location.line, 0), int(size))
+    except Exception:
+        return None
+    return sizes

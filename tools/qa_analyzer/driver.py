@@ -1,0 +1,204 @@
+"""qa_analyzer driver: file discovery, checker dispatch, suppressions,
+baseline, and reporting.
+
+CLI:
+  python3 tools/qa_analyzer [--root R] [--build-dir B] [--rules a,b]
+                            [--json out.json] [--baseline file]
+                            [--update-baseline] [--list-rules]
+                            [--frontend auto|lex|clang]
+
+Exit codes: 0 clean (errors all suppressed or baselined), 1 new error
+findings, 2 usage/internal error — the same contract as lint_units and
+run_clang_tidy.sh, so CI treats the three uniformly.
+
+Registered as the `qa_analyzer` ctest (tools/CMakeLists.txt): tier-1
+fails the moment a digest-affecting wall-clock read, an unordered drain,
+an oversized SmallFn capture, a layering break, or a seed-plumbing
+violation lands without an annotation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import sys
+
+_TOOLS_DIR = pathlib.Path(__file__).resolve().parent.parent
+if str(_TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(_TOOLS_DIR))
+
+import qa_lint_common as common  # noqa: E402
+from qa_analyzer import clang_frontend, source  # noqa: E402
+from qa_analyzer.checks import ALL_CHECKS, ALL_RULES  # noqa: E402
+
+TOOL = "qa_analyzer"
+DEFAULT_BASELINE = pathlib.Path(__file__).resolve().parent / "baseline.json"
+
+
+class Context:
+    """What checkers see: the parsed files plus optional clang answers."""
+
+    def __init__(self, root: pathlib.Path, files: list[source.SourceFile],
+                 build_dir: pathlib.Path | None, frontend: str):
+        self.root = root
+        self.files = files
+        self.frontend = frontend
+        self._compile_commands = source.compile_commands(build_dir)
+        self._clang_cache: dict[str, dict[int, int] | None] = {}
+
+    def clang_capture_sizes(self, sf: source.SourceFile):
+        """{line: sizeof(closure)} via libclang, or None (lexical only)."""
+        if self.frontend == "lex" or not clang_frontend.available():
+            return None
+        if sf.rel not in self._clang_cache:
+            args = self._compile_commands.get(str(sf.path.resolve()), [])
+            self._clang_cache[sf.rel] = clang_frontend.lambda_capture_sizes(
+                sf.path, args) if args else None
+        return self._clang_cache[sf.rel]
+
+
+@dataclasses.dataclass
+class AnalysisResult:
+    findings: list[common.Finding]       # post-suppression, pre-baseline
+    suppressed: int
+    files_scanned: int
+    frontend: str
+
+    def errors(self) -> list[common.Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+
+def run_analysis(root: pathlib.Path, build_dir: pathlib.Path | None = None,
+                 rules: set[str] | None = None,
+                 frontend: str = "auto") -> AnalysisResult:
+    root = root.resolve()
+    paths = common.iter_cxx_files(root)
+    files = [source.SourceFile(root, p) for p in paths]
+    used_frontend = ("clang" if frontend != "lex" and
+                     clang_frontend.available() else "lex")
+    ctx = Context(root, files, build_dir, frontend)
+
+    raw: list[common.Finding] = []
+    active_rules: set[str] = set()
+    for check in ALL_CHECKS:
+        if rules is not None and not (set(check.RULES) & rules):
+            continue
+        active_rules.update(check.RULES)
+        raw.extend(check.run(ctx))
+
+    # Suppression filtering + accounting, then dedupe (nested scan windows
+    # may visit one site twice) and deterministic ordering.
+    by_rel = {sf.rel: sf for sf in files}
+    kept: list[common.Finding] = []
+    suppressed = 0
+    for f in raw:
+        sf = by_rel.get(f.path)
+        if sf is not None and sf.suppressions.allows(f.rule, f.line):
+            suppressed += 1
+        else:
+            kept.append(f)
+    for sf in files:
+        kept.extend(sf.suppressions.bad)
+        kept.extend(sf.suppressions.unused(active_rules))
+
+    unique: dict[tuple, common.Finding] = {}
+    for f in kept:
+        unique.setdefault((f.rule, f.path, f.line), f)
+    findings = sorted(unique.values(),
+                      key=lambda f: (f.path, f.line, f.rule))
+    return AnalysisResult(findings, suppressed, len(files), used_frontend)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(prog="qa_analyzer", description=__doc__)
+    ap.add_argument("--root", type=pathlib.Path,
+                    default=_TOOLS_DIR.parent,
+                    help="repository root (default: this checkout)")
+    ap.add_argument("--build-dir", type=pathlib.Path, default=None,
+                    help="build dir holding compile_commands.json "
+                         "(optional; enables the libclang frontend)")
+    ap.add_argument("--rules", type=str, default=None,
+                    help="comma-separated subset of rules to run")
+    ap.add_argument("--json", type=pathlib.Path, default=None,
+                    help="write the machine-readable report here")
+    ap.add_argument("--baseline", type=pathlib.Path,
+                    default=DEFAULT_BASELINE,
+                    help="baseline file of grandfathered findings")
+    ap.add_argument("--no-baseline", action="store_true",
+                    help="ignore the baseline (report everything)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline from current findings")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--frontend", choices=("auto", "lex", "clang"),
+                    default="auto")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for check in ALL_CHECKS:
+            for rule in check.RULES:
+                first = (check.__doc__ or "").strip().splitlines()[0]
+                print(f"{rule:18} {first}")
+        print(f"{'bad-suppression':18} allow() without rule(s) or a reason")
+        print(f"{'unused-suppression':18} allow() that suppresses nothing "
+              "(warning)")
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = {r.strip() for r in args.rules.split(",") if r.strip()}
+        unknown = rules - ALL_RULES
+        if unknown:
+            print(f"qa_analyzer: unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+    if args.frontend == "clang" and not clang_frontend.available():
+        print("qa_analyzer: --frontend clang requested but the libclang "
+              "Python bindings are not importable", file=sys.stderr)
+        return 2
+
+    try:
+        result = run_analysis(args.root, args.build_dir, rules,
+                              args.frontend)
+    except OSError as e:
+        print(f"qa_analyzer: {e}", file=sys.stderr)
+        return 2
+    if result.files_scanned == 0:
+        print("qa_analyzer: no C++ sources found — wrong --root?",
+              file=sys.stderr)
+        return 2
+
+    errors = result.errors()
+    if args.update_baseline:
+        common.save_baseline(args.baseline, errors, TOOL)
+        print(f"qa_analyzer: baseline rewritten with {len(errors)} "
+              f"finding(s) at {args.baseline}")
+        return 0
+
+    baseline = [] if args.no_baseline else common.load_baseline(args.baseline)
+    new_errors, baselined = common.apply_baseline(errors, baseline)
+    warnings = [f for f in result.findings if f.severity != "error"]
+    visible = sorted(new_errors + warnings,
+                     key=lambda f: (f.path, f.line, f.rule))
+
+    common.print_human(visible)
+    if args.json is not None:
+        payload = common.report_json(
+            TOOL, args.root, visible, result.suppressed, baselined,
+            result.files_scanned, extra={"frontend": result.frontend})
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(payload, indent=2) + "\n",
+                             encoding="utf-8")
+
+    status = "clean" if not new_errors else f"{len(new_errors)} error(s)"
+    print(f"qa_analyzer: {result.files_scanned} files, frontend="
+          f"{result.frontend}: {status} "
+          f"({result.suppressed} suppressed, {baselined} baselined, "
+          f"{len(warnings)} warning(s))",
+          file=sys.stderr if new_errors else sys.stdout)
+    return 1 if new_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Capture-size model shared by the smallfn-capture checker and its tests.
+
+INLINE_BYTES mirrors qa::SmallFn::kInlineBytes (util/small_fn.h); the
+fixture corpus pins the two against each other so a buffer resize in C++
+is flagged until this table follows.
+
+Type sizes are x86-64 System V estimates for the types that actually
+appear in scheduler-callback captures. Unknown types fall back to 8
+(pointer-sized) — an under-estimate by design: the rule must only fire
+on sites it can defend.
+"""
+
+from __future__ import annotations
+
+import re
+
+INLINE_BYTES = 48
+
+TYPE_SIZES: dict[str, int] = {
+    # Fundamentals / fixed-width.
+    "bool": 1, "char": 1, "int8_t": 1, "uint8_t": 1,
+    "short": 2, "int16_t": 2, "uint16_t": 2,
+    "int": 4, "unsigned": 4, "int32_t": 4, "uint32_t": 4, "float": 4,
+    "long": 8, "size_t": 8, "int64_t": 8, "uint64_t": 8, "double": 8,
+    # Repo value types (util/time.h, util/units.h, sim ids).
+    "TimePoint": 8, "TimeDelta": 8, "Rate": 8,
+    "EventId": 8, "JourneyId": 8, "HopId": 4,
+    "FlowId": 4, "NodeId": 4, "PacketType": 1,
+    # The big ones that blow the buffer when copied.
+    "Packet": 88,
+    "JourneyOrigin": 40,
+    "OutagePolicy": 3,
+    "ChaosProfile": 24,
+    "GilbertElliottLoss::Params": 32,
+    "ReorderDupImpairment::Params": 32,
+    "RedQueue::Params": 40,
+    "Params": 32,  # unqualified option-struct fallback
+    # Standard library (libstdc++).
+    "std::string": 32, "string": 32,
+    "std::vector": 24, "vector": 24,
+    "std::deque": 80, "deque": 80,
+    "std::function": 32, "function": 32,
+    "std::shared_ptr": 16, "shared_ptr": 16,
+    "std::unique_ptr": 8, "unique_ptr": 8,
+    "SmallFn": 56,
+}
+
+
+def lookup_type(type_name: str) -> int:
+    t = type_name.strip()
+    t = re.sub(r"^const\s+", "", t)
+    t = re.sub(r"\s*<.*$", "", t)  # vector<int> -> vector
+    if t in TYPE_SIZES:
+        return TYPE_SIZES[t]
+    tail = t.rsplit("::", 1)[-1]
+    return TYPE_SIZES.get(tail, 8)
+
+
+_DECL_TYPE = re.compile(
+    r"\b((?:const\s+)?(?:[A-Za-z_]\w*\s*::\s*)*[A-Za-z_]\w*"
+    r"(?:\s*<[^<>;]*>)?)\s*&?\s+{name}\b")
+
+_NOT_TYPES = {"return", "auto", "new", "delete", "else", "case", "using",
+              "typename", "template", "struct", "class", "const"}
+
+
+def declared_type(name: str, code: str, before: int) -> str | None:
+    """Nearest preceding declaration's type for `name`, lexically."""
+    pat = re.compile(_DECL_TYPE.pattern.format(name=re.escape(name)))
+    best = None
+    for m in pat.finditer(code, 0, before):
+        t = re.sub(r"\s+", " ", m.group(1)).replace(" :: ", "::").strip()
+        base = re.sub(r"^const\s+", "", t).split("<")[0].split("::")[0]
+        if base in _NOT_TYPES:
+            continue
+        best = t
+    return best
+
+
+def capture_size(entry: str, code: str, lam_idx: int) -> int:
+    """Estimated bytes one capture-list entry contributes."""
+    e = entry.strip()
+    if e in ("this", "*this") or e.startswith("&") or e.startswith("..."):
+        return 8
+    if "=" in e:  # init-capture; initializer type unknowable lexically
+        return 8
+    name = e.rstrip(".")  # pack expansion `xs...`
+    decl = declared_type(name, code, lam_idx)
+    if decl is None:
+        return 8
+    if "*" in decl:
+        return 8
+    return lookup_type(decl)

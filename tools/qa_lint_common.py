@@ -1,0 +1,257 @@
+"""Shared infrastructure for the repo's Python linters.
+
+`tools/lint_units.py` (token-level unit discipline) and
+`tools/qa_analyzer/` (AST-adjacent determinism/concurrency rules) report
+through one schema so CI can merge their JSON artifacts, and share:
+
+  * the C++ file walker (same directory set, same fixture exclusions),
+  * comment/string stripping that preserves line numbers,
+  * the `Finding` record and its JSON form,
+  * per-site suppression comments:
+        // qa-analyzer: allow(<rule>[, <rule>...]) — <reason>
+        // qa-lint: allow(<rule>[, <rule>...]) — <reason>
+    A trailing comment suppresses its own line; a comment on a line of
+    its own suppresses the next line that holds code. The reason text is
+    mandatory — a bare allow() is itself reported (`bad-suppression`).
+  * the committed-baseline machinery: findings are keyed by
+    (rule, path, stripped source line) so grandfathered debt survives
+    unrelated line drift but disappears the moment the offending line
+    changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import re
+import sys
+
+CXX_SUFFIXES = {".h", ".cc", ".cpp"}
+LINT_DIRS = ("src", "tests", "bench", "examples", "tools")
+
+# Deliberately-broken analyzer fixtures (tests/analyzer/fixtures) model
+# violations of every rule, including the hygiene ones — no linter may
+# walk into them when scanning the real tree.
+EXCLUDED_SUBTREES = ("tests/analyzer/fixtures",)
+
+_BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.DOTALL)
+_LINE_COMMENT = re.compile(r"//[^\n]*")
+_STRING_LIT = re.compile(r'"(?:[^"\\\n]|\\.)*"')
+
+# Both tool prefixes are accepted by both tools: rule names are disjoint,
+# so a suppression only ever binds to the tool that owns the rule.
+_SUPPRESSION = re.compile(
+    r"//\s*qa-(?:analyzer|lint):\s*allow\(([^)]*)\)\s*(?:[-—–]+\s*(\S.*))?")
+
+
+def strip_noise(text: str) -> str:
+    """Blanks comments and string literals, preserving line numbers.
+
+    Character literals are left alone: C++14 digit separators ("1'000")
+    would be mangled by naive single-quote stripping.
+    """
+
+    def blank(m: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", m.group(0))
+
+    text = _BLOCK_COMMENT.sub(blank, text)
+    text = _LINE_COMMENT.sub(blank, text)
+    return _STRING_LIT.sub(blank, text)
+
+
+def strip_comments(text: str) -> str:
+    """Blanks comments but keeps string literals, preserving line numbers.
+
+    For rules that must read strings — e.g. `#include "..."` targets,
+    which `strip_noise` would blank along with every other literal.
+    """
+
+    def blank(m: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", m.group(0))
+
+    return _LINE_COMMENT.sub(blank, _BLOCK_COMMENT.sub(blank, text))
+
+
+def iter_cxx_files(root: pathlib.Path,
+                   dirs: tuple[str, ...] = LINT_DIRS) -> list[pathlib.Path]:
+    """All first-party C++ files under `root`, sorted, fixtures excluded."""
+    files = []
+    for d in dirs:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for p in base.rglob("*"):
+            if p.suffix not in CXX_SUFFIXES or not p.is_file():
+                continue
+            rel = p.relative_to(root).as_posix()
+            if any(rel.startswith(ex + "/") or rel == ex
+                   for ex in EXCLUDED_SUBTREES):
+                continue
+            files.append(p)
+    return sorted(files)
+
+
+@dataclasses.dataclass
+class Finding:
+    tool: str          # "qa_analyzer" | "lint_units"
+    rule: str
+    path: str          # repo-relative POSIX path
+    line: int          # 1-based
+    message: str
+    severity: str = "error"   # "error" gates; "warning" is report-only
+    context: str = ""  # stripped text of the offending line (baseline key)
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.context)
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def render(self) -> str:
+        sev = "" if self.severity == "error" else f" {self.severity}:"
+        return f"{self.path}:{self.line}:{sev} [{self.rule}] {self.message}"
+
+
+class Suppressions:
+    """Per-file map of line -> allowed rules, plus usage accounting."""
+
+    def __init__(self, raw: str, code: str, path: str, tool: str):
+        self.path = path
+        self.tool = tool
+        self.by_line: dict[int, set[str]] = {}
+        self.bad: list[Finding] = []
+        self._used: set[tuple[int, str]] = set()
+
+        raw_lines = raw.splitlines()
+        code_lines = code.splitlines()
+        for i, raw_line in enumerate(raw_lines, start=1):
+            m = _SUPPRESSION.search(raw_line)
+            if m is None:
+                continue
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            reason = (m.group(2) or "").strip()
+            if not rules or not reason:
+                self.bad.append(Finding(
+                    tool, "bad-suppression", path, i,
+                    "suppression must name rule(s) and give a reason: "
+                    "// qa-analyzer: allow(<rule>) — <reason>",
+                    severity="error",
+                    context=_line_context(raw_lines, i)))
+                continue
+            target = i
+            # A comment-only line (blank once stripped) guards the next
+            # line that actually holds code.
+            if i - 1 < len(code_lines) and not code_lines[i - 1].strip():
+                target = _next_code_line(code_lines, i)
+            self.by_line.setdefault(target, set()).update(rules)
+
+    def allows(self, rule: str, line: int) -> bool:
+        rules = self.by_line.get(line, ())
+        if rule in rules:
+            self._used.add((line, rule))
+            return True
+        return False
+
+    def unused(self, owned_rules: set[str]) -> list[Finding]:
+        """Suppressions for `owned_rules` that never fired — stale armor."""
+        out = []
+        for line, rules in sorted(self.by_line.items()):
+            for rule in sorted(rules & owned_rules):
+                if (line, rule) not in self._used:
+                    out.append(Finding(
+                        self.tool, "unused-suppression", self.path, line,
+                        f"allow({rule}) suppresses nothing — remove it or "
+                        "fix the rule name", severity="warning"))
+        return out
+
+
+def _next_code_line(code_lines: list[str], after: int) -> int:
+    for j in range(after, len(code_lines)):
+        if code_lines[j].strip():
+            return j + 1
+    return after
+
+
+def _line_context(lines: list[str], line: int) -> str:
+    if 1 <= line <= len(lines):
+        return lines[line - 1].strip()
+    return ""
+
+
+def line_context(code: str, line: int) -> str:
+    return _line_context(code.splitlines(), line)
+
+
+# --- Baseline ---------------------------------------------------------------
+
+def load_baseline(path: pathlib.Path) -> list[dict]:
+    if not path.is_file():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    return list(data.get("findings", []))
+
+
+def save_baseline(path: pathlib.Path, findings: list[Finding],
+                  tool: str) -> None:
+    payload = {
+        "version": 1,
+        "tool": tool,
+        "comment": "Grandfathered findings. Shrink this list; never grow it "
+                   "by hand — regenerate with --update-baseline.",
+        "findings": [
+            {"rule": f.rule, "path": f.path, "line": f.line,
+             "context": f.context, "message": f.message}
+            for f in findings
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(findings: list[Finding],
+                   baseline: list[dict]) -> tuple[list[Finding], int]:
+    """Splits `findings` into (new, baselined-count).
+
+    Matching is by (rule, path, context) as a multiset, so two identical
+    grandfathered lines need two baseline entries.
+    """
+    budget: dict[tuple[str, str, str], int] = {}
+    for entry in baseline:
+        key = (entry.get("rule", ""), entry.get("path", ""),
+               entry.get("context", ""))
+        budget[key] = budget.get(key, 0) + 1
+    fresh = []
+    matched = 0
+    for f in findings:
+        key = f.baseline_key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            matched += 1
+        else:
+            fresh.append(f)
+    return fresh, matched
+
+
+# --- Reports ----------------------------------------------------------------
+
+def report_json(tool: str, root: pathlib.Path, findings: list[Finding],
+                suppressed: int, baselined: int, files_scanned: int,
+                extra: dict | None = None) -> dict:
+    payload = {
+        "tool": tool,
+        "root": str(root),
+        "files_scanned": files_scanned,
+        "suppressed": suppressed,
+        "baselined": baselined,
+        "errors": sum(1 for f in findings if f.severity == "error"),
+        "warnings": sum(1 for f in findings if f.severity == "warning"),
+        "findings": [f.to_json() for f in findings],
+    }
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def print_human(findings: list[Finding], out=sys.stdout) -> None:
+    for f in findings:
+        print(f.render(), file=out)

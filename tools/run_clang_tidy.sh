@@ -6,8 +6,12 @@
 # Usage:
 #   tools/run_clang_tidy.sh [build-dir] [-- extra clang-tidy args]
 #
+# QA_TIDY_REPORT=<file>: additionally tee every finding into <file>, so
+# the CI analyze job can upload the full log as an artifact.
+#
 # Exit codes: 0 clean, 1 findings, 2 clang-tidy unavailable (the CI job
-# treats 2 as a hard failure; local runs just see the notice).
+# treats 2 as a hard failure; local runs just see the notice) — the same
+# contract as lint_units.py and qa_analyzer.
 set -u
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -44,10 +48,21 @@ mapfile -t sources < <(
        -name '*.cc' -o -name '*.cpp' | sort
 )
 
+report="${QA_TIDY_REPORT:-}"
+if [ -n "$report" ]; then
+  mkdir -p "$(dirname "$report")"
+  : > "$report"
+fi
+
 echo "run_clang_tidy: $tidy_bin over ${#sources[@]} translation units"
 status=0
 for tu in "${sources[@]}"; do
-  "$tidy_bin" -p "$build_dir" --quiet "$@" "$tu" || status=1
+  if [ -n "$report" ]; then
+    "$tidy_bin" -p "$build_dir" --quiet "$@" "$tu" 2>&1 | tee -a "$report"
+    [ "${PIPESTATUS[0]}" -ne 0 ] && status=1
+  else
+    "$tidy_bin" -p "$build_dir" --quiet "$@" "$tu" || status=1
+  fi
 done
 
 if [ "$status" -ne 0 ]; then
