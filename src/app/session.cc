@@ -4,27 +4,46 @@
 
 namespace qa::app {
 
+namespace {
+
+std::shared_ptr<const core::LayeredVideo> resolve_video(
+    const SessionConfig& cfg) {
+  if (cfg.video != nullptr) return cfg.video;
+  return std::make_shared<const core::LayeredVideo>(core::LayeredVideo::linear(
+      "stream", cfg.stream_layers, cfg.layer_rate));
+}
+
+}  // namespace
+
 Session::Session(sim::Network& net, sim::Node* server_host,
                  sim::Node* client_host, const SessionConfig& cfg)
-    : flow_(net.allocate_flow_id()) {
-  rap_source_ = net.adopt_agent(
-      server_host, flow_,
-      std::make_unique<rap::RapSource>(&net.scheduler(), server_host,
-                                       client_host->id(), flow_, cfg.rap));
-  rap_sink_ = net.adopt_agent(
-      client_host, flow_,
-      std::make_unique<rap::RapSink>(&net.scheduler(), client_host,
-                                     cfg.rap.ack_size));
-
-  server_ = std::make_unique<VideoServer>(
-      &net.scheduler(), rap_source_, cfg.adapter,
-      core::LayeredVideo::linear("stream", cfg.stream_layers, cfg.layer_rate),
-      cfg.server);
-  client_ = std::make_unique<VideoClient>(
-      &net.scheduler(), cfg.layer_rate.bps(), cfg.stream_layers,
-      cfg.adapter.playout_delay, cfg.keep_client_packet_log);
+    : flow_(net.allocate_flow_id()),
+      rap_source_(net.adopt_agent(
+          server_host, flow_,
+          std::make_unique<rap::RapSource>(&net.scheduler(), server_host,
+                                           client_host->id(), flow_,
+                                           cfg.rap))),
+      rap_sink_(net.adopt_agent(
+          client_host, flow_,
+          std::make_unique<rap::RapSink>(&net.scheduler(), client_host,
+                                         cfg.rap.ack_size))),
+      server_(&net.scheduler(), rap_source_, cfg.adapter, resolve_video(cfg),
+              cfg.server),
+      client_(&net.scheduler(), cfg.layer_rate.bps(),
+              cfg.video != nullptr ? cfg.video->layers() : cfg.stream_layers,
+              cfg.adapter.playout_delay, cfg.keep_client_packet_log) {
   rap_sink_->set_consumer(
-      [this](const sim::Packet& p) { client_->on_data(p); });
+      [this](const sim::Packet& p) { client_.on_data(p); });
 }
+
+void Session::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  rap_source_->stop();
+  server_.detach_rap();
+  rap_sink_->set_consumer(nullptr);
+}
+
+Session::~Session() { stop(); }
 
 }  // namespace qa::app

@@ -1,6 +1,16 @@
 // Session: one quality-adaptive streaming pair (server host -> client host)
 // wired onto an existing network. Owns nothing network-side; the Network
 // owns the agents, the session owns the app objects.
+//
+// Construction is deliberately allocation-light so churning scenarios (the
+// server farm's hundreds of arrivals per run) can build sessions on the
+// hot path: the server and client live inline in the Session (no per-object
+// heap nodes), and a SessionConfig can carry a shared LayeredVideo
+// prototype so per-session construction does not re-allocate the stream
+// description. The farm keeps Sessions in reusable slots
+// (std::optional<Session> emplace/reset), so a departed session's storage
+// is recycled in place. bench/micro_session_churn pins the build+teardown
+// rate (BENCH_farm.json).
 #pragma once
 
 #include <memory>
@@ -20,16 +30,35 @@ struct SessionConfig {
   int stream_layers = 8;
   Rate layer_rate = Rate::kilobytes_per_sec(10);
   bool keep_client_packet_log = false;
+  // Shared stream prototype: when set, every session built from this config
+  // reuses it (one allocation for the whole farm) instead of constructing a
+  // fresh LayeredVideo from stream_layers/layer_rate. Must be linear and
+  // must outlive the sessions (shared ownership makes that automatic).
+  std::shared_ptr<const core::LayeredVideo> video;
 };
 
 // A server on `server_host` streaming to `client_host` over RAP.
+// Not movable: the server/client members are wired into the RAP agents by
+// pointer. Place Sessions in stable storage (stack, std::optional slot,
+// std::list) — never in a reallocating vector.
 class Session {
  public:
   Session(sim::Network& net, sim::Node* server_host, sim::Node* client_host,
           const SessionConfig& cfg);
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  // Detaches from the RAP agents (which the Network keeps alive) so a
+  // departed session's storage can be reused while late packets drain.
+  ~Session();
 
-  VideoServer& server() { return *server_; }
-  VideoClient& client() { return *client_; }
+  // Ends the session: stops the RAP source and detaches the client from the
+  // sink. Idempotent; the destructor calls it as a backstop. After stop()
+  // the server/client objects remain readable (final metrics collection).
+  void stop();
+  bool stopped() const { return stopped_; }
+
+  VideoServer& server() { return server_; }
+  VideoClient& client() { return client_; }
   rap::RapSource& rap_source() { return *rap_source_; }
   rap::RapSink& rap_sink() { return *rap_sink_; }
   sim::FlowId flow_id() const { return flow_; }
@@ -38,8 +67,9 @@ class Session {
   sim::FlowId flow_;
   rap::RapSource* rap_source_;  // owned by the network
   rap::RapSink* rap_sink_;      // owned by the network
-  std::unique_ptr<VideoServer> server_;
-  std::unique_ptr<VideoClient> client_;
+  VideoServer server_;
+  VideoClient client_;
+  bool stopped_ = false;
 };
 
 }  // namespace qa::app

@@ -6,7 +6,8 @@ namespace qa::app {
 
 VideoServer::VideoServer(sim::Scheduler* sched, rap::RapSource* rap,
                          core::AdapterConfig adapter_cfg,
-                         core::LayeredVideo video, VideoServerOptions options)
+                         std::shared_ptr<const core::LayeredVideo> video,
+                         VideoServerOptions options)
     : sched_(sched),
       rap_(rap),
       video_(std::move(video)),
@@ -14,16 +15,28 @@ VideoServer::VideoServer(sim::Scheduler* sched, rap::RapSource* rap,
       adapter_([&] {
         // The stream defines how many layers exist and their consumption
         // rate; keep the adapter consistent with it.
-        adapter_cfg.max_layers = video_.layers();
-        adapter_cfg.consumption_rate = video_.mean_layer_rate().bps();
+        adapter_cfg.max_layers = video_->layers();
+        adapter_cfg.consumption_rate = video_->mean_layer_rate().bps();
         return adapter_cfg;
       }()),
-      next_layer_seq_(static_cast<size_t>(video_.layers()), 0),
-      layer_bytes_(static_cast<size_t>(video_.layers()), 0),
-      window_sent_(static_cast<size_t>(video_.layers()), 0.0) {
-  QA_CHECK(sched_ != nullptr && rap_ != nullptr);
+      next_layer_seq_(static_cast<size_t>(video_->layers()), 0),
+      layer_bytes_(static_cast<size_t>(video_->layers()), 0),
+      window_sent_(static_cast<size_t>(video_->layers()), 0.0) {
+  QA_CHECK(sched_ != nullptr && rap_ != nullptr && video_ != nullptr);
   rap_->set_payload_tagger([this](sim::Packet& p) { tag_packet(p); });
   rap_->set_listener(this);
+}
+
+VideoServer::VideoServer(sim::Scheduler* sched, rap::RapSource* rap,
+                         core::AdapterConfig adapter_cfg,
+                         core::LayeredVideo video, VideoServerOptions options)
+    : VideoServer(sched, rap, adapter_cfg,
+                  std::make_shared<const core::LayeredVideo>(std::move(video)),
+                  options) {}
+
+void VideoServer::detach_rap() {
+  rap_->set_payload_tagger(nullptr);
+  rap_->set_listener(nullptr);
 }
 
 void VideoServer::tag_packet(sim::Packet& p) {
@@ -60,7 +73,7 @@ void VideoServer::tag_packet(sim::Packet& p) {
     ++padding_packets_;
     return;
   }
-  QA_CHECK(layer >= 0 && layer < video_.layers());
+  QA_CHECK(layer >= 0 && layer < video_->layers());
   p.layer = static_cast<int16_t>(layer);
   p.layer_seq = next_layer_seq_[static_cast<size_t>(layer)]++;
   layer_bytes_[static_cast<size_t>(layer)] += p.size_bytes;
@@ -113,7 +126,7 @@ std::vector<double> VideoServer::take_window_sent() {
 }
 
 int64_t VideoServer::bytes_sent(int layer) const {
-  QA_CHECK(layer >= 0 && layer < video_.layers());
+  QA_CHECK(layer >= 0 && layer < video_->layers());
   return layer_bytes_[static_cast<size_t>(layer)];
 }
 

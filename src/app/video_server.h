@@ -29,7 +29,13 @@ struct VideoServerOptions {
 class VideoServer : public rap::RapListener {
  public:
   // Wires itself into `rap` (payload tagger + listener). `rap` must outlive
-  // the server.
+  // the server. The shared-ownership overload lets churning scenarios reuse
+  // one stream description across hundreds of sessions instead of copying
+  // the name and rate table per session.
+  VideoServer(sim::Scheduler* sched, rap::RapSource* rap,
+              core::AdapterConfig adapter_cfg,
+              std::shared_ptr<const core::LayeredVideo> video,
+              VideoServerOptions options = {});
   VideoServer(sim::Scheduler* sched, rap::RapSource* rap,
               core::AdapterConfig adapter_cfg, core::LayeredVideo video,
               VideoServerOptions options = {});
@@ -45,8 +51,12 @@ class VideoServer : public rap::RapListener {
 
   core::QualityAdapter& adapter() { return adapter_; }
   const core::QualityAdapter& adapter() const { return adapter_; }
-  const core::LayeredVideo& video() const { return video_; }
+  const core::LayeredVideo& video() const { return *video_; }
   rap::RapSource& rap() { return *rap_; }
+
+  // Detaches the tagger/listener hooks from the RAP source (session
+  // teardown; the source may outlive this server in churning scenarios).
+  void detach_rap();
 
   // Bytes sent per layer since the last call (for rate-series probes).
   std::vector<double> take_window_sent();
@@ -62,7 +72,7 @@ class VideoServer : public rap::RapListener {
 
   sim::Scheduler* sched_;
   rap::RapSource* rap_;
-  core::LayeredVideo video_;
+  std::shared_ptr<const core::LayeredVideo> video_;
   VideoServerOptions options_;
   core::QualityAdapter adapter_;
   bool begun_ = false;

@@ -60,4 +60,42 @@ AimdTrajectory AimdTrajectory::sawtooth(double initial_rate, double slope,
   return traj;
 }
 
+QualityPrediction predict_session_quality(const FarmLoadModel& model) {
+  QA_CHECK(model.sessions >= 1);
+  QA_CHECK(model.consumption_rate > 0);
+  QA_CHECK(model.utilization_margin > 0 && model.utilization_margin <= 1);
+
+  QualityPrediction out;
+  double share =
+      model.bottleneck_bps / static_cast<double>(model.sessions);
+  if (model.access_bps > 0) share = std::min(share, model.access_bps);
+  out.fair_share_bps = share;
+  out.usable_bps = share * model.utilization_margin;
+
+  // Largest n with n*C under the usable share whose kmax-backoff protection
+  // is attainable: buffering for the clustered-backoff deficit triangle
+  // (§4.1, the adapter's own target) must be refillable from the share's
+  // surplus over consumption within one sawtooth period (share / 2S is the
+  // time the rate spends climbing back from the trough).
+  const AimdModel aimd{model.consumption_rate,
+                       model.slope > 0 ? model.slope : 1.0};
+  int sustainable = 0;
+  for (int n = 1; n <= model.max_layers; ++n) {
+    const double consumption = static_cast<double>(n) * model.consumption_rate;
+    if (consumption > out.usable_bps) break;
+    if (model.slope > 0 && model.kmax > 0) {
+      const double target = total_buf_required(Scenario::kClustered,
+                                               model.kmax, share, n, aimd);
+      const double surplus = out.usable_bps - consumption;
+      const double recovery_window = share / (2.0 * model.slope);
+      if (surplus * recovery_window < target) break;
+    }
+    sustainable = n;
+  }
+  out.sustainable_layers = sustainable;
+  out.headroom_layers =
+      out.usable_bps / model.consumption_rate - static_cast<double>(sustainable);
+  return out;
+}
+
 }  // namespace qa::core

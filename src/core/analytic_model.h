@@ -9,6 +9,8 @@
 
 #include <vector>
 
+#include "core/buffer_math.h"
+
 namespace qa::core {
 
 class AimdTrajectory {
@@ -45,5 +47,42 @@ class AimdTrajectory {
   double cap_ = 0;
   std::vector<double> backoffs_;  // ascending
 };
+
+// --- Farm-load quality prediction (admission control's analytic hook). ----
+//
+// A server farm admitting a join request needs the expected quality of one
+// more congestion-controlled session *before* any packets flow. The model
+// is the paper's own AIMD geometry applied to the per-session fair share:
+// with n sessions on a bottleneck of bandwidth B, each TCP-friendly flow
+// converges to a share of roughly B/n (capped by its access link); the AIMD
+// sawtooth oscillates around that mean, so the sustainable steady quality
+// is the largest layer count whose consumption fits under the share with a
+// utilization margin (headroom for queueing, ACK overhead, and the
+// post-backoff trough), and whose kmax-backoff protection buffering is
+// attainable: the deficit triangle of kmax clustered backoffs from the
+// share peak must be refillable within one additive-increase recovery.
+struct FarmLoadModel {
+  double bottleneck_bps = 0;       // shared bottleneck bandwidth (bytes/s)
+  int sessions = 1;                // concurrent sessions, candidate included
+  double access_bps = 0;           // candidate's access-link cap (bytes/s)
+  double consumption_rate = 0;     // C: per-layer consumption (bytes/s)
+  int max_layers = 1;              // layers available in the stream
+  int kmax = 2;                    // smoothing factor the adapter protects
+  double slope = 0;                // S: AIMD slope (bytes/s per second)
+  double utilization_margin = 0.85;  // fraction of the share usable for media
+};
+
+struct QualityPrediction {
+  double fair_share_bps = 0;     // per-session share after the access cap
+  double usable_bps = 0;         // share * margin: what media can consume
+  int sustainable_layers = 0;    // predicted steady active-layer count
+  // usable_bps / C - sustainable_layers: fractional spare capacity beyond
+  // the predicted layer count (admission hysteresis reads this).
+  double headroom_layers = 0;
+};
+
+// Pure function of the model — no simulator state, deterministic, cheap
+// enough to evaluate per join request.
+QualityPrediction predict_session_quality(const FarmLoadModel& model);
 
 }  // namespace qa::core

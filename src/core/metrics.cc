@@ -43,6 +43,16 @@ void AdapterMetrics::register_metrics(MetricsRegistry& reg,
                      [this] { return poor_distribution_fraction(); });
 }
 
+void AdapterMetrics::fold_into(MetricsRegistry& reg, const std::string& prefix,
+                               TimePoint from, TimePoint to) const {
+  reg.histogram(prefix + ".drops").observe(static_cast<double>(drops_.size()));
+  reg.histogram(prefix + ".adds").observe(static_cast<double>(adds_.size()));
+  reg.histogram(prefix + ".quality_changes")
+      .observe(static_cast<double>(quality_changes()));
+  reg.histogram(prefix + ".mean_efficiency").observe(mean_efficiency());
+  reg.histogram(prefix + ".mean_layers").observe(mean_quality(from, to));
+}
+
 void RebufferLog::begin_event(TimePoint stall_start, TimePoint pause_start) {
   QA_CHECK_MSG(!open(), "previous rebuffer event still open");
   QA_CHECK(pause_start >= stall_start);
@@ -103,6 +113,14 @@ void RebufferLog::register_metrics(MetricsRegistry& reg,
                      [this] { return mean_time_to_recover().sec(); });
   reg.register_gauge(prefix + ".max_time_to_recover",
                      [this] { return max_time_to_recover().sec(); });
+}
+
+void RebufferLog::fold_into(MetricsRegistry& reg, const std::string& prefix,
+                            TimePoint now) const {
+  reg.histogram(prefix + ".events").observe(static_cast<double>(count()));
+  reg.histogram(prefix + ".paused_s").observe(total_paused(now).sec());
+  reg.histogram(prefix + ".max_time_to_recover_s")
+      .observe(max_time_to_recover().sec());
 }
 
 }  // namespace qa::core

@@ -65,6 +65,15 @@ class AdapterMetrics {
   // snapshot.
   void register_metrics(MetricsRegistry& reg, const std::string& prefix) const;
 
+  // Farm-scale export: folds this flow's summary into *shared* histograms
+  // under `prefix` (one observation per statistic), instead of registering
+  // per-flow gauge rows. A thousand-session farm folding every departing
+  // session keeps the registry at a fixed handful of rows — the per-flow
+  // register_metrics path would grow it by five rows per session. [from, to)
+  // bounds the mean-quality window (typically session start to departure).
+  void fold_into(MetricsRegistry& reg, const std::string& prefix,
+                 TimePoint from, TimePoint to) const;
+
  private:
   std::vector<DropEvent> drops_;
   std::vector<AddEvent> adds_;
@@ -100,6 +109,12 @@ class RebufferLog {
   // Registers callback gauges under `prefix` (e.g. "client.rebuffer");
   // same lifetime contract as AdapterMetrics::register_metrics.
   void register_metrics(MetricsRegistry& reg, const std::string& prefix) const;
+
+  // Farm-scale export: folds this flow's rebuffer summary into shared
+  // histograms under `prefix` (see AdapterMetrics::fold_into). `now` closes
+  // any still-open pause for the total-paused accounting.
+  void fold_into(MetricsRegistry& reg, const std::string& prefix,
+                 TimePoint now) const;
 
  private:
   std::vector<RebufferEvent> events_;

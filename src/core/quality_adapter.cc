@@ -248,6 +248,14 @@ void QualityAdapter::enter_degraded(TimePoint now) {
   }
 }
 
+void QualityAdapter::set_adds_frozen(bool frozen, TimePoint now) {
+  if (adds_frozen_ == frozen) return;
+  adds_frozen_ = frozen;
+  // Unfreezing: demand deferred during the freeze must re-qualify through
+  // the usual spacing, not land as a burst of simultaneous adds farm-wide.
+  if (!frozen) last_add_ = now;
+}
+
 void QualityAdapter::exit_degraded(TimePoint now) {
   if (!degraded_) return;
   degraded_ = false;
@@ -286,7 +294,8 @@ int QualityAdapter::on_send_opportunity(TimePoint now, double rate,
     // Coarse-grain add check (§2.1/§3.1) — only meaningful while filling.
     // Condition 1 stays on the instantaneous rate (the new layer must be
     // playable right now); the buffer targets use the conservative rate.
-    const bool add_spacing_ok = now - last_add_ >= cfg_.min_add_spacing;
+    const bool add_spacing_ok =
+        !adds_frozen_ && now - last_add_ >= cfg_.min_add_spacing;
     if (cfg_.allocation == AllocationPolicy::kOptimal) {
       if (add_spacing_ok &&
           rate >= static_cast<double>(na + 1) * m.consumption_rate &&

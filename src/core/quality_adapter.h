@@ -120,6 +120,14 @@ class QualityAdapter {
   bool degraded() const { return degraded_; }
   int64_t degraded_entries() const { return degraded_entries_; }
 
+  // Farm-wide load shedding, first rung: hold the current layer count but
+  // add no more (drops still fire normally). Milder than enter_degraded —
+  // nobody loses quality, the farm just stops competing for more. Unfreezing
+  // holds the add gate down for min_add_spacing so the pent-up demand
+  // returns one layer at a time.
+  void set_adds_frozen(bool frozen, TimePoint now);
+  bool adds_frozen() const { return adds_frozen_; }
+
   // One per-packet allocation decision, with the buffer-state context the
   // decision was made against.
   struct AllocationDecision {
@@ -178,6 +186,7 @@ class QualityAdapter {
   Event<const AllocationDecision&> on_allocation_;
   bool begun_ = false;
   bool degraded_ = false;
+  bool adds_frozen_ = false;
   int64_t degraded_entries_ = 0;
 
   // Rate at the top of the last filling phase; the state sequence walked

@@ -32,6 +32,16 @@ void RapSource::start() {
                                        sim::EventCategory::kTransport);
 }
 
+void RapSource::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  sched_->cancel(send_timer_);
+  sched_->cancel(step_timer_);
+  send_timer_ = sim::kInvalidEventId;
+  step_timer_ = sim::kInvalidEventId;
+  history_.clear();
+}
+
 TimeDelta RapSource::current_ipg() const {
   TimeDelta ipg = rate_.transmit_time(params_.packet_size);
   if (params_.fine_grain && srtt_ > TimeDelta::zero()) {
@@ -94,6 +104,7 @@ void RapSource::exit_quiescence() {
 }
 
 void RapSource::send_next() {
+  if (stopped_) return;
   check_timeouts();
   maybe_enter_quiescence();
 
@@ -127,6 +138,7 @@ void RapSource::send_next() {
 }
 
 void RapSource::step() {
+  if (stopped_) return;
   if (!backoff_since_step_ && ack_since_step_) {
     // Additive increase: one extra packet per SRTT, applied each SRTT.
     const double alpha =
@@ -145,6 +157,7 @@ void RapSource::schedule_step() {
 }
 
 void RapSource::on_packet(const sim::Packet& p) {
+  if (stopped_) return;  // late ACKs after a churn departure
   if (p.type != sim::PacketType::kAck) return;
   process_ack(p);
 }

@@ -84,6 +84,14 @@ class RapSource : public sim::Agent {
   void start() override;
   void on_packet(const sim::Packet& p) override;  // receives ACKs
 
+  // Ends the session: cancels the pacing and step timers and ignores any
+  // late ACKs still in flight. Idempotent; a stopped source never sends
+  // again (there is no restart — churning scenarios build a new source per
+  // session). The agent object stays attached to its node so stray packets
+  // are absorbed silently instead of tripping the no-agent warning.
+  void stop();
+  bool stopped() const { return stopped_; }
+
   // QA hooks.
   void set_payload_tagger(std::function<void(sim::Packet&)> tagger) {
     tagger_ = std::move(tagger);
@@ -194,6 +202,8 @@ class RapSource : public sim::Agent {
 
   sim::EventId send_timer_ = sim::kInvalidEventId;
   sim::EventId step_timer_ = sim::kInvalidEventId;
+
+  bool stopped_ = false;
 
   // ACK-starvation state (see RapParams). last_ack_at_ starts at the
   // transmission start time so a connection that never hears back also goes

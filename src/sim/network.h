@@ -37,13 +37,28 @@ class Network {
                                           int64_t queue_bytes);
 
   // Takes ownership of an agent and registers it with its node+flow.
-  // Returns the raw pointer for convenience.
+  // Returns the raw pointer for convenience. Agents adopted after run()
+  // has begun (churning scenarios: sessions arriving mid-simulation) are
+  // started immediately — their start() runs at the current simulated time
+  // instead of waiting for a run() that already happened.
   template <typename T>
   T* adopt_agent(Node* node, FlowId flow, std::unique_ptr<T> agent) {
     T* raw = agent.get();
     node->attach_agent(flow, raw);
     agents_.push_back(std::move(agent));
+    if (started_) raw->start();
     return raw;
+  }
+
+  // True once run() has been called: newly adopted agents start on adopt.
+  bool started() const { return started_; }
+
+  // Pre-sizes the node/link/agent stores (farm topologies know their slot
+  // count up front; reserving avoids re-allocation during churn).
+  void reserve(size_t nodes, size_t links, size_t agents) {
+    nodes_.reserve(nodes);
+    links_.reserve(links);
+    agents_.reserve(agents);
   }
 
   // Allocates a fresh flow id (unique within the network).

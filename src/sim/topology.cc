@@ -83,4 +83,75 @@ Dumbbell build_dumbbell(Network& net, const DumbbellParams& params) {
   return d;
 }
 
+FarmTopo build_farm(Network& net, const FarmTopoParams& params) {
+  QA_CHECK(params.slots >= 1);
+  QA_CHECK(params.rtt > TimeDelta::zero());
+  QA_CHECK(!params.classes.empty());
+
+  FarmTopo f;
+  const size_t slots = static_cast<size_t>(params.slots);
+  // 2 routers + 2 hosts per slot; 2 bottleneck links + 4 access links per
+  // slot; agents arrive later (2 per session), reserved generously.
+  net.reserve(2 + slots * 2, 2 + slots * 4, slots * 4);
+  f.servers.reserve(slots);
+  f.clients.reserve(slots);
+  f.access_class.reserve(slots);
+  f.access_bw.reserve(slots);
+
+  f.router_left = net.add_node("RL");
+  f.router_right = net.add_node("RR");
+
+  const TimeDelta one_way = params.rtt / 2;
+  const TimeDelta access_delay = TimeDelta::from_sec(one_way.sec() * 0.05);
+  const TimeDelta bneck_delay = one_way - access_delay * 2;
+
+  int64_t queue_bytes = params.bottleneck_queue_bytes;
+  if (queue_bytes == 0) {
+    queue_bytes =
+        static_cast<int64_t>(params.bottleneck_bw.bytes_in(params.rtt));
+    queue_bytes = std::max<int64_t>(queue_bytes, 4000);
+  }
+  f.bottleneck_queue_bytes = queue_bytes;
+
+  f.bottleneck =
+      net.add_link(f.router_left, f.router_right, params.bottleneck_bw,
+                   bneck_delay, std::make_unique<DropTailQueue>(queue_bytes));
+  f.bottleneck_reverse =
+      net.add_link(f.router_right, f.router_left, params.bottleneck_bw,
+                   bneck_delay, std::make_unique<DropTailQueue>(queue_bytes));
+
+  const Rate fair_share = params.bottleneck_bw / static_cast<double>(params.slots);
+  for (int i = 0; i < params.slots; ++i) {
+    const int cls = i % static_cast<int>(params.classes.size());
+    const AccessClass& ac = params.classes[static_cast<size_t>(cls)];
+    const Rate access_bw = fair_share * ac.bw_multiple;
+    const TimeDelta hop_delay = access_delay + ac.extra_delay;
+
+    Node* s = net.add_node("S" + std::to_string(i));
+    Node* c = net.add_node("C" + std::to_string(i));
+    f.servers.push_back(s);
+    f.clients.push_back(c);
+    f.access_class.push_back(cls);
+    f.access_bw.push_back(access_bw);
+
+    Link* s_up = net.add_link(
+        s, f.router_left, access_bw, hop_delay,
+        std::make_unique<DropTailQueue>(params.access_queue_bytes));
+    net.add_link(f.router_left, s, access_bw, hop_delay,
+                 std::make_unique<DropTailQueue>(params.access_queue_bytes));
+    Link* c_up = net.add_link(
+        c, f.router_right, access_bw, hop_delay,
+        std::make_unique<DropTailQueue>(params.access_queue_bytes));
+    net.add_link(f.router_right, c, access_bw, hop_delay,
+                 std::make_unique<DropTailQueue>(params.access_queue_bytes));
+
+    // Pair-local routing: server i <-> client i only.
+    s->add_route(c->id(), s_up);
+    c->add_route(s->id(), c_up);
+    f.router_left->add_route(c->id(), f.bottleneck);
+    f.router_right->add_route(s->id(), f.bottleneck_reverse);
+  }
+  return f;
+}
+
 }  // namespace qa::sim

@@ -1,0 +1,40 @@
+// 25-seed farm robustness sweep: each trial hits a churning farm with a
+// flash crowd and then a mid-run bottleneck outage, and must come out the
+// other side without crashing, without admission flapping (zero ladder
+// oscillation events), and with aggregate quality recovered within the
+// 30-second budget after the disturbance ends.
+#include <gtest/gtest.h>
+
+#include "app/farm.h"
+
+namespace qa::app {
+namespace {
+
+class FarmChaosSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FarmChaosSweep, SurvivesFlashCrowdAndOutage) {
+  const uint64_t seed = GetParam();
+  const FarmChaosOutcome out = run_farm_chaos_trial(seed);
+  const FarmResult& r = out.result;
+
+  // The disturbances actually happened.
+  EXPECT_GT(r.arrivals, 0) << "seed " << seed;
+  EXPECT_GT(r.admitted, 0) << "seed " << seed;
+  EXPECT_GT(r.total_packets_received, 0) << "seed " << seed;
+
+  // No admission flapping: the ladder may grip and release, but never
+  // re-grips inside the flap window of a release.
+  EXPECT_EQ(r.oscillation_events, 0) << "seed " << seed;
+
+  // Aggregate quality back under the rebuffer threshold (and the ladder
+  // back to at most freeze-adds) within the recovery budget.
+  EXPECT_TRUE(out.recovered)
+      << "seed " << seed << " recovery_sec " << out.recovery_sec
+      << " (disturbance ended at " << out.disturbance_end_sec << " s)";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FarmChaosSweep,
+                         ::testing::Range<uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace qa::app
