@@ -90,6 +90,11 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
     params.observability->attach_scheduler(net.scheduler());
     params.observability->attach_link(*d.bottleneck, "bottleneck");
     params.observability->attach_session(session);
+    // Faults emit at activation time (not schedule time), so attaching
+    // after the schedule was drawn still observes every event.
+    if (fault_injector) {
+      params.observability->attach_fault_injector(*fault_injector);
+    }
   }
 
   // --- Competing plain RAP flows (pairs 1..rap_flows-1). -----------------

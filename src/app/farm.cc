@@ -10,6 +10,7 @@
 #include "core/layered_video.h"
 #include "sim/fault.h"
 #include "util/csv.h"
+#include "util/json.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -17,6 +18,8 @@
 namespace qa::app {
 
 namespace {
+
+using TraceArgs = ChromeTraceWriter::Args;
 
 // The farm run engine. One instance per run_farm call; everything hangs off
 // the one Scheduler inside net_, so the whole farm — churn, sampling,
@@ -63,6 +66,20 @@ class Farm {
     slots_ = std::make_unique<std::optional<Session>[]>(
         static_cast<size_t>(params_.slots));
     info_.resize(static_cast<size_t>(params_.slots));
+
+    if (params_.trace != nullptr) {
+      params_.trace->name_track(ChromeTraceWriter::kFarmTrack,
+                                "farm control");
+    }
+    if (params_.registry != nullptr) {
+      // Created up front so the row exists even in runs where the ladder
+      // never leaves kNormal.
+      params_.registry->gauge("farm.ladder.level").set(0);
+      if (params_.live != nullptr) {
+        live_snapshotter_ =
+            std::make_unique<MetricsSnapshotter>(params_.registry);
+      }
+    }
   }
 
   FarmResult run() {
@@ -124,6 +141,37 @@ class Farm {
     return -1;
   }
 
+  // Event-site counter increment: the live scraper sees the ledger move as
+  // it happens; end-of-run totals match the old finalize()-time export.
+  void inc_counter(const char* name, int64_t delta = 1) {
+    if (params_.registry != nullptr) {
+      params_.registry->counter(name).inc(delta);
+    }
+  }
+
+  // Flight-recorder note + live SSE "note" event (same payload shape as
+  // Observability::live_note, so one console renders both kinds of run).
+  void note(TimePoint now, std::string_view kind,
+            const std::string& detail_json) {
+    if (params_.flightrec != nullptr) {
+      params_.flightrec->note(now, kind, detail_json);
+    }
+    if (params_.live != nullptr) {
+      params_.live->publish_event(
+          "note", "{\"t\": " + json_number(now.sec()) +
+                      ", \"kind\": " + json_quote(kind) +
+                      ", \"detail\": " + detail_json + "}");
+    }
+  }
+
+  void emit_verdict(TimePoint now, const char* verdict) {
+    if (params_.trace != nullptr) {
+      params_.trace->instant(now, ChromeTraceWriter::kFarmTrack,
+                             std::string("admission ") + verdict);
+    }
+    note(now, std::string("farm.admission.") + verdict, "{}");
+  }
+
   int active_count() const { return active_; }
 
   void schedule_next_arrival() {
@@ -147,6 +195,7 @@ class Farm {
         delay,
         [this, client_id, attempt] {
           ++result_.retries;
+          inc_counter("farm.retries");
           process_join(client_id, attempt + 1);
         },
         sim::EventCategory::kProbe);
@@ -154,10 +203,13 @@ class Farm {
 
   void process_join(uint64_t client_id, int attempt) {
     ++result_.arrivals;
+    inc_counter("farm.arrivals");
     const TimePoint now = net_.now();
     const int slot = free_slot();
     if (slot < 0) {
       ++result_.rejected_capacity;
+      inc_counter("farm.rejected_capacity");
+      emit_verdict(now, "reject_capacity");
       maybe_retry(client_id, attempt);
       return;
     }
@@ -177,6 +229,8 @@ class Farm {
     }
     if (decision == AdmissionDecision::kReject) {
       ++result_.rejected;
+      inc_counter("farm.rejected");
+      emit_verdict(now, "reject");
       maybe_retry(client_id, attempt);
       return;
     }
@@ -185,8 +239,12 @@ class Farm {
     admit(slot, now, base_only);
     if (base_only) {
       ++result_.admitted_base_only;
+      inc_counter("farm.admitted_base_only");
+      emit_verdict(now, "admit_base_only");
     } else {
       ++result_.admitted;
+      inc_counter("farm.admitted");
+      emit_verdict(now, "admit");
     }
   }
 
@@ -224,6 +282,7 @@ class Farm {
           if (!slots_[idx].has_value() || info_[idx].generation != gen) return;
           retire(slot, net_.now(), false);
           ++result_.departures;
+          inc_counter("farm.departures");
         },
         sim::EventCategory::kProbe);
   }
@@ -257,8 +316,16 @@ class Farm {
     --active_;
     if (shed) {
       ++result_.shed;
+      inc_counter("farm.shed");
       last_shed_ = now;
       shed_happened_ = true;
+      if (params_.trace != nullptr) {
+        params_.trace->instant(
+            now, ChromeTraceWriter::kFarmTrack, "shed session",
+            TraceArgs{{"slot", ChromeTraceWriter::num(int64_t{slot})}});
+      }
+      note(now, "farm.shed_session",
+           "{\"slot\": " + json_number(int64_t{slot}) + "}");
     }
   }
 
@@ -276,6 +343,7 @@ class Farm {
           pick_rng_.next_below(static_cast<uint64_t>(occupied.size())));
       retire(occupied[pick], now, false);
       ++result_.departures;
+      inc_counter("farm.departures");
       occupied.erase(occupied.begin() + static_cast<long>(pick));
     }
   }
@@ -355,6 +423,41 @@ class Farm {
     sm.shed_level = static_cast<int>(ladder_level());
     result_.max_shed_level =
         std::max(result_.max_shed_level, sm.shed_level);
+
+    if (params_.trace != nullptr) {
+      params_.trace->counter(now, ChromeTraceWriter::kFarmTrack,
+                             "farm active", "sessions",
+                             static_cast<double>(sm.active));
+      params_.trace->counter(now, ChromeTraceWriter::kFarmTrack,
+                             "farm shed level", "level",
+                             static_cast<double>(sm.shed_level));
+      params_.trace->counter(now, ChromeTraceWriter::kFarmTrack,
+                             "farm queue", "frac", sm.queue_frac);
+    }
+    if (params_.registry != nullptr) {
+      params_.registry->gauge("farm.active").set(
+          static_cast<double>(sm.active));
+      params_.registry->gauge("farm.rebuffer_frac").set(sm.rebuffer_frac);
+      params_.registry->gauge("farm.queue_frac").set(sm.queue_frac);
+    }
+    if (live_snapshotter_ != nullptr) {
+      const MetricsSnapshot& snap = live_snapshotter_->capture();
+      params_.live->publish_snapshot(snap);
+      bool changed = snap.seq == 1;
+      for (const MetricsSnapshot::Entry& e : snap.entries) {
+        if (e.last_changed > live_prev_seq_) {
+          changed = true;
+          break;
+        }
+      }
+      if (changed) {
+        params_.live->publish_event("metrics",
+                                    snap.to_json(live_prev_seq_));
+      }
+      live_prev_seq_ = snap.seq;
+    }
+    if (params_.live_pacer) params_.live_pacer(now);
+
     result_.series.push_back(sm);
   }
 
@@ -371,6 +474,26 @@ class Farm {
     admission_.set_shedding(level >= ShedLevel::kBaseOnly || cooling);
 
     if (level != prev) {
+      const int level_int = static_cast<int>(level);
+      if (params_.registry != nullptr) {
+        params_.registry->gauge("farm.ladder.level")
+            .set(static_cast<double>(level_int));
+      }
+      if (params_.trace != nullptr) {
+        params_.trace->instant(
+            now, ChromeTraceWriter::kFarmTrack,
+            std::string("shed_level ") + to_string(level),
+            TraceArgs{{"from", ChromeTraceWriter::num(
+                                   int64_t{static_cast<int>(prev)})},
+                      {"to", ChromeTraceWriter::num(int64_t{level_int})}});
+        params_.trace->counter(now, ChromeTraceWriter::kFarmTrack,
+                               "farm shed level", "level",
+                               static_cast<double>(level_int));
+      }
+      note(now, "farm.ladder.transition",
+           "{\"from\": " + json_quote(to_string(prev)) +
+               ", \"to\": " + json_quote(to_string(level)) + "}");
+
       const bool freeze = level >= ShedLevel::kFreezeAdds;
       const bool base_only = level >= ShedLevel::kBaseOnly;
       for (int i = 0; i < params_.slots; ++i) {
@@ -442,14 +565,18 @@ class Farm {
 
     if (params_.registry != nullptr) {
       MetricsRegistry& reg = *params_.registry;
-      reg.counter("farm.arrivals").inc(result_.arrivals);
-      reg.counter("farm.admitted").inc(result_.admitted);
-      reg.counter("farm.admitted_base_only").inc(result_.admitted_base_only);
-      reg.counter("farm.rejected").inc(result_.rejected);
-      reg.counter("farm.rejected_capacity").inc(result_.rejected_capacity);
-      reg.counter("farm.retries").inc(result_.retries);
-      reg.counter("farm.departures").inc(result_.departures);
-      reg.counter("farm.shed").inc(result_.shed);
+      // The verdict/churn counters accumulated at their event sites; only
+      // the ladder totals and run-level gauges land here. The counter()
+      // calls below still create the rows in runs where no join/departure
+      // ever happened, keeping the export schema stable.
+      reg.counter("farm.arrivals");
+      reg.counter("farm.admitted");
+      reg.counter("farm.admitted_base_only");
+      reg.counter("farm.rejected");
+      reg.counter("farm.rejected_capacity");
+      reg.counter("farm.retries");
+      reg.counter("farm.departures");
+      reg.counter("farm.shed");
       reg.counter("farm.ladder.escalations").inc(result_.escalations);
       reg.counter("farm.ladder.oscillations").inc(result_.oscillation_events);
       reg.gauge("farm.aggregate_rebuffer_rate")
@@ -485,6 +612,9 @@ class Farm {
   std::optional<double> rebuffer_ewma_;
   TimePoint last_shed_;
   bool shed_happened_ = false;
+  // Live streaming (created when params.live && params.registry).
+  std::unique_ptr<MetricsSnapshotter> live_snapshotter_;
+  uint64_t live_prev_seq_ = 0;
   FarmResult result_;
 };
 

@@ -30,6 +30,9 @@
 
 #include "app/admission.h"
 #include "sim/topology.h"
+#include "util/chrome_trace.h"
+#include "util/flightrec.h"
+#include "util/http_sse.h"
 #include "util/metrics_registry.h"
 #include "util/rundiff.h"
 #include "util/units.h"
@@ -87,8 +90,22 @@ struct FarmParams {
   TimeDelta queue_ewma_tau = TimeDelta::seconds(3);
 
   // Optional: fold per-session metrics and farm aggregates into this
-  // registry (bounded: histograms shared across all sessions).
+  // registry (bounded: histograms shared across all sessions). Admission
+  // verdict and churn counters ("farm.arrivals", "farm.admitted", ...)
+  // are incremented at their event sites, so a live scraper sees them
+  // move; final totals are identical to the pre-incremental export.
   MetricsRegistry* registry = nullptr;
+
+  // Optional observability fan-out (all not owned, all may be null):
+  // admission verdicts and shed-ladder rung transitions as instants +
+  // counter track on ChromeTraceWriter::kFarmTrack, flight-recorder notes,
+  // and live SSE events + per-sample snapshot deltas (needs `registry`).
+  ChromeTraceWriter* trace = nullptr;
+  FlightRecorder* flightrec = nullptr;
+  LiveFeed* live = nullptr;
+  // Invoked after each sample's live publish with the sample's sim time;
+  // a tool injects a wall-clock sleeper for real-time pacing.
+  std::function<void(TimePoint)> live_pacer;
 };
 
 // One aggregate sample (the farm.csv row).

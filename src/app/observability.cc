@@ -2,6 +2,7 @@
 
 #include "app/session.h"
 #include "app/video_client.h"
+#include "sim/fault.h"
 #include "util/json.h"
 #include "util/logging.h"
 
@@ -69,6 +70,35 @@ void Observability::attach_scheduler(sim::Scheduler& sched) {
           trace_->span_end(rec.at, ChromeTraceWriter::kSchedulerTrack);
         }));
   }
+  if (cfg_.live.feed != nullptr) {
+    QA_CHECK(cfg_.live.cadence > TimeDelta::zero());
+    sched.schedule_after(cfg_.live.cadence, [this] { live_tick(); },
+                         EventCategory::kProbe);
+  }
+}
+
+void Observability::live_tick() {
+  if (finished_) return;
+  const MetricsSnapshot& snap = snapshotter_.capture();
+  cfg_.live.feed->publish_snapshot(snap);
+  // An SSE delta frame only when something actually moved (the first
+  // capture always counts — it seeds connected consumers).
+  bool changed = snap.seq == 1;
+  for (const MetricsSnapshot::Entry& e : snap.entries) {
+    if (e.last_changed > live_prev_seq_) {
+      changed = true;
+      break;
+    }
+  }
+  if (changed) {
+    cfg_.live.feed->publish_event("metrics", snap.to_json(live_prev_seq_));
+  }
+  live_prev_seq_ = snap.seq;
+  // The pacer may sleep on a wall clock (outside the sim), stretching the
+  // cadence to real time; sim state is untouched either way.
+  if (cfg_.live.pacer) cfg_.live.pacer(sched_->now());
+  sched_->schedule_after(cfg_.live.cadence, [this] { live_tick(); },
+                         EventCategory::kProbe);
 }
 
 void Observability::attach_link(sim::Link& link, const std::string& name) {
@@ -128,6 +158,13 @@ void Observability::attach_rap_source(rap::RapSource& src) {
   Counter& timeout_losses = registry_.counter("rap.timeout_losses");
   Counter& quiescence = registry_.counter("rap.quiescence_entries");
   Histogram& rate_hist = registry_.histogram("rap.rate_bytes_per_sec");
+  if (cfg_.live.feed != nullptr) {
+    // Sampled every cadence tick: the rate sawtooth as a live gauge.
+    // Registered only in live mode so non-live tools' metrics.json stays
+    // byte-stable across this feature.
+    registry_.register_gauge("live.rap.rate_bytes_per_sec",
+                             [&src] { return src.rate().bps(); });
+  }
 
   subs_.push_back(src.on_rate_change().subscribe_scoped(
       [this, &rate_changes, &rate_hist](TimePoint t, Rate r) {
@@ -143,6 +180,8 @@ void Observability::attach_rap_source(rap::RapSource& src) {
         backoffs.inc();
         flightrec_note(t, "rap.backoff",
                        "{\"rate_post\":" + json_number(r.bps()) + "}");
+        live_note(t, "rap.backoff",
+                  "{\"rate_post\": " + json_number(r.bps()) + "}");
         if (trace_) {
           trace_->instant(
               t, ChromeTraceWriter::kTransportTrack, "backoff",
@@ -165,6 +204,8 @@ void Observability::attach_rap_source(rap::RapSource& src) {
         flightrec_note(t, active ? "rap.quiescence_enter"
                                  : "rap.quiescence_exit",
                        "{}");
+        live_note(t, active ? "rap.quiescence_enter" : "rap.quiescence_exit",
+                  "{}");
         if (trace_) {
           trace_->instant(t, ChromeTraceWriter::kTransportTrack,
                           active ? "quiescence_enter" : "quiescence_exit");
@@ -177,11 +218,28 @@ void Observability::attach_adapter(core::QualityAdapter& adapter) {
   Counter& padding = registry_.counter("adapter.padding_slots");
   Counter& media = registry_.counter("adapter.media_packets");
   Histogram& buf_hist = registry_.histogram("adapter.total_buffer_bytes");
+  if (cfg_.live.feed != nullptr) {
+    // Per-layer buffer fill, sampled at cadence. Inactive layers read 0
+    // (the receiver model only exposes buffers up to active_layers()).
+    registry_.register_gauge("live.adapter.active_layers", [&adapter] {
+      return static_cast<double>(adapter.active_layers());
+    });
+    for (int k = 0; k < adapter.config().max_layers; ++k) {
+      registry_.register_gauge(
+          "live.adapter.layer" + std::to_string(k) + ".buffer_bytes",
+          [&adapter, k] {
+            return k < adapter.active_layers() ? adapter.receiver().buffer(k)
+                                               : 0.0;
+          });
+    }
+  }
 
   subs_.push_back(adapter.on_drop().subscribe_scoped(
       [this](const core::DropEvent& e) {
         flightrec_note(e.time, "adapter.layer_drop",
                        "{\"layer\":" + json_number(int64_t{e.layer}) + "}");
+        live_note(e.time, "adapter.layer_drop",
+                  "{\"layer\": " + json_number(int64_t{e.layer}) + "}");
         if (!trace_) return;
         trace_->instant(
             e.time, ChromeTraceWriter::kAdapterTrack, "layer_drop",
@@ -200,6 +258,9 @@ void Observability::attach_adapter(core::QualityAdapter& adapter) {
             e.time, "adapter.layer_add",
             "{\"active_layers\":" + json_number(int64_t{e.new_active_layers}) +
                 "}");
+        live_note(e.time, "adapter.layer_add",
+                  "{\"active_layers\": " +
+                      json_number(int64_t{e.new_active_layers}) + "}");
         if (!trace_) return;
         trace_->instant(e.time, ChromeTraceWriter::kAdapterTrack, "layer_add",
                         TraceArgs{{"active_layers",
@@ -228,6 +289,8 @@ void Observability::attach_client(VideoClient& client) {
       [this](TimePoint t, bool paused) {
         flightrec_note(
             t, paused ? "client.rebuffer_start" : "client.rebuffer_end", "{}");
+        live_note(t, paused ? "client.rebuffer_start" : "client.rebuffer_end",
+                  "{}");
         if (!trace_) return;
         trace_->instant(t, ChromeTraceWriter::kClientTrack,
                         paused ? "rebuffer_start" : "rebuffer_end");
@@ -251,9 +314,37 @@ void Observability::attach_session(Session& session) {
   }
 }
 
+void Observability::attach_fault_injector(sim::FaultInjector& inj) {
+  Counter& faults = registry_.counter("fault.events");
+  subs_.push_back(inj.on_fault().subscribe_scoped(
+      [this, &faults](const sim::FaultEvent& ev) {
+        faults.inc();
+        const char* kind = sim::to_string(ev.kind);
+        const std::string detail = "{\"fault\": " + json_quote(kind) +
+                                   ", \"value\": " + json_number(ev.value) +
+                                   "}";
+        flightrec_note(ev.at, std::string("fault.") + kind, detail);
+        live_note(ev.at, std::string("fault.") + kind, detail);
+        if (trace_) {
+          trace_->instant(
+              ev.at, ChromeTraceWriter::kLinkTrack,
+              std::string("fault ") + kind,
+              TraceArgs{{"value", ChromeTraceWriter::num(ev.value)}});
+        }
+      }));
+}
+
 void Observability::flightrec_note(TimePoint t, std::string_view kind,
                                    std::string detail_json) {
   if (flightrec_) flightrec_->note(t, kind, std::move(detail_json));
+}
+
+void Observability::live_note(TimePoint t, std::string_view kind,
+                              const std::string& detail_json) {
+  if (cfg_.live.feed == nullptr) return;
+  std::string data = "{\"t\": " + json_number(t.sec()) + ", \"kind\": " +
+                     json_quote(kind) + ", \"detail\": " + detail_json + "}";
+  cfg_.live.feed->publish_event("note", data);
 }
 
 void Observability::on_journey_span(const JourneySpan& span) {
@@ -300,6 +391,14 @@ void Observability::on_journey_span(const JourneySpan& span) {
 void Observability::finish() {
   if (finished_) return;
   finished_ = true;
+  // The closing live publish happens while the attached objects are still
+  // alive (callback gauges read them), before subscriptions drop.
+  if (cfg_.live.feed != nullptr) {
+    const MetricsSnapshot& snap = snapshotter_.capture();
+    cfg_.live.feed->publish_snapshot(snap);
+    cfg_.live.feed->publish_event("metrics", snap.to_json(live_prev_seq_));
+    live_prev_seq_ = snap.seq;
+  }
   // Drop subscriptions first: nothing may write to the trace after close.
   subs_.clear();
   // A run that finished cleanly needs no crash dump.

@@ -29,14 +29,36 @@
 #include "util/chrome_trace.h"
 #include "util/event.h"
 #include "util/flightrec.h"
+#include "util/http_sse.h"
 #include "util/journey.h"
 #include "util/manifest.h"
 #include "util/metrics_registry.h"
+
+namespace qa::sim {
+class FaultInjector;
+}  // namespace qa::sim
 
 namespace qa::app {
 
 class Session;
 class VideoClient;
+
+// Live streaming (the qa_live tool): when `feed` is set, the hub becomes a
+// LiveHub — it captures a versioned metrics snapshot every `cadence` of
+// sim time and publishes it (full snapshot + changed-rows SSE delta) into
+// the feed, and forwards notable transitions (backoffs, layer add/drop,
+// rebuffers, faults, admission verdicts) as SSE "note" events. Publishing
+// is copy-in under the feed's mutex; the sim thread never blocks on a
+// socket, so connected clients cannot perturb the run (DESIGN.md §15).
+//
+// `pacer` is invoked after every publish with the tick's sim time. App
+// code never reads wall clocks (the determinism analyzer forbids it); a
+// tool wanting real-time playback injects a wall-clock sleeper here.
+struct LiveConfig {
+  LiveFeed* feed = nullptr;  // not owned; null = live streaming off
+  TimeDelta cadence = TimeDelta::millis(100);
+  std::function<void(TimePoint)> pacer;
+};
 
 struct ObservabilityConfig {
   // Artifact directory (must already exist). Empty: no files are written,
@@ -53,6 +75,8 @@ struct ObservabilityConfig {
   // invariant fails mid-run (path recorded in the manifest).
   bool flightrec = true;
   size_t flightrec_events = 1024;
+  // Live streaming config; inert unless live.feed is set.
+  LiveConfig live;
 };
 
 class Observability {
@@ -82,6 +106,10 @@ class Observability {
   // Convenience: RAP source + adapter + client + rebuffer log of one
   // session.
   void attach_session(Session& session);
+  // Fault timeline: counts fault activations ("fault.events"), records
+  // them in the flight recorder, draws trace instants on the link track,
+  // and streams them as live notes.
+  void attach_fault_injector(sim::FaultInjector& inj);
 
   // Flushes every artifact (metrics snapshot as CSV and JSON, manifest,
   // finalized trace) and detaches from the scheduler. Idempotent. Must run
@@ -93,6 +121,12 @@ class Observability {
   void on_journey_span(const JourneySpan& span);
   void flightrec_note(TimePoint t, std::string_view kind,
                       std::string detail_json);
+  // Publishes an SSE "note" event ({"t", "kind", "detail"}) to the live
+  // feed; no-op without one.
+  void live_note(TimePoint t, std::string_view kind,
+                 const std::string& detail_json);
+  // One cadence tick: capture, publish snapshot + delta, pace, reschedule.
+  void live_tick();
 
   ObservabilityConfig cfg_;
   MetricsRegistry registry_;
@@ -104,6 +138,8 @@ class Observability {
   std::set<int> named_journey_tracks_;  // lanes labeled on first span
   std::vector<ScopedSubscription> subs_;
   sim::Scheduler* sched_ = nullptr;
+  MetricsSnapshotter snapshotter_{&registry_};
+  uint64_t live_prev_seq_ = 0;  // last published capture, for deltas
   bool finished_ = false;
 };
 

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -107,6 +108,14 @@ struct SweepOptions {
   // When non-empty: write sweep.csv, sweep.json, and manifest.json here
   // (directory is created).
   std::string out_dir;
+  // Progress hook, invoked once per completed grid point with that point's
+  // row, the number of rows finished so far, and this shard's total.
+  // CONCURRENT: called from worker threads (any order, possibly at once);
+  // the callee must synchronize. Completion counting is atomic, so `done`
+  // values are unique and reach `total` exactly once. Never called on the
+  // result rows' memory after run_sweep returns.
+  std::function<void(const SweepRow& row, size_t done, size_t total)>
+      on_progress;
 };
 
 struct SweepResult {

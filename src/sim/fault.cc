@@ -7,19 +7,49 @@
 
 namespace qa::sim {
 
+const char* to_string(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kOutageStart: return "outage_start";
+    case FaultEvent::Kind::kOutageEnd: return "outage_end";
+    case FaultEvent::Kind::kBandwidth: return "bandwidth";
+    case FaultEvent::Kind::kDelay: return "delay";
+    case FaultEvent::Kind::kLossWindowStart: return "loss_window_start";
+    case FaultEvent::Kind::kLossWindowEnd: return "loss_window_end";
+    case FaultEvent::Kind::kImpairmentStart: return "impairment_start";
+    case FaultEvent::Kind::kImpairmentEnd: return "impairment_end";
+  }
+  return "unknown";
+}
+
 FaultInjector::FaultInjector(Scheduler* sched) : sched_(sched) {
   QA_CHECK(sched_ != nullptr);
 }
 
+void FaultInjector::fire(Link* link, FaultEvent::Kind kind, double value) {
+  if (!on_fault_.active()) return;
+  FaultEvent ev;
+  ev.at = sched_->now();
+  ev.link = link;
+  ev.kind = kind;
+  ev.value = value;
+  on_fault_.emit(ev);
+}
+
 void FaultInjector::down(Link* link, const OutagePolicy& policy) {
   LinkState& st = state(link);
-  if (st.down_depth++ == 0) link->set_down(policy);
+  if (st.down_depth++ == 0) {
+    link->set_down(policy);
+    fire(link, FaultEvent::Kind::kOutageStart);
+  }
 }
 
 void FaultInjector::up(Link* link) {
   LinkState& st = state(link);
   QA_CHECK(st.down_depth > 0);
-  if (--st.down_depth == 0) link->set_up();
+  if (--st.down_depth == 0) {
+    link->set_up();
+    fire(link, FaultEvent::Kind::kOutageEnd);
+  }
 }
 
 void FaultInjector::outage(Link* link, TimePoint start, TimeDelta duration,
@@ -47,8 +77,10 @@ void FaultInjector::flap(Link* link, TimePoint start, int cycles,
 void FaultInjector::bandwidth_step(Link* link, TimePoint at, Rate bandwidth) {
   QA_CHECK(link != nullptr);
   ++faults_;
-  sched_->schedule_at(at, [link, bandwidth] { link->set_bandwidth(bandwidth); },
-                      EventCategory::kFault);
+  sched_->schedule_at(at, [this, link, bandwidth] {
+    link->set_bandwidth(bandwidth);
+    fire(link, FaultEvent::Kind::kBandwidth, bandwidth.bps());
+  }, EventCategory::kFault);
 }
 
 void FaultInjector::bandwidth_window(Link* link, TimePoint start,
@@ -58,9 +90,11 @@ void FaultInjector::bandwidth_window(Link* link, TimePoint start,
   sched_->schedule_at(start, [this, link, duration, during] {
     const Rate original = link->bandwidth();
     link->set_bandwidth(during);
-    sched_->schedule_after(duration,
-                           [link, original] { link->set_bandwidth(original); },
-                           EventCategory::kFault);
+    fire(link, FaultEvent::Kind::kBandwidth, during.bps());
+    sched_->schedule_after(duration, [this, link, original] {
+      link->set_bandwidth(original);
+      fire(link, FaultEvent::Kind::kBandwidth, original.bps());
+    }, EventCategory::kFault);
   }, EventCategory::kFault);
 }
 
@@ -74,22 +108,25 @@ void FaultInjector::bandwidth_oscillation(Link* link, TimePoint start,
     const Rate original = link->bandwidth();
     for (int i = 0; i < 2 * cycles; ++i) {
       const Rate r = (i % 2 == 0) ? low : high;
-      sched_->schedule_after(half_period * i,
-                             [link, r] { link->set_bandwidth(r); },
-                             EventCategory::kFault);
+      sched_->schedule_after(half_period * i, [this, link, r] {
+        link->set_bandwidth(r);
+        fire(link, FaultEvent::Kind::kBandwidth, r.bps());
+      }, EventCategory::kFault);
     }
-    sched_->schedule_after(half_period * (2 * cycles),
-                           [link, original] { link->set_bandwidth(original); },
-                           EventCategory::kFault);
+    sched_->schedule_after(half_period * (2 * cycles), [this, link, original] {
+      link->set_bandwidth(original);
+      fire(link, FaultEvent::Kind::kBandwidth, original.bps());
+    }, EventCategory::kFault);
   }, EventCategory::kFault);
 }
 
 void FaultInjector::delay_step(Link* link, TimePoint at, TimeDelta prop_delay) {
   QA_CHECK(link != nullptr);
   ++faults_;
-  sched_->schedule_at(at,
-                      [link, prop_delay] { link->set_prop_delay(prop_delay); },
-                      EventCategory::kFault);
+  sched_->schedule_at(at, [this, link, prop_delay] {
+    link->set_prop_delay(prop_delay);
+    fire(link, FaultEvent::Kind::kDelay, prop_delay.sec());
+  }, EventCategory::kFault);
 }
 
 void FaultInjector::delay_window(Link* link, TimePoint start,
@@ -99,9 +136,11 @@ void FaultInjector::delay_window(Link* link, TimePoint start,
   sched_->schedule_at(start, [this, link, duration, prop_delay] {
     const TimeDelta original = link->prop_delay();
     link->set_prop_delay(prop_delay);
-    sched_->schedule_after(
-        duration, [link, original] { link->set_prop_delay(original); },
-        EventCategory::kFault);
+    fire(link, FaultEvent::Kind::kDelay, prop_delay.sec());
+    sched_->schedule_after(duration, [this, link, original] {
+      link->set_prop_delay(original);
+      fire(link, FaultEvent::Kind::kDelay, original.sec());
+    }, EventCategory::kFault);
   }, EventCategory::kFault);
 }
 
@@ -117,8 +156,12 @@ void FaultInjector::loss_window(Link* link, TimePoint start,
   sched_->schedule_at(start, [this, link, duration, params, seed] {
     const int64_t gen = ++state(link).loss_gen;
     link->set_loss_model(std::make_unique<GilbertElliottLoss>(params, seed));
+    fire(link, FaultEvent::Kind::kLossWindowStart, params.loss_bad);
     sched_->schedule_after(duration, [this, link, gen] {
-      if (state(link).loss_gen == gen) link->set_loss_model(nullptr);
+      if (state(link).loss_gen == gen) {
+        link->set_loss_model(nullptr);
+        fire(link, FaultEvent::Kind::kLossWindowEnd);
+      }
     }, EventCategory::kFault);
   }, EventCategory::kFault);
 }
@@ -131,8 +174,12 @@ void FaultInjector::bernoulli_loss_window(Link* link, TimePoint start,
   sched_->schedule_at(start, [this, link, duration, p, seed] {
     const int64_t gen = ++state(link).loss_gen;
     link->set_loss_model(std::make_unique<BernoulliLoss>(p, seed));
+    fire(link, FaultEvent::Kind::kLossWindowStart, p);
     sched_->schedule_after(duration, [this, link, gen] {
-      if (state(link).loss_gen == gen) link->set_loss_model(nullptr);
+      if (state(link).loss_gen == gen) {
+        link->set_loss_model(nullptr);
+        fire(link, FaultEvent::Kind::kLossWindowEnd);
+      }
     }, EventCategory::kFault);
   }, EventCategory::kFault);
 }
@@ -149,8 +196,12 @@ void FaultInjector::impairment_window(Link* link, TimePoint start,
     const int64_t gen = ++state(link).imp_gen;
     link->set_impairment(
         std::make_unique<ReorderDupImpairment>(params, seed));
+    fire(link, FaultEvent::Kind::kImpairmentStart, params.p_reorder);
     sched_->schedule_after(duration, [this, link, gen] {
-      if (state(link).imp_gen == gen) link->set_impairment(nullptr);
+      if (state(link).imp_gen == gen) {
+        link->set_impairment(nullptr);
+        fire(link, FaultEvent::Kind::kImpairmentEnd);
+      }
     }, EventCategory::kFault);
   }, EventCategory::kFault);
 }

@@ -27,10 +27,35 @@
 #include "sim/link.h"
 #include "sim/loss_model.h"
 #include "sim/scheduler.h"
+#include "util/event.h"
 #include "util/rng.h"
 #include "util/units.h"
 
 namespace qa::sim {
+
+// One fault activation or clearance, emitted at the sim time it takes
+// effect (not at schedule time) — the observability layer's view of the
+// fault timeline. Emission never mutates simulator state, so subscribing
+// cannot perturb a run.
+struct FaultEvent {
+  enum class Kind {
+    kOutageStart,
+    kOutageEnd,
+    kBandwidth,        // value = new bandwidth, bytes/s
+    kDelay,            // value = new propagation delay, seconds
+    kLossWindowStart,  // value = loss probability (bad-state or Bernoulli p)
+    kLossWindowEnd,
+    kImpairmentStart,  // value = reorder probability
+    kImpairmentEnd,
+  };
+
+  TimePoint at;
+  const Link* link = nullptr;
+  Kind kind = Kind::kOutageStart;
+  double value = 0;
+};
+
+const char* to_string(FaultEvent::Kind kind);
 
 class FaultInjector {
  public:
@@ -38,6 +63,10 @@ class FaultInjector {
 
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Fired when a fault takes effect or clears (outage edges, bandwidth /
+  // delay writes, loss- and impairment-window edges).
+  Event<const FaultEvent&>& on_fault() { return on_fault_; }
 
   // --- Outages and flapping. ----------------------------------------------
   // Link down over [start, start+duration). Overlapping outages nest.
@@ -81,8 +110,10 @@ class FaultInjector {
   LinkState& state(Link* link) { return state_[link]; }
   void down(Link* link, const OutagePolicy& policy);
   void up(Link* link);
+  void fire(Link* link, FaultEvent::Kind kind, double value = 0);
 
   Scheduler* sched_;
+  Event<const FaultEvent&> on_fault_;
   // Keyed lookups only — never iterated (the unordered-iter analyzer
   // rule): pointer-keyed hash order varies run to run with ASLR, so any
   // loop over this map would be nondeterministic by construction.

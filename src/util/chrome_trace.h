@@ -48,6 +48,8 @@ class ChromeTraceWriter {
   static constexpr int kAdapterTrack = 3;
   static constexpr int kClientTrack = 4;
   static constexpr int kLinkTrack = 5;
+  // Farm-level control plane: admission verdicts, shed-ladder rung.
+  static constexpr int kFarmTrack = 6;
   // Per-video-layer journey lanes: layer k renders on track
   // kJourneyTrackBase + k (named lazily on the layer's first span).
   static constexpr int kJourneyTrackBase = 16;

@@ -1,0 +1,516 @@
+#include "util/http_sse.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "util/check.h"
+
+namespace qa {
+
+// ---- SSE framing -----------------------------------------------------------
+
+std::string sse_frame(uint64_t id, std::string_view event,
+                      std::string_view data) {
+  std::string out = "id: " + std::to_string(id) + "\n";
+  if (!event.empty()) {
+    out += "event: ";
+    out.append(event.begin(), event.end());
+    out += "\n";
+  }
+  // One "data:" line per payload line; a parser rejoins them with '\n'.
+  size_t start = 0;
+  while (true) {
+    const size_t nl = data.find('\n', start);
+    std::string_view line = data.substr(
+        start, nl == std::string_view::npos ? std::string_view::npos
+                                            : nl - start);
+    out += "data: ";
+    for (const char c : line) {
+      if (c != '\r') out += c;  // the wire format cannot carry a bare CR
+    }
+    out += "\n";
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  out += "\n";
+  return out;
+}
+
+size_t sse_parse(std::string_view text, std::vector<SseFrame>* out) {
+  size_t consumed = 0;
+  SseFrame frame;
+  bool has_data = false;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) break;  // unterminated line: keep tail
+    std::string_view line = text.substr(pos, nl - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    pos = nl + 1;
+    if (line.empty()) {  // blank line: frame boundary
+      if (has_data || !frame.event.empty() || frame.id != 0) {
+        out->push_back(std::move(frame));
+      }
+      frame = SseFrame{};
+      has_data = false;
+      consumed = pos;
+      continue;
+    }
+    const auto value_of = [&line](size_t prefix_len) {
+      std::string_view v = line.substr(prefix_len);
+      if (!v.empty() && v.front() == ' ') v.remove_prefix(1);
+      return v;
+    };
+    if (line.rfind("id:", 0) == 0) {
+      frame.id = std::strtoull(std::string(value_of(3)).c_str(), nullptr, 10);
+    } else if (line.rfind("event:", 0) == 0) {
+      const std::string_view v = value_of(6);
+      frame.event.assign(v.begin(), v.end());
+    } else if (line.rfind("data:", 0) == 0) {
+      const std::string_view v = value_of(5);
+      if (has_data) frame.data += '\n';
+      frame.data.append(v.begin(), v.end());
+      has_data = true;
+    }
+    // Unknown fields (and ": comment" lines) are ignored per the spec.
+  }
+  return consumed;
+}
+
+// ---- LiveFeed --------------------------------------------------------------
+
+LiveFeed::LiveFeed(size_t ring_capacity) : capacity_(ring_capacity) {
+  QA_CHECK(capacity_ >= 1);
+}
+
+void LiveFeed::publish_snapshot(const MetricsSnapshot& snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  snap_ = snap;
+}
+
+MetricsSnapshot LiveFeed::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snap_;
+}
+
+uint64_t LiveFeed::publish_event(std::string_view event,
+                                 std::string_view data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return 0;
+  SseFrame frame;
+  frame.id = next_id_++;
+  frame.event.assign(event.begin(), event.end());
+  frame.data.assign(data.begin(), data.end());
+  ring_.push_back(std::move(frame));
+  while (ring_.size() > capacity_) ring_.pop_front();
+  cv_.notify_all();
+  return next_id_ - 1;
+}
+
+bool LiveFeed::next_events(uint64_t* cursor, std::string* out,
+                           int timeout_ms) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto has_new = [this, cursor] {
+    return closed_ || (!ring_.empty() && ring_.back().id > *cursor);
+  };
+  if (!has_new()) {
+    cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), has_new);
+  }
+  bool any = false;
+  for (const SseFrame& f : ring_) {
+    if (f.id <= *cursor) continue;
+    *out += sse_frame(f.id, f.event, f.data);
+    *cursor = f.id;
+    any = true;
+  }
+  if (any) return true;
+  return !closed_;  // closed and drained: tell the stream loop to finish
+}
+
+void LiveFeed::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+bool LiveFeed::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+uint64_t LiveFeed::events_published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_id_ - 1;
+}
+
+// ---- HTTP server -----------------------------------------------------------
+
+namespace {
+
+constexpr size_t kMaxConnections = 32;
+constexpr size_t kMaxRequestBytes = 8192;
+
+std::string status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+std::string render_response(const HttpResponse& r) {
+  std::string out = "HTTP/1.1 " + std::to_string(r.status) + " " +
+                    status_text(r.status) + "\r\n";
+  out += "Content-Type: " + r.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(r.body.size()) + "\r\n";
+  out += "Cache-Control: no-store\r\n";
+  out += "Access-Control-Allow-Origin: *\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += r.body;
+  return out;
+}
+
+// Reads until the blank line ending the request head (we never accept
+// bodies). Returns false on timeout, oversize, or close.
+bool read_request_head(int fd, std::string* head) {
+  char buf[1024];
+  while (head->find("\r\n\r\n") == std::string::npos &&
+         head->find("\n\n") == std::string::npos) {
+    if (head->size() > kMaxRequestBytes) return false;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    head->append(buf, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+// "GET /metrics?since=4 HTTP/1.1" -> method/path/query.
+bool parse_request_line(const std::string& head, std::string* method,
+                        std::string* path, std::string* query) {
+  const size_t eol = head.find_first_of("\r\n");
+  const std::string line =
+      eol == std::string::npos ? head : head.substr(0, eol);
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return false;
+  *method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t q = target.find('?');
+  if (q == std::string::npos) {
+    *path = std::move(target);
+    query->clear();
+  } else {
+    *path = target.substr(0, q);
+    *query = target.substr(q + 1);
+  }
+  return true;
+}
+
+// First "key=value" match in a query string; no URL decoding (the only
+// parameter we serve, since=N, never needs it).
+std::string query_param(const std::string& query, const std::string& key) {
+  size_t pos = 0;
+  while (pos <= query.size()) {
+    const size_t amp = query.find('&', pos);
+    const std::string pair = query.substr(
+        pos, amp == std::string::npos ? std::string::npos : amp - pos);
+    if (pair.rfind(key + "=", 0) == 0) return pair.substr(key.size() + 1);
+    if (amp == std::string::npos) break;
+    pos = amp + 1;
+  }
+  return "";
+}
+
+void set_socket_timeout(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+HttpSseServer::HttpSseServer(LiveFeed* feed) : feed_(feed) {
+  QA_CHECK(feed_ != nullptr);
+}
+
+HttpSseServer::~HttpSseServer() { stop(); }
+
+void HttpSseServer::handle(const std::string& path, Handler handler) {
+  QA_CHECK(listen_fd_ < 0);  // registration is pre-start only
+  handlers_[path] = std::move(handler);
+}
+
+void HttpSseServer::set_index_html(std::string html) {
+  QA_CHECK(listen_fd_ < 0);
+  index_html_ = std::move(html);
+}
+
+bool HttpSseServer::start(uint16_t port) {
+  QA_CHECK(listen_fd_ < 0);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  stopping_ = false;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void HttpSseServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_ && listen_fd_ < 0 && !accept_thread_.joinable()) return;
+    stopping_ = true;
+    // Shut down every live connection so blocked reads/writes return.
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpSseServer::accept_loop() {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (stopping_) return;
+    }
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int pr = ::poll(&pfd, 1, 100);
+    if (pr <= 0) continue;  // timeout: re-check the stop flag
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    set_socket_timeout(fd, 5000);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_ || conn_fds_.size() >= kMaxConnections) {
+      HttpResponse busy;
+      busy.status = 503;
+      busy.body = "busy\n";
+      const std::string wire = render_response(busy);
+      (void)::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] {
+      serve(fd);
+      {
+        // Untrack before closing so stop() can never shutdown a reused fd.
+        std::lock_guard<std::mutex> lk(conn_mu_);
+        conn_fds_.erase(std::find(conn_fds_.begin(), conn_fds_.end(), fd));
+      }
+      ::close(fd);
+    });
+  }
+}
+
+bool HttpSseServer::send_all(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void HttpSseServer::serve(int fd) {
+  std::string head;
+  if (!read_request_head(fd, &head)) return;
+  std::string method, path, query;
+  if (!parse_request_line(head, &method, &path, &query)) return;
+
+  HttpResponse resp;
+  if (method != "GET") {
+    resp.status = 405;
+    resp.body = "GET only\n";
+  } else if (path == "/events") {
+    serve_events(fd);
+    return;
+  } else if (path == "/metrics") {
+    const std::string since_s = query_param(query, "since");
+    const uint64_t since =
+        since_s.empty() ? 0 : std::strtoull(since_s.c_str(), nullptr, 10);
+    resp.content_type = "application/json";
+    resp.body = feed_->snapshot().to_json(since) + "\n";
+  } else if (path == "/" && !index_html_.empty()) {
+    resp.content_type = "text/html; charset=utf-8";
+    resp.body = index_html_;
+  } else if (const auto it = handlers_.find(path); it != handlers_.end()) {
+    resp = it->second(query);
+  } else {
+    resp.status = 404;
+    resp.body = "not found\n";
+  }
+  send_all(fd, render_response(resp));
+}
+
+void HttpSseServer::serve_events(int fd) {
+  const std::string headers =
+      "HTTP/1.1 200 OK\r\n"
+      "Content-Type: text/event-stream\r\n"
+      "Cache-Control: no-store\r\n"
+      "Access-Control-Allow-Origin: *\r\n"
+      "Connection: keep-alive\r\n\r\n"
+      "retry: 1000\n\n";
+  if (!send_all(fd, headers)) return;
+  uint64_t cursor = 0;
+  std::string batch;
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (stopping_) return;
+    }
+    batch.clear();
+    const bool keep_going = feed_->next_events(&cursor, &batch, 250);
+    if (!batch.empty() && !send_all(fd, batch)) return;  // client went away
+    if (!keep_going) {
+      send_all(fd, sse_frame(cursor + 1, "bye", "{\"reason\":\"run done\"}"));
+      return;
+    }
+  }
+}
+
+// ---- Client helpers --------------------------------------------------------
+
+namespace {
+
+int connect_loopback(uint16_t port, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  set_socket_timeout(fd, timeout_ms);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_get(int fd, const std::string& path_and_query) {
+  const std::string req = "GET " + path_and_query +
+                          " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                          "Connection: close\r\n\r\n";
+  size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t n =
+        ::send(fd, req.data() + off, req.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool http_get(uint16_t port, const std::string& path_and_query,
+              std::string* body, std::string* status_line, int timeout_ms) {
+  const int fd = connect_loopback(port, timeout_ms);
+  if (fd < 0) return false;
+  if (!send_get(fd, path_and_query)) {
+    ::close(fd);
+    return false;
+  }
+  std::string raw;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  size_t head_end = raw.find("\r\n\r\n");
+  size_t body_start;
+  if (head_end != std::string::npos) {
+    body_start = head_end + 4;
+  } else {
+    head_end = raw.find("\n\n");
+    if (head_end == std::string::npos) return false;
+    body_start = head_end + 2;
+  }
+  if (status_line != nullptr) {
+    const size_t eol = raw.find_first_of("\r\n");
+    *status_line = raw.substr(0, eol);
+  }
+  *body = raw.substr(body_start);
+  return raw.rfind("HTTP/1.1 ", 0) == 0;
+}
+
+bool sse_read(uint16_t port, const std::string& path, size_t max_frames,
+              int timeout_ms, std::vector<SseFrame>* out) {
+  const int fd = connect_loopback(port, timeout_ms);
+  if (fd < 0) return false;
+  if (!send_get(fd, path)) {
+    ::close(fd);
+    return false;
+  }
+  std::string pending;
+  bool past_headers = false;
+  char buf[4096];
+  const size_t before = out->size();
+  while (out->size() - before < max_frames) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // close or SO_RCVTIMEO deadline
+    pending.append(buf, static_cast<size_t>(n));
+    if (!past_headers) {
+      const size_t he = pending.find("\r\n\r\n");
+      if (he == std::string::npos) continue;
+      pending.erase(0, he + 4);
+      past_headers = true;
+    }
+    const size_t consumed = sse_parse(pending, out);
+    pending.erase(0, consumed);
+  }
+  ::close(fd);
+  return out->size() > before;
+}
+
+}  // namespace qa

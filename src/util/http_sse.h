@@ -1,0 +1,172 @@
+// Dependency-free HTTP/1.1 + Server-Sent-Events mini-server for live
+// observability (tools/qa_live), plus the LiveFeed hand-off buffer that
+// keeps the simulation thread and the serving threads decoupled.
+//
+// Threading model (DESIGN.md §15): the simulation thread only ever calls
+// LiveFeed::publish_snapshot / publish_event — short critical sections
+// that copy data into a mutex-guarded double buffer and a bounded event
+// ring, then return. Serving threads (one blocking accept loop plus one
+// thread per connection) read copies out under the same mutex. No server
+// thread can touch the Scheduler, the MetricsRegistry, or any simulator
+// object, and the sim thread never blocks on a socket, so whether zero or
+// fifty clients are connected cannot change the event sequence — run
+// digests are byte-identical with and without consumers (pinned by the
+// qa_live_digest ctest).
+//
+// Protocol surface is deliberately tiny: GET only, line-based HTTP/1.1,
+// Connection: close for plain responses, `text/event-stream` for /events.
+// The event ring replays from any cursor it still holds, so a client that
+// connects after an event was published still receives it (bounded
+// backlog, default 4096 frames).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "util/metrics_registry.h"
+
+namespace qa {
+
+// ---- SSE framing -----------------------------------------------------------
+
+// One parsed Server-Sent-Events frame.
+struct SseFrame {
+  uint64_t id = 0;
+  std::string event;  // empty = the default "message" event
+  std::string data;   // multi-line payloads are joined with '\n'
+};
+
+// Renders one SSE frame ("id: ...", "event: ...", "data: ..." lines,
+// blank-line terminated). Newlines in `data` split into multiple data:
+// lines per the SSE spec, so arbitrary payloads — including adversarial
+// metric names that survived json_quote — round-trip through sse_parse.
+// Carriage returns are stripped (the spec cannot represent a bare '\r').
+std::string sse_frame(uint64_t id, std::string_view event,
+                      std::string_view data);
+
+// Parses every *complete* frame in `text` (terminated by a blank line),
+// appending to `out`. Returns the number of bytes consumed, so a streaming
+// reader can keep the unterminated tail for the next read.
+size_t sse_parse(std::string_view text, std::vector<SseFrame>* out);
+
+// ---- LiveFeed --------------------------------------------------------------
+
+// The publish side handed to the simulation: a snapshot double buffer
+// (latest MetricsSnapshot wins) plus a bounded ring of SSE event frames.
+// All methods are thread-safe; publishers never block on consumers.
+class LiveFeed {
+ public:
+  explicit LiveFeed(size_t ring_capacity = 4096);
+
+  // Replaces the published snapshot (copy-in under the mutex).
+  void publish_snapshot(const MetricsSnapshot& snap);
+  // Copy-out of the latest published snapshot (seq 0 when none yet).
+  MetricsSnapshot snapshot() const;
+
+  // Appends one event frame to the ring (oldest frames fall off past
+  // capacity) and wakes waiting consumers. Returns the frame id (1-based).
+  uint64_t publish_event(std::string_view event, std::string_view data);
+
+  // Appends every ring frame with id > *cursor to `out` (rendered via
+  // sse_frame) and advances *cursor. Blocks up to `timeout_ms` when the
+  // ring has nothing new. Returns false once the feed is closed *and*
+  // drained — the streaming loop's termination condition.
+  bool next_events(uint64_t* cursor, std::string* out, int timeout_ms) const;
+
+  // Marks the feed finished and wakes all waiters; publish_event becomes a
+  // no-op. Consumers still drain the backlog after close().
+  void close();
+  bool closed() const;
+
+  uint64_t events_published() const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  size_t capacity_;
+  MetricsSnapshot snap_;
+  std::deque<SseFrame> ring_;
+  uint64_t next_id_ = 1;
+  bool closed_ = false;
+};
+
+// ---- HTTP server -----------------------------------------------------------
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+// Serves a LiveFeed over loopback HTTP:
+//   GET /               the registered index page (or 404)
+//   GET /metrics        full snapshot JSON (MetricsSnapshot::to_json(0))
+//   GET /metrics?since=N  delta: rows changed after capture N
+//   GET /events         SSE stream of the feed's event ring
+// plus caller-registered paths (handle()). One thread runs the accept
+// loop; each connection gets its own short-lived thread, bounded by
+// kMaxConnections. stop() shuts every socket and joins every thread.
+class HttpSseServer {
+ public:
+  using Handler = std::function<HttpResponse(const std::string& query)>;
+
+  explicit HttpSseServer(LiveFeed* feed);
+  HttpSseServer(const HttpSseServer&) = delete;
+  HttpSseServer& operator=(const HttpSseServer&) = delete;
+  ~HttpSseServer();
+
+  // Registration must happen before start().
+  void handle(const std::string& path, Handler handler);
+  void set_index_html(std::string html);
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop.
+  // Returns false (with no thread started) when the bind fails.
+  bool start(uint16_t port);
+  // The bound port (after a successful start).
+  uint16_t port() const { return port_; }
+  bool running() const { return listen_fd_ >= 0; }
+
+  // Stops accepting, shuts down every live connection, joins all threads.
+  // Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve(int fd);
+  void serve_events(int fd);
+  static bool send_all(int fd, std::string_view data);
+
+  LiveFeed* feed_;
+  std::map<std::string, Handler> handlers_;
+  std::string index_html_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  bool stopping_ = false;
+};
+
+// ---- Minimal blocking client (tests and qa_live --self-check) --------------
+
+// GET http://127.0.0.1:port<path_and_query>; fills `body` (and optionally
+// the status line). Returns false on connect/timeout/protocol failure.
+bool http_get(uint16_t port, const std::string& path_and_query,
+              std::string* body, std::string* status_line = nullptr,
+              int timeout_ms = 5000);
+
+// Connects to an SSE endpoint and reads until `max_frames` frames arrived
+// or `timeout_ms` passed. Returns true when at least one frame was read.
+bool sse_read(uint16_t port, const std::string& path, size_t max_frames,
+              int timeout_ms, std::vector<SseFrame>* out);
+
+}  // namespace qa

@@ -176,27 +176,125 @@ void MetricsRegistry::write_csv(const std::string& path) const {
   }
 }
 
+std::string metrics_row_json(const MetricsRegistry::Row& r) {
+  std::string out = "{\"kind\": " + json_quote(r.kind) +
+                    ", \"value\": " + json_number(r.value);
+  if (r.kind == "histogram") {
+    out += ", \"count\": " + json_number(r.count) +
+           ", \"sum\": " + json_number(r.sum) +
+           ", \"min\": " + json_number(r.min) +
+           ", \"max\": " + json_number(r.max) +
+           ", \"p50\": " + json_number(r.p50) +
+           ", \"p90\": " + json_number(r.p90) +
+           ", \"p99\": " + json_number(r.p99);
+  }
+  out += "}";
+  return out;
+}
+
 void MetricsRegistry::write_json(const std::string& path) const {
   std::string out = "{\n";
   bool first = true;
   for (const Row& r : snapshot()) {
     if (!first) out += ",\n";
     first = false;
-    out += "  " + json_quote(r.name) + ": {\"kind\": " + json_quote(r.kind) +
-           ", \"value\": " + json_number(r.value);
-    if (r.kind == "histogram") {
-      out += ", \"count\": " + json_number(r.count) +
-             ", \"sum\": " + json_number(r.sum) +
-             ", \"min\": " + json_number(r.min) +
-             ", \"max\": " + json_number(r.max) +
-             ", \"p50\": " + json_number(r.p50) +
-             ", \"p90\": " + json_number(r.p90) +
-             ", \"p99\": " + json_number(r.p99);
-    }
-    out += "}";
+    out += "  " + json_quote(r.name) + ": " + metrics_row_json(r);
   }
   out += "\n}\n";
   write_text_file(path, out);
+}
+
+// ---- MetricsSnapshot / MetricsSnapshotter ----------------------------------
+
+namespace {
+
+// Value equality with NaN == NaN, so a non-finite gauge does not read as
+// freshly changed on every capture.
+bool same_value(double a, double b) {
+  return a == b || (std::isnan(a) && std::isnan(b));
+}
+
+bool same_row(const MetricsRegistry::Row& a, const MetricsRegistry::Row& b) {
+  return a.kind == b.kind && same_value(a.value, b.value) &&
+         a.count == b.count && same_value(a.sum, b.sum) &&
+         same_value(a.min, b.min) && same_value(a.max, b.max) &&
+         same_value(a.p50, b.p50) && same_value(a.p90, b.p90) &&
+         same_value(a.p99, b.p99);
+}
+
+}  // namespace
+
+std::vector<MetricsRegistry::Row> MetricsSnapshot::changed_since(
+    uint64_t since) const {
+  std::vector<MetricsRegistry::Row> rows;
+  for (const Entry& e : entries) {
+    if (e.last_changed > since) rows.push_back(e.row);
+  }
+  return rows;
+}
+
+std::string MetricsSnapshot::to_json(uint64_t since) const {
+  std::string out = "{\"seq\": " + json_number(seq) +
+                    ", \"since\": " + json_number(since) +
+                    ", \"metrics\": {";
+  bool first = true;
+  for (const Entry& e : entries) {
+    if (e.last_changed <= since) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += json_quote(e.row.name) + ": " + metrics_row_json(e.row);
+  }
+  out += "}}";
+  return out;
+}
+
+std::vector<MetricsRegistry::Row> apply_delta(
+    std::vector<MetricsRegistry::Row> base,
+    const std::vector<MetricsRegistry::Row>& delta) {
+  for (const MetricsRegistry::Row& d : delta) {
+    auto it = std::find_if(
+        base.begin(), base.end(),
+        [&d](const MetricsRegistry::Row& r) { return r.name == d.name; });
+    if (it != base.end()) {
+      *it = d;
+    } else {
+      base.push_back(d);
+    }
+  }
+  std::sort(base.begin(), base.end(),
+            [](const MetricsRegistry::Row& a, const MetricsRegistry::Row& b) {
+              return a.name < b.name;
+            });
+  return base;
+}
+
+MetricsSnapshotter::MetricsSnapshotter(const MetricsRegistry* registry)
+    : registry_(registry) {
+  QA_CHECK(registry_ != nullptr);
+}
+
+const MetricsSnapshot& MetricsSnapshotter::capture() {
+  std::vector<MetricsRegistry::Row> rows = registry_->snapshot();
+  MetricsSnapshot next;
+  next.seq = snap_.seq + 1;
+  next.entries.reserve(rows.size());
+  // Both row lists are sorted by name: one merge walk pairs each new row
+  // with its previous entry (if any) to carry last_changed forward.
+  auto prev = snap_.entries.begin();
+  for (MetricsRegistry::Row& row : rows) {
+    while (prev != snap_.entries.end() && prev->row.name < row.name) ++prev;
+    MetricsSnapshot::Entry e;
+    if (prev != snap_.entries.end() && prev->row.name == row.name &&
+        same_row(prev->row, row)) {
+      e.last_changed = prev->last_changed;
+    } else {
+      e.last_changed = next.seq;
+    }
+    e.row = std::move(row);
+    next.entries.push_back(std::move(e));
+  }
+  snap_ = std::move(next);
+  return snap_;
 }
 
 }  // namespace qa

@@ -19,6 +19,15 @@
 // Handed-out instrument references stay valid for the registry's lifetime
 // (node-based maps). Export: snapshot() for in-process consumers, CSV and
 // JSON writers for artifacts.
+//
+// Incremental export (the qa_live tool, headless scrapers): a
+// MetricsSnapshotter captures versioned MetricsSnapshots. Every capture()
+// gets a monotonically increasing sequence number and records, per row,
+// the capture at which it last changed; changed_since(seq) / to_json(seq)
+// then yield exactly the rows that moved after `seq`, so a consumer can
+// poll `/metrics?since=N` and apply deltas instead of re-reading the
+// world. The snapshotter is single-threaded (the sim thread's); cross-
+// thread hand-off is the LiveFeed double buffer in util/http_sse.h.
 #pragma once
 
 #include <cstdint>
@@ -135,6 +144,62 @@ class MetricsRegistry {
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, std::function<double()>> gauge_fns_;
   std::map<std::string, Histogram> histograms_;
+};
+
+// One row rendered as the canonical JSON object used by write_json —
+// shared so snapshots, deltas, and the metrics.json artifact stay
+// byte-compatible for the same row.
+std::string metrics_row_json(const MetricsRegistry::Row& r);
+
+// A captured registry state with change tracking. `seq` is the capture's
+// sequence number (1-based; a default-constructed snapshot has seq 0 and
+// no entries). Entries stay sorted by name, mirroring
+// MetricsRegistry::snapshot().
+struct MetricsSnapshot {
+  struct Entry {
+    MetricsRegistry::Row row;
+    uint64_t last_changed = 0;  // capture seq at which the row last moved
+  };
+
+  uint64_t seq = 0;
+  std::vector<Entry> entries;
+
+  // Rows that changed strictly after capture `since` (0 = everything, so
+  // changed_since(0) is the full snapshot). A row created after `since`
+  // counts as changed.
+  std::vector<MetricsRegistry::Row> changed_since(uint64_t since) const;
+
+  // Canonical JSON: {"seq": N, "since": M, "metrics": {name: row, ...}}
+  // with rows restricted to changed_since(since) and formatted exactly as
+  // MetricsRegistry::write_json formats them. since = 0 renders the full
+  // snapshot; an idle delta renders an empty "metrics" object.
+  std::string to_json(uint64_t since = 0) const;
+};
+
+// Applies `delta` rows over `base` rows by name (later wins, new names
+// append) and returns the merged rows sorted by name — the client-side
+// "apply" operation; tests pin apply(snapshot(k), delta(k)) == snapshot.
+std::vector<MetricsRegistry::Row> apply_delta(
+    std::vector<MetricsRegistry::Row> base,
+    const std::vector<MetricsRegistry::Row>& delta);
+
+// Captures versioned snapshots of one registry and tracks per-row change
+// sequence numbers across captures. Not thread-safe: capture() must run on
+// the thread that owns the registry (callback gauges read live objects).
+class MetricsSnapshotter {
+ public:
+  explicit MetricsSnapshotter(const MetricsRegistry* registry);
+
+  // Re-reads the registry, bumps seq, and marks rows whose values moved
+  // (or that are new) as changed at the new seq. Returns the snapshot,
+  // which stays valid until the next capture().
+  const MetricsSnapshot& capture();
+
+  const MetricsSnapshot& current() const { return snap_; }
+
+ private:
+  const MetricsRegistry* registry_;
+  MetricsSnapshot snap_;
 };
 
 }  // namespace qa

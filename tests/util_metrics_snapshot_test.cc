@@ -1,0 +1,205 @@
+// Versioned snapshot/delta contract (MetricsSnapshotter): the client-side
+// apply of a delta over an older snapshot must reconstruct the newer one
+// exactly, idle captures must yield empty deltas, and the canonical JSON
+// must round-trip adversarial metric names.
+#include "util/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace qa {
+namespace {
+
+std::vector<MetricsRegistry::Row> rows_of(const MetricsSnapshot& snap) {
+  std::vector<MetricsRegistry::Row> rows;
+  for (const auto& e : snap.entries) rows.push_back(e.row);
+  return rows;
+}
+
+void expect_rows_eq(const std::vector<MetricsRegistry::Row>& a,
+                    const std::vector<MetricsRegistry::Row>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(metrics_row_json(a[i]), metrics_row_json(b[i]));
+  }
+}
+
+TEST(MetricsSnapshot, SeqIsMonotoneAndStartsAtOne) {
+  MetricsRegistry reg;
+  MetricsSnapshotter snap(&reg);
+  EXPECT_EQ(snap.current().seq, 0u);
+  EXPECT_EQ(snap.capture().seq, 1u);
+  EXPECT_EQ(snap.capture().seq, 2u);
+  EXPECT_EQ(snap.capture().seq, 3u);
+}
+
+TEST(MetricsSnapshot, DeltaAppliedToOldSnapshotReconstructsNew) {
+  MetricsRegistry reg;
+  Counter& packets = reg.counter("link.tx_packets");
+  Gauge& rate = reg.gauge("rap.rate");
+  Histogram& owd = reg.histogram("journey.owd");
+
+  packets.inc(10);
+  rate.set(1000);
+  owd.observe(0.04);
+
+  MetricsSnapshotter snap(&reg);
+  const MetricsSnapshot first = snap.capture();
+  const std::vector<MetricsRegistry::Row> base = rows_of(first);
+
+  // Move some instruments, add a brand-new one, leave the rest idle.
+  packets.inc(5);
+  owd.observe(0.08);
+  reg.counter("link.drops").inc();
+
+  const MetricsSnapshot second = snap.capture();
+  const auto delta = second.changed_since(first.seq);
+  // rap.rate did not move, so the delta must exclude it.
+  for (const auto& row : delta) EXPECT_NE(row.name, "rap.rate");
+  EXPECT_LT(delta.size(), second.entries.size());
+
+  expect_rows_eq(apply_delta(base, delta), rows_of(second));
+}
+
+TEST(MetricsSnapshot, IdleCaptureYieldsEmptyDelta) {
+  MetricsRegistry reg;
+  reg.counter("a").inc(7);
+  reg.gauge("b").set(2.5);
+  reg.histogram("h").observe(1.0);
+
+  MetricsSnapshotter snap(&reg);
+  const uint64_t seq1 = snap.capture().seq;
+  const MetricsSnapshot& second = snap.capture();
+  EXPECT_TRUE(second.changed_since(seq1).empty());
+  // The JSON delta renders as an empty metrics object.
+  EXPECT_NE(second.to_json(seq1).find("\"metrics\": {}"), std::string::npos);
+}
+
+TEST(MetricsSnapshot, NewRowCountsAsChanged) {
+  MetricsRegistry reg;
+  reg.counter("old").inc();
+  MetricsSnapshotter snap(&reg);
+  const uint64_t seq1 = snap.capture().seq;
+
+  reg.counter("new");
+  const auto delta = snap.capture().changed_since(seq1);
+  ASSERT_EQ(delta.size(), 1u);
+  EXPECT_EQ(delta[0].name, "new");
+}
+
+TEST(MetricsSnapshot, HistogramBucketMovesShowUpInDelta) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat");
+  h.observe(1.0);
+
+  MetricsSnapshotter snap(&reg);
+  const uint64_t seq1 = snap.capture().seq;
+
+  // Count/sum/percentiles all shift with one more observation.
+  h.observe(100.0);
+  const auto delta = snap.capture().changed_since(seq1);
+  ASSERT_EQ(delta.size(), 1u);
+  EXPECT_EQ(delta[0].name, "lat");
+  EXPECT_EQ(delta[0].count, 2u);
+  EXPECT_DOUBLE_EQ(delta[0].max, 100.0);
+}
+
+TEST(MetricsSnapshot, NanGaugeIsNotPerpetuallyChanged) {
+  MetricsRegistry reg;
+  reg.gauge("nan").set(std::numeric_limits<double>::quiet_NaN());
+  MetricsSnapshotter snap(&reg);
+  const uint64_t seq1 = snap.capture().seq;
+  // NaN != NaN under IEEE compare; the snapshotter must still treat an
+  // unchanged NaN gauge as idle.
+  EXPECT_TRUE(snap.capture().changed_since(seq1).empty());
+}
+
+TEST(MetricsSnapshot, ChangedSinceZeroIsTheFullSnapshot) {
+  MetricsRegistry reg;
+  reg.counter("a");
+  reg.gauge("b");
+  MetricsSnapshotter snap(&reg);
+  snap.capture();
+  reg.counter("c");
+  const MetricsSnapshot& s = snap.capture();
+  EXPECT_EQ(s.changed_since(0).size(), s.entries.size());
+}
+
+TEST(MetricsSnapshot, ToJsonParsesAndEchoesCursor) {
+  MetricsRegistry reg;
+  reg.counter("x.count").inc(3);
+  reg.histogram("x.h").observe(2.0);
+  MetricsSnapshotter snap(&reg);
+  snap.capture();
+  reg.counter("x.count").inc();
+  const MetricsSnapshot& s = snap.capture();
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(s.to_json(1), &doc, &error)) << error;
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.find("seq")->number, 2.0);
+  EXPECT_DOUBLE_EQ(doc.find("since")->number, 1.0);
+  const JsonValue* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  // Only the counter moved after capture 1.
+  ASSERT_EQ(metrics->object.size(), 1u);
+  EXPECT_EQ(metrics->object[0].first, "x.count");
+  EXPECT_DOUBLE_EQ(metrics->object[0].second.find("value")->number, 4.0);
+}
+
+TEST(MetricsSnapshot, AdversarialNamesRoundTripThroughJson) {
+  MetricsRegistry reg;
+  const std::vector<std::string> names = {
+      "quote\"name", "back\\slash", "new\nline", "tab\tname",
+      "unicode.\xE2\x82\xAC.metric", "ctrl.\x01.byte"};
+  for (const auto& n : names) reg.counter(n).inc();
+
+  MetricsSnapshotter snap(&reg);
+  const MetricsSnapshot& s = snap.capture();
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(s.to_json(0), &doc, &error)) << error;
+  const JsonValue* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  for (const auto& n : names) {
+    EXPECT_NE(metrics->find(n), nullptr) << "lost metric '" << n << "'";
+  }
+}
+
+TEST(ApplyDelta, OverwritesByNameAndAppendsSorted) {
+  std::vector<MetricsRegistry::Row> base(2);
+  base[0].name = "a";
+  base[0].kind = "counter";
+  base[0].value = 1;
+  base[1].name = "c";
+  base[1].kind = "gauge";
+  base[1].value = 3;
+
+  std::vector<MetricsRegistry::Row> delta(2);
+  delta[0].name = "c";
+  delta[0].kind = "gauge";
+  delta[0].value = 30;
+  delta[1].name = "b";
+  delta[1].kind = "counter";
+  delta[1].value = 2;
+
+  const auto merged = apply_delta(base, delta);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].name, "a");
+  EXPECT_EQ(merged[1].name, "b");
+  EXPECT_EQ(merged[2].name, "c");
+  EXPECT_DOUBLE_EQ(merged[2].value, 30.0);
+}
+
+}  // namespace
+}  // namespace qa

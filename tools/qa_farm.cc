@@ -14,10 +14,14 @@
 // with the same seed and parameters print the same value.
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
 
 #include "app/farm.h"
+#include "app/obs_flags.h"
+#include "util/chrome_trace.h"
 #include "util/flags.h"
+#include "util/flightrec.h"
 #include "util/manifest.h"
 #include "util/metrics_registry.h"
 
@@ -50,6 +54,10 @@ void usage() {
       "  --no-admission        disable the admission controller\n"
       "  --no-ladder           disable the load-shedding ladder\n"
       "  --print-digest        print the canonical run digest\n"
+      "  --trace               also write trace.json (admission verdicts,\n"
+      "                        shed-ladder rung, farm counter tracks)\n"
+      "  --flightrec-events N  flight-recorder ring size (default 1024)\n"
+      "  --no-flightrec        skip the crash-time flight recorder\n"
       "  --out-dir DIR         write farm.csv, metrics.{csv,json}, "
       "manifest.json\n");
 }
@@ -140,6 +148,8 @@ int main(int argc, char** argv) {
   p.admission_enabled = !flags.get_bool("no-admission", false);
   p.ladder_enabled = !flags.get_bool("no-ladder", false);
   const bool print_digest = flags.get_bool("print-digest", false);
+  const bool want_trace = flags.get_bool("trace", false);
+  const FlightRecFlags fr = flightrec_flags(flags);
   const std::string out_dir = flags.get_or("out-dir", "");
 
   const auto unused = flags.unused();
@@ -152,9 +162,27 @@ int main(int argc, char** argv) {
   }
 
   MetricsRegistry registry;
-  if (!out_dir.empty()) p.registry = &registry;
+  std::unique_ptr<FlightRecorder> flightrec;
+  std::unique_ptr<ChromeTraceWriter> trace;
+  if (!out_dir.empty()) {
+    std::filesystem::create_directories(out_dir);
+    p.registry = &registry;
+    if (fr.enabled) {
+      flightrec = std::make_unique<FlightRecorder>(fr.events);
+      flightrec->arm_crash_dump(out_dir + "/flightrec.jsonl");
+      p.flightrec = flightrec.get();
+    }
+    if (want_trace) {
+      trace = std::make_unique<ChromeTraceWriter>(out_dir + "/trace.json");
+      p.trace = trace.get();
+    }
+  }
 
   const FarmResult r = run_farm(p);
+
+  // A run that finished cleanly needs no crash dump; the trace is complete.
+  if (flightrec) flightrec->disarm();
+  if (trace) trace->close();
 
   std::printf(
       "farm: %lld arrivals -> %lld admitted (%lld base-only), %lld rejected "
@@ -177,7 +205,6 @@ int main(int argc, char** argv) {
       r.mean_jain, r.mean_layers);
 
   if (!out_dir.empty()) {
-    std::filesystem::create_directories(out_dir);
     write_farm_series_csv(r, out_dir + "/farm.csv");
     registry.write_csv(out_dir + "/metrics.csv");
     registry.write_json(out_dir + "/metrics.json");
@@ -192,6 +219,11 @@ int main(int argc, char** argv) {
     manifest.set_int("ladder_enabled", p.ladder_enabled ? 1 : 0);
     manifest.set_int("arrivals", r.arrivals);
     manifest.set_int("oscillation_events", r.oscillation_events);
+    if (flightrec) {
+      manifest.set("flightrec_path", out_dir + "/flightrec.jsonl");
+      manifest.set_int("flightrec_events", static_cast<int64_t>(fr.events));
+    }
+    if (trace) manifest.set("trace_path", out_dir + "/trace.json");
     manifest.write_json(out_dir + "/manifest.json");
   }
   if (print_digest) {

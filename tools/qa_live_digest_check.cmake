@@ -1,0 +1,41 @@
+# Client-isolation check driven by ctest (see tools/CMakeLists.txt):
+# run the same seeded scenario twice through qa_live — once served with
+# the built-in --self-check client connected (hitting /metrics, /events,
+# and the console page mid-run), once with --no-serve — and require
+# byte-identical canonical metrics via qa_diff. This pins the DESIGN.md
+# §15 contract: connected consumers cannot perturb the simulation.
+# Inputs: QA_LIVE, QA_DIFF (executables), WORK_DIR.
+
+set(common_args --seed 1 --duration-s 5 --pace 0 --cadence-ms 100
+    --layers 4 --no-trace)
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND ${QA_LIVE} --out-dir ${WORK_DIR}/served --port 0 --self-check
+          ${common_args}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "served qa_live run failed with ${rc}:\n${out}")
+endif()
+
+execute_process(
+  COMMAND ${QA_LIVE} --out-dir ${WORK_DIR}/headless --no-serve
+          ${common_args}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "headless qa_live run failed with ${rc}:\n${out}")
+endif()
+
+execute_process(
+  COMMAND ${QA_DIFF} ${WORK_DIR}/served ${WORK_DIR}/headless --print-digest
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "served and headless runs drifted (qa_diff exit ${rc}):\n${out}")
+endif()
+message(STATUS "served/headless digest parity holds:\n${out}")

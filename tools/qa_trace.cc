@@ -20,6 +20,7 @@
 #include <string>
 
 #include "app/experiment.h"
+#include "app/obs_flags.h"
 #include "app/observability.h"
 #include "util/flags.h"
 
@@ -41,12 +42,8 @@ void usage() {
       "  --kmax N               max backoffs survivable, K_max (default 1)\n"
       "  --rap-flows N          RAP flows incl. the QA one (default 1)\n"
       "  --tcp-flows N          competing TCP flows (default 0)\n"
-      "  --flightrec-events N   flight-recorder ring size (default 1024)\n"
-      "  --no-trace             skip trace.json (metrics/manifest only)\n"
-      "  --no-metrics           skip metrics.csv/json\n"
-      "  --no-profile           skip the scheduler profiler\n"
-      "  --no-journeys          skip packet-journey tracing\n"
-      "  --no-flightrec         skip the crash-time flight recorder\n");
+      "%s",
+      observability_flags_usage());
 }
 
 }  // namespace
@@ -74,15 +71,7 @@ int main(int argc, char** argv) {
   params.stream_layers = static_cast<int>(flags.get_int("layers", 8));
   params.kmax = static_cast<int>(flags.get_int("kmax", 1));
 
-  ObservabilityConfig ocfg;
-  ocfg.out_dir = out_dir;
-  ocfg.trace = flags.get_bool("trace", true);
-  ocfg.metrics = flags.get_bool("metrics", true);
-  ocfg.profile = flags.get_bool("profile", true);
-  ocfg.journeys = flags.get_bool("journeys", true);
-  ocfg.flightrec = flags.get_bool("flightrec", true);
-  ocfg.flightrec_events =
-      static_cast<size_t>(flags.get_int("flightrec-events", 1024));
+  const ObservabilityConfig ocfg = observability_flags(flags, out_dir);
 
   const auto unused = flags.unused();
   if (!unused.empty()) {
