@@ -67,6 +67,17 @@ class Farm {
         static_cast<size_t>(params_.slots));
     info_.resize(static_cast<size_t>(params_.slots));
 
+    // One tail sketch per access class, fed at session departure and
+    // merged farm-wide at finalize — true p50/p95/p99 of per-session
+    // rebuffer time and goodput at O(compression) memory per class,
+    // independent of how many sessions churn through.
+    int n_classes = 0;
+    for (const int c : topo_.access_class) {
+      n_classes = std::max(n_classes, c + 1);
+    }
+    stall_sketches_.assign(static_cast<size_t>(n_classes), QuantileSketch());
+    goodput_sketches_.assign(static_cast<size_t>(n_classes), QuantileSketch());
+
     if (params_.trace != nullptr) {
       params_.trace->name_track(ChromeTraceWriter::kFarmTrack,
                                 "farm control");
@@ -299,6 +310,14 @@ class Farm {
     result_.total_rebuffer_sec += session.client().base_stall().sec();
     result_.total_packets_received += session.client().packets_received();
 
+    const size_t cls = static_cast<size_t>(topo_.access_class[s]);
+    stall_sketches_[cls].add(session.client().base_stall().sec());
+    if (lifetime > 0) {
+      goodput_sketches_[cls].add(
+          static_cast<double>(session.client().packets_received()) *
+          static_cast<double>(params_.packet_size) / lifetime);
+    }
+
     if (params_.registry != nullptr) {
       MetricsRegistry& reg = *params_.registry;
       session.server().adapter().metrics().fold_into(reg, "farm.adapter",
@@ -440,6 +459,7 @@ class Farm {
       params_.registry->gauge("farm.rebuffer_frac").set(sm.rebuffer_frac);
       params_.registry->gauge("farm.queue_frac").set(sm.queue_frac);
     }
+    if (params_.on_sample) params_.on_sample(now);
     if (live_snapshotter_ != nullptr) {
       const MetricsSnapshot& snap = live_snapshotter_->capture();
       params_.live->publish_snapshot(snap);
@@ -584,6 +604,28 @@ class Farm {
       reg.gauge("farm.mean_jain").set(result_.mean_jain);
       reg.gauge("farm.mean_active").set(result_.mean_active);
       reg.gauge("farm.duration_s").set(end.sec());
+
+      // Tail percentiles from the mergeable sketches: per-class sketches
+      // fold into one farm-wide sketch (fixed merge order = class index,
+      // so the export is deterministic), then both levels land as gauges.
+      const auto export_tails = [&reg](const std::string& base,
+                                       const std::vector<QuantileSketch>&
+                                           per_class) {
+        QuantileSketch all;
+        for (size_t c = 0; c < per_class.size(); ++c) {
+          all.merge(per_class[c]);
+          const std::string cls = base + ".class" + std::to_string(c);
+          reg.gauge(cls + ".count")
+              .set(static_cast<double>(per_class[c].count()));
+          reg.gauge(cls + ".p95").set(per_class[c].percentile(95));
+        }
+        reg.gauge(base + ".count").set(static_cast<double>(all.count()));
+        reg.gauge(base + ".p50").set(all.percentile(50));
+        reg.gauge(base + ".p95").set(all.percentile(95));
+        reg.gauge(base + ".p99").set(all.percentile(99));
+      };
+      export_tails("farm.tail.rebuffer_s", stall_sketches_);
+      export_tails("farm.tail.goodput_Bps", goodput_sketches_);
     }
   }
 
@@ -608,6 +650,9 @@ class Farm {
   int active_ = 0;
   uint64_t admit_counter_ = 0;
   uint64_t next_client_id_ = 0;
+  // Per-access-class tail sketches, fed at retire().
+  std::vector<QuantileSketch> stall_sketches_;
+  std::vector<QuantileSketch> goodput_sketches_;
   std::optional<double> queue_ewma_;
   std::optional<double> rebuffer_ewma_;
   TimePoint last_shed_;

@@ -35,6 +35,7 @@
 #include "util/http_sse.h"
 #include "util/metrics_registry.h"
 #include "util/rundiff.h"
+#include "util/sketch.h"
 #include "util/units.h"
 
 namespace qa::app {
@@ -106,6 +107,11 @@ struct FarmParams {
   // Invoked after each sample's live publish with the sample's sim time;
   // a tool injects a wall-clock sleeper for real-time pacing.
   std::function<void(TimePoint)> live_pacer;
+  // Invoked right after each aggregate sample updates the farm.* gauges
+  // (before the live publish), with the sample's sim time. This is the
+  // evaluation-tier hook: qa_slo drives a TimeSeriesRecorder + SloEngine
+  // on the farm's own deterministic sample grid through it.
+  std::function<void(TimePoint)> on_sample;
 };
 
 // One aggregate sample (the farm.csv row).

@@ -19,6 +19,23 @@ Observability::Observability(ObservabilityConfig cfg) : cfg_(std::move(cfg)) {
     trace_->name_track(ChromeTraceWriter::kAdapterTrack, "quality adapter");
     trace_->name_track(ChromeTraceWriter::kClientTrack, "video client");
     trace_->name_track(ChromeTraceWriter::kLinkTrack, "links");
+    if (cfg_.slo != nullptr) {
+      trace_->name_track(ChromeTraceWriter::kSloTrack, "slo alerts");
+    }
+  }
+  if (cfg_.slo != nullptr) {
+    QA_CHECK_MSG(cfg_.recorder != nullptr,
+                 "SLO engine needs a recorder to evaluate over");
+    cfg_.slo->set_alert_hook(
+        [this](const SloEngine::Transition& tr, const SloObjective& obj) {
+          on_slo_transition(tr, obj);
+        });
+  }
+  if (cfg_.recorder != nullptr) {
+    QA_CHECK(cfg_.sample_cadence > TimeDelta::zero());
+    // The evaluation grid is part of the alert timeline's identity: an
+    // offline re-evaluation (qa_slo --eval) must rebuild the same grid.
+    manifest_.set_int("obs_sample_cadence_ns", cfg_.sample_cadence.ns());
   }
   if (cfg_.journeys) {
     journeys_.bind_metrics(&registry_);
@@ -74,6 +91,38 @@ void Observability::attach_scheduler(sim::Scheduler& sched) {
     QA_CHECK(cfg_.live.cadence > TimeDelta::zero());
     sched.schedule_after(cfg_.live.cadence, [this] { live_tick(); },
                          EventCategory::kProbe);
+  }
+  if (cfg_.recorder != nullptr) {
+    sched.schedule_after(cfg_.sample_cadence, [this] { obs_tick(); },
+                         EventCategory::kProbe);
+  }
+}
+
+void Observability::obs_tick() {
+  if (finished_) return;
+  const TimePoint now = sched_->now();
+  cfg_.recorder->sample(now);
+  if (cfg_.slo != nullptr) cfg_.slo->evaluate(now);
+  sched_->schedule_after(cfg_.sample_cadence, [this] { obs_tick(); },
+                         EventCategory::kProbe);
+}
+
+void Observability::on_slo_transition(const SloEngine::Transition& tr,
+                                      const SloObjective& obj) {
+  const std::string detail =
+      "{\"objective\": " + json_quote(tr.objective) +
+      ", \"series\": " + json_quote(obj.series) +
+      ", \"fast\": " + json_number(tr.fast_value) +
+      ", \"slow\": " + json_number(tr.slow_value) +
+      ", \"threshold\": " + json_number(obj.threshold) + "}";
+  flightrec_note(tr.t, tr.open ? "slo.open" : "slo.close", detail);
+  live_note(tr.t, tr.open ? "slo.open" : "slo.close", detail);
+  if (trace_) {
+    trace_->instant(
+        tr.t, ChromeTraceWriter::kSloTrack,
+        std::string(tr.open ? "slo_open " : "slo_close ") + tr.objective,
+        TraceArgs{{"fast", ChromeTraceWriter::num(tr.fast_value)},
+                  {"slow", ChromeTraceWriter::num(tr.slow_value)}});
   }
 }
 
@@ -284,6 +333,16 @@ void Observability::attach_client(VideoClient& client) {
   client.rebuffers().register_metrics(registry_, "client.rebuffer");
   registry_.register_gauge("client.base_buffer_bytes",
                            [&client] { return client.buffer(0); });
+  // Cumulative paused-playout seconds as a monotone gauge: recorded as a
+  // trajectory, its window delta over W seconds is the rebuffer *ratio*
+  // over W — the canonical SLO numerator. After the scheduler detaches
+  // (final artifact snapshot in finish()), an open pause accrues to the
+  // recorded end time.
+  registry_.register_gauge("client.rebuffer.paused_s", [this, &client] {
+    return client.rebuffers()
+        .total_paused(sched_ != nullptr ? sched_->now() : end_time_)
+        .sec();
+  });
 
   subs_.push_back(client.on_rebuffer().subscribe_scoped(
       [this](TimePoint t, bool paused) {
@@ -361,10 +420,9 @@ void Observability::on_journey_span(const JourneySpan& span) {
                      std::string("journey.") + journey_stage_name(span.stage),
                      std::move(detail));
   }
-  if (!trace_ || span.layer < 0) return;
-  // Per-layer lanes. Lifecycle milestones only — the per-hop churn
-  // (enqueue, tx start/complete) stays in the flight recorder, keeping
-  // lane volume proportional to packets, not hops.
+  // Lifecycle milestones only — the per-hop churn (enqueue, tx
+  // start/complete) stays in the flight recorder, keeping trace-lane and
+  // SSE volume proportional to packets, not hops.
   switch (span.stage) {
     case JourneyStage::kEnqueue:
     case JourneyStage::kTxStart:
@@ -373,6 +431,25 @@ void Observability::on_journey_span(const JourneySpan& span) {
     default:
       break;
   }
+  // Opt-in journey lane over the live feed. Published into the same
+  // bounded ring as notes/metrics (oldest frames fall off), and published
+  // identically whether or not a server is attached — the served-vs-
+  // headless digest test pins that connected consumers cannot perturb it.
+  if (cfg_.live.feed != nullptr && cfg_.live.journey_events) {
+    std::string data = "{\"t\": " + json_number(span.at.sec()) +
+                       ", \"stage\": " +
+                       json_quote(journey_stage_name(span.stage)) +
+                       ", \"id\": " + json_number(uint64_t{span.id}) +
+                       ", \"flow\": " + json_number(int64_t{span.flow}) +
+                       ", \"layer\": " + json_number(int64_t{span.layer}) +
+                       ", \"seq\": " + json_number(span.seq);
+    if (span.hop != kNoHop) {
+      data += ", \"hop\": " + json_quote(journeys_.hop_name(span.hop));
+    }
+    data += "}";
+    cfg_.live.feed->publish_event("journey", data);
+  }
+  if (!trace_ || span.layer < 0) return;
   const int track = ChromeTraceWriter::kJourneyTrackBase + span.layer;
   if (named_journey_tracks_.insert(track).second) {
     trace_->name_track(track,
@@ -391,6 +468,15 @@ void Observability::on_journey_span(const JourneySpan& span) {
 void Observability::finish() {
   if (finished_) return;
   finished_ = true;
+  if (sched_ != nullptr) end_time_ = sched_->now();
+  // Closing recorder sample while the attached objects are still alive
+  // (callback gauges read them): captures the exact end state as each
+  // series' last_seen tail. Off the cadence grid, so the SLO engine is
+  // deliberately NOT evaluated here — the alert timeline stays a pure
+  // function of (trajectories × cadence grid).
+  if (cfg_.recorder != nullptr && sched_ != nullptr) {
+    cfg_.recorder->sample(end_time_);
+  }
   // The closing live publish happens while the attached objects are still
   // alive (callback gauges read them), before subscriptions drop.
   if (cfg_.live.feed != nullptr) {
@@ -410,6 +496,17 @@ void Observability::finish() {
   if (!cfg_.out_dir.empty() && cfg_.metrics) {
     registry_.write_csv(cfg_.out_dir + "/metrics.csv");
     registry_.write_json(cfg_.out_dir + "/metrics.json");
+  }
+  if (!cfg_.out_dir.empty() && cfg_.recorder != nullptr) {
+    cfg_.recorder->write_csv(cfg_.out_dir + "/timeseries.csv");
+    cfg_.recorder->write_json(cfg_.out_dir + "/timeseries.json");
+  }
+  if (!cfg_.out_dir.empty() && cfg_.slo != nullptr) {
+    const TimePoint end = cfg_.recorder != nullptr
+                              ? cfg_.recorder->last_sample_time()
+                              : end_time_;
+    write_alerts_json(cfg_.out_dir + "/alerts.json", *cfg_.slo, end);
+    write_slo_metrics_json(cfg_.out_dir + "/slo.json", *cfg_.slo, end);
   }
   if (!cfg_.out_dir.empty()) {
     manifest_.write_json(cfg_.out_dir + "/manifest.json");

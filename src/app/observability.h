@@ -33,6 +33,8 @@
 #include "util/journey.h"
 #include "util/manifest.h"
 #include "util/metrics_registry.h"
+#include "util/slo.h"
+#include "util/timeseries.h"
 
 namespace qa::sim {
 class FaultInjector;
@@ -58,6 +60,12 @@ struct LiveConfig {
   LiveFeed* feed = nullptr;  // not owned; null = live streaming off
   TimeDelta cadence = TimeDelta::millis(100);
   std::function<void(TimePoint)> pacer;
+  // Opt-in `journey` SSE event class: packet-journey lifecycle milestones
+  // (send, deliver, consume — the same filter as the trace lanes, never
+  // per-hop churn) forwarded through the feed's bounded ring. Off by
+  // default: journey volume is per-packet, so the ring would chew through
+  // its backlog quickly on long runs.
+  bool journey_events = false;
 };
 
 struct ObservabilityConfig {
@@ -77,6 +85,18 @@ struct ObservabilityConfig {
   size_t flightrec_events = 1024;
   // Live streaming config; inert unless live.feed is set.
   LiveConfig live;
+  // Evaluation tier (util/timeseries.h + util/slo.h). When `recorder` is
+  // set, the hub samples it every `sample_cadence` of sim time on a kProbe
+  // tick (O(changed rows) per tick; the recorder owns its own snapshotter,
+  // so the live feed's delta sequence is untouched). When `slo` is also
+  // set, the engine is evaluated on the same cadence grid — the grid is
+  // part of the alert timeline's determinism contract (DESIGN.md §16) —
+  // and every alert open/close fans out to the flight recorder, a
+  // Chrome-trace instant on kSloTrack, and the live note feed. Neither
+  // pointer is owned; both must outlive finish().
+  TimeSeriesRecorder* recorder = nullptr;
+  SloEngine* slo = nullptr;
+  TimeDelta sample_cadence = TimeDelta::millis(100);
 };
 
 class Observability {
@@ -127,6 +147,11 @@ class Observability {
                  const std::string& detail_json);
   // One cadence tick: capture, publish snapshot + delta, pace, reschedule.
   void live_tick();
+  // One evaluation tick: recorder sample + SLO evaluate, reschedule.
+  void obs_tick();
+  // Alert open/close fan-out (flight recorder, trace instant, live note).
+  void on_slo_transition(const SloEngine::Transition& tr,
+                         const SloObjective& obj);
 
   ObservabilityConfig cfg_;
   MetricsRegistry registry_;
@@ -140,6 +165,10 @@ class Observability {
   sim::Scheduler* sched_ = nullptr;
   MetricsSnapshotter snapshotter_{&registry_};
   uint64_t live_prev_seq_ = 0;  // last published capture, for deltas
+  // Sim end time recorded by finish() before the scheduler detaches, so
+  // time-dependent callback gauges (rebuffer paused_s) stay correct in the
+  // final artifact snapshot.
+  TimePoint end_time_;
   bool finished_ = false;
 };
 

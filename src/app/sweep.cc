@@ -223,6 +223,7 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& opts) {
     while (true) {
       const size_t k = cursor.fetch_add(1, std::memory_order_relaxed);
       if (k >= points.size()) return;
+      if (opts.on_job_start) opts.on_job_start(points[k]);
       result.rows[k] = run_point(grid, points[k]);
       if (opts.on_progress) {
         // acq_rel so the callback (running on whichever worker finished

@@ -116,6 +116,10 @@ struct SweepOptions {
   // result rows' memory after run_sweep returns.
   std::function<void(const SweepRow& row, size_t done, size_t total)>
       on_progress;
+  // Start hook, invoked when a worker claims grid point `index` (before the
+  // scenario runs). Same CONCURRENT contract as on_progress. Progress
+  // consoles use the start/finish pair to show running-vs-pending cells.
+  std::function<void(size_t index)> on_job_start;
 };
 
 struct SweepResult {

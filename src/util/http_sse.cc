@@ -128,6 +128,17 @@ bool LiveFeed::next_events(uint64_t* cursor, std::string* out,
     cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), has_new);
   }
   bool any = false;
+  // A slow consumer whose cursor fell off the ring must not silently skip
+  // the evicted frames — deltas past a gap would be torn. Emit a one-off
+  // `resync` frame carrying the latest full snapshot, then resume replay
+  // from what the ring still holds. (Per-consumer: resync frames never
+  // enter the ring, so the published event sequence — and the run digest —
+  // is untouched.)
+  if (!ring_.empty() && *cursor + 1 < ring_.front().id) {
+    *out += sse_frame(ring_.front().id - 1, "resync", snap_.to_json(0));
+    *cursor = ring_.front().id - 1;
+    any = true;
+  }
   for (const SseFrame& f : ring_) {
     if (f.id <= *cursor) continue;
     *out += sse_frame(f.id, f.event, f.data);

@@ -77,7 +77,10 @@ class LiveFeed {
 
   // Appends every ring frame with id > *cursor to `out` (rendered via
   // sse_frame) and advances *cursor. Blocks up to `timeout_ms` when the
-  // ring has nothing new. Returns false once the feed is closed *and*
+  // ring has nothing new. If eviction has passed the cursor (slow client:
+  // frames it never saw fell off the ring), a `resync` frame carrying the
+  // latest full snapshot is emitted first instead of silently serving a
+  // torn delta sequence. Returns false once the feed is closed *and*
   // drained — the streaming loop's termination condition.
   bool next_events(uint64_t* cursor, std::string* out, int timeout_ms) const;
 

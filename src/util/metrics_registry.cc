@@ -43,6 +43,15 @@ void Histogram::observe(double v) {
   }
 }
 
+std::vector<Histogram::Bucket> Histogram::export_buckets() const {
+  std::vector<Bucket> out;
+  out.reserve(buckets_.size());
+  for (const auto& [idx, n] : buckets_) {
+    out.push_back(Bucket{bucket_lower(idx), bucket_lower(idx + 1), n});
+  }
+  return out;
+}
+
 double Histogram::mean() const {
   return count_ ? sum_ / static_cast<double>(count_) : 0.0;
 }
@@ -157,6 +166,8 @@ std::vector<MetricsRegistry::Row> MetricsRegistry::snapshot() const {
     r.p50 = h.percentile(50);
     r.p90 = h.percentile(90);
     r.p99 = h.percentile(99);
+    r.buckets = h.export_buckets();
+    r.nonpositive = h.nonpositive();
     rows.push_back(std::move(r));
   }
   std::sort(rows.begin(), rows.end(),
@@ -186,7 +197,17 @@ std::string metrics_row_json(const MetricsRegistry::Row& r) {
            ", \"max\": " + json_number(r.max) +
            ", \"p50\": " + json_number(r.p50) +
            ", \"p90\": " + json_number(r.p90) +
-           ", \"p99\": " + json_number(r.p99);
+           ", \"p99\": " + json_number(r.p99) +
+           ", \"nonpositive\": " + json_number(r.nonpositive) +
+           ", \"buckets\": [";
+    bool first = true;
+    for (const Histogram::Bucket& b : r.buckets) {
+      if (!first) out += ", ";
+      first = false;
+      out += "[" + json_number(b.lower) + ", " + json_number(b.upper) + ", " +
+             json_number(b.count) + "]";
+    }
+    out += "]";
   }
   out += "}";
   return out;

@@ -71,6 +71,18 @@ class Histogram {
   double min() const { return count_ ? min_ : 0.0; }
   double max() const { return count_ ? max_ : 0.0; }
 
+  // One occupied log bucket: [lower, upper) bounds and its sample count.
+  struct Bucket {
+    double lower = 0;
+    double upper = 0;
+    uint64_t count = 0;
+  };
+
+  // Occupied buckets in ascending value order. Samples with v <= 0 have no
+  // log bucket; their count is reported separately.
+  std::vector<Bucket> export_buckets() const;
+  uint64_t nonpositive() const { return nonpositive_; }
+
   // Interpolated percentile, p in [0, 100]. Exact for p touching the
   // recorded min/max; elsewhere accurate to one bucket width.
   double percentile(double p) const;
@@ -119,6 +131,11 @@ class MetricsRegistry {
     double p50 = 0;
     double p90 = 0;
     double p99 = 0;
+    // Occupied log-bucket breakdown (JSON export only; empty for
+    // counters/gauges). Lets offline consumers recompute percentiles at
+    // any rank without re-running the scenario.
+    std::vector<Histogram::Bucket> buckets;
+    uint64_t nonpositive = 0;
   };
 
   // All instruments, sorted by hierarchical name; callback gauges are

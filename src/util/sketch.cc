@@ -1,0 +1,189 @@
+#include "util/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace qa {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// K1 scale function: k(q) = delta/(2*pi) * asin(2q - 1). A centroid may
+// span ranks [q0, q1] only while k(q1) - k(q0) <= 1, which squeezes
+// centroids near both tails (k' diverges at q = 0 and 1).
+double k1(double q, double delta) {
+  return delta / (2.0 * kPi) * std::asin(std::clamp(2.0 * q - 1.0, -1.0, 1.0));
+}
+
+double k1_inv(double k, double delta) {
+  const double s = std::sin(2.0 * kPi * k / delta);
+  return std::clamp((s + 1.0) / 2.0, 0.0, 1.0);
+}
+
+}  // namespace
+
+QuantileSketch::QuantileSketch(int compression)
+    : compression_(compression),
+      buffer_cap_(static_cast<size_t>(compression) * 4) {
+  QA_CHECK_GE(compression_, 10);
+  // Post-flush centroid count is bounded by ceil(delta/2) + a small
+  // constant; reserve once so steady state never reallocates.
+  centroids_.reserve(static_cast<size_t>(compression_) + 8);
+  buffer_.reserve(buffer_cap_);
+}
+
+void QuantileSketch::add(double v) {
+  if (!std::isfinite(v)) return;  // sketches summarize measurements only
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  buffer_.push_back(v);
+  if (buffer_.size() >= buffer_cap_) flush();
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.count_ == 0) return;
+  other.flush();
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  // Fold the other sketch's centroids in as pre-weighted observations:
+  // flush our buffer first, then append and re-compress in one pass.
+  flush();
+  for (const Centroid& c : other.centroids_) centroids_.push_back(c);
+  std::sort(centroids_.begin(), centroids_.end(),
+            [](const Centroid& a, const Centroid& b) {
+              return a.mean < b.mean;
+            });
+  std::vector<Centroid> merged;
+  merged.swap(centroids_);
+  // Re-run the compression walk over the combined list via flush()'s
+  // core: stage the merged list as already-sorted centroids.
+  centroids_.reserve(static_cast<size_t>(compression_) + 8);
+  double total = 0;
+  for (const Centroid& c : merged) total += c.weight;
+  double w_done = 0;
+  Centroid cur = merged.front();
+  for (size_t i = 1; i < merged.size(); ++i) {
+    const Centroid& next = merged[i];
+    const double q0 = w_done / total;
+    const double q_limit =
+        k1_inv(k1(q0, static_cast<double>(compression_)) + 1.0,
+               static_cast<double>(compression_));
+    if ((w_done + cur.weight + next.weight) / total <= q_limit) {
+      cur.mean = (cur.mean * cur.weight + next.mean * next.weight) /
+                 (cur.weight + next.weight);
+      cur.weight += next.weight;
+    } else {
+      centroids_.push_back(cur);
+      w_done += cur.weight;
+      cur = next;
+    }
+  }
+  centroids_.push_back(cur);
+}
+
+void QuantileSketch::flush() const {
+  if (buffer_.empty()) return;
+  std::sort(buffer_.begin(), buffer_.end());
+  // Merge-walk sorted centroids and sorted buffer by value.
+  std::vector<Centroid> all;
+  all.reserve(centroids_.size() + buffer_.size());
+  size_t ci = 0;
+  size_t bi = 0;
+  while (ci < centroids_.size() || bi < buffer_.size()) {
+    if (bi >= buffer_.size() ||
+        (ci < centroids_.size() && centroids_[ci].mean <= buffer_[bi])) {
+      all.push_back(centroids_[ci++]);
+    } else {
+      all.push_back(Centroid{buffer_[bi++], 1.0});
+    }
+  }
+  buffer_.clear();
+  centroids_.clear();
+
+  double total = 0;
+  for (const Centroid& c : all) total += c.weight;
+  double w_done = 0;
+  Centroid cur = all.front();
+  for (size_t i = 1; i < all.size(); ++i) {
+    const Centroid& next = all[i];
+    const double q0 = w_done / total;
+    const double q_limit =
+        k1_inv(k1(q0, static_cast<double>(compression_)) + 1.0,
+               static_cast<double>(compression_));
+    if ((w_done + cur.weight + next.weight) / total <= q_limit) {
+      cur.mean = (cur.mean * cur.weight + next.mean * next.weight) /
+                 (cur.weight + next.weight);
+      cur.weight += next.weight;
+    } else {
+      centroids_.push_back(cur);
+      w_done += cur.weight;
+      cur = next;
+    }
+  }
+  centroids_.push_back(cur);
+}
+
+double QuantileSketch::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+size_t QuantileSketch::centroid_count() const {
+  flush();
+  return centroids_.size();
+}
+
+double QuantileSketch::percentile(double p) const {
+  QA_CHECK_GE(p, 0.0);
+  QA_CHECK_LE(p, 100.0);
+  if (count_ == 0) return 0.0;
+  flush();
+  if (centroids_.size() == 1) {
+    // One centroid: anchor the extremes, interpolate between them.
+    if (p <= 0) return min_;
+    if (p >= 100) return max_;
+    return centroids_[0].mean;
+  }
+  const double total = static_cast<double>(count_);
+  const double rank = p / 100.0 * total;
+  // Centroid i occupies ranks centered at cum_i = (sum of weights before)
+  // + w_i / 2; interpolate linearly between successive centers, anchored
+  // at min/max for the outermost half-centroids.
+  double cum_prev = centroids_.front().weight / 2.0;
+  if (rank <= cum_prev) {
+    const double frac = rank / cum_prev;
+    return min_ + frac * (centroids_.front().mean - min_);
+  }
+  for (size_t i = 1; i < centroids_.size(); ++i) {
+    const double cum =
+        cum_prev + (centroids_[i - 1].weight + centroids_[i].weight) / 2.0;
+    if (rank <= cum) {
+      const double frac = (rank - cum_prev) / (cum - cum_prev);
+      return centroids_[i - 1].mean +
+             frac * (centroids_[i].mean - centroids_[i - 1].mean);
+    }
+    cum_prev = cum;
+  }
+  const double tail = total - cum_prev;
+  const double frac = tail > 0 ? (rank - cum_prev) / tail : 1.0;
+  return centroids_.back().mean +
+         std::min(1.0, frac) * (max_ - centroids_.back().mean);
+}
+
+}  // namespace qa

@@ -1,0 +1,371 @@
+#include "util/slo.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/json.h"
+#include "util/metrics_registry.h"
+
+namespace qa {
+
+namespace {
+
+std::string exact_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+uint64_t fnv1a64(uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+const char* signal_name(SloObjective::Signal s) {
+  switch (s) {
+    case SloObjective::Signal::kMean:
+      return "mean";
+    case SloObjective::Signal::kRate:
+      return "rate";
+    case SloObjective::Signal::kLatest:
+      return "latest";
+  }
+  return "?";
+}
+
+}  // namespace
+
+SloEngine::SloEngine(const TimeSeriesRecorder* recorder)
+    : recorder_(recorder) {
+  QA_CHECK(recorder_ != nullptr);
+}
+
+void SloEngine::add(SloObjective obj) {
+  QA_CHECK_MSG(!obj.name.empty() && !obj.series.empty(),
+               "SLO objective needs a name and a series");
+  QA_CHECK_MSG(obj.threshold > 0,
+               "SLO threshold must be > 0 (burn ratios are "
+               "threshold-relative): "
+                   << obj.name);
+  QA_CHECK_GT(obj.burn_factor, 0.0);
+  QA_CHECK_GT(obj.fast_window.ns(), 0);
+  QA_CHECK_GE(obj.slow_window.ns(), obj.fast_window.ns());
+  for (const SloObjective& existing : objectives_) {
+    QA_CHECK_MSG(existing.name != obj.name,
+                 "duplicate SLO objective: " << obj.name);
+  }
+  objectives_.push_back(std::move(obj));
+  states_.emplace_back();
+}
+
+bool SloEngine::window_value(const SloObjective& obj, TimePoint t,
+                             TimeDelta window, double* out) const {
+  std::optional<double> v;
+  switch (obj.signal) {
+    case SloObjective::Signal::kMean:
+      v = recorder_->window_mean(obj.series, t, window);
+      break;
+    case SloObjective::Signal::kRate: {
+      const std::optional<double> d =
+          recorder_->window_delta(obj.series, t, window);
+      // Denominator is the *requested* window (SRE convention: the budget
+      // is defined over the window), so early clipped windows under-report
+      // — conservative at run start.
+      if (d) v = *d / window.sec();
+      break;
+    }
+    case SloObjective::Signal::kLatest:
+      v = recorder_->value_at(obj.series, t);
+      break;
+  }
+  if (!v) return false;
+  *out = *v;
+  return true;
+}
+
+double SloEngine::burn_ratio(const SloObjective& obj, double value) {
+  if (obj.cmp == SloObjective::Cmp::kLess) {
+    return value / obj.threshold;
+  }
+  // Lower bound: how far below the floor are we? value <= 0 is an
+  // unbounded violation.
+  if (value <= 0) return 1e300;
+  return obj.threshold / value;
+}
+
+void SloEngine::evaluate(TimePoint t) {
+  QA_CHECK_GE(t.ns(), last_eval_.ns());
+  last_eval_ = t;
+  ++evaluations_;
+  for (size_t i = 0; i < objectives_.size(); ++i) {
+    const SloObjective& obj = objectives_[i];
+    State& st = states_[i];
+    double fast = 0;
+    double slow = 0;
+    // A window with no data cannot assert a violation: unevaluable
+    // objectives stay (or become) closed.
+    const bool have = window_value(obj, t, obj.fast_window, &fast) &&
+                      window_value(obj, t, obj.slow_window, &slow);
+    bool violating = false;
+    if (have) {
+      violating = burn_ratio(obj, fast) > obj.burn_factor &&
+                  burn_ratio(obj, slow) > obj.burn_factor;
+    }
+    if (violating == st.open) continue;
+    st.open = violating;
+    if (violating) {
+      st.opened_at = t;
+      ++st.opens;
+      ++total_opens_;
+      if (!st.ever_opened) {
+        st.ever_opened = true;
+        st.first_open = t;
+      }
+    } else {
+      st.open_total += t - st.opened_at;
+    }
+    Transition tr;
+    tr.t = t;
+    tr.objective = obj.name;
+    tr.open = violating;
+    tr.fast_value = fast;
+    tr.slow_value = slow;
+    transitions_.push_back(tr);
+    if (hook_) hook_(transitions_.back(), obj);
+  }
+}
+
+std::vector<std::string> SloEngine::open_objectives() const {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < objectives_.size(); ++i) {
+    if (states_[i].open) out.push_back(objectives_[i].name);
+  }
+  return out;
+}
+
+TimeDelta SloEngine::total_open_time(const std::string& objective,
+                                     TimePoint end) const {
+  for (size_t i = 0; i < objectives_.size(); ++i) {
+    if (objectives_[i].name != objective) continue;
+    TimeDelta total = states_[i].open_total;
+    if (states_[i].open) total += end - states_[i].opened_at;
+    return total;
+  }
+  return TimeDelta::zero();
+}
+
+uint64_t SloEngine::timeline_digest() const {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a 64 offset basis
+  for (const Transition& tr : transitions_) {
+    std::string line = std::to_string(tr.t.ns());
+    line += ' ';
+    line += tr.objective;
+    line += tr.open ? " open " : " close ";
+    line += exact_double(tr.fast_value);
+    line += ' ';
+    line += exact_double(tr.slow_value);
+    line += '\n';
+    h = fnv1a64(h, line);
+  }
+  return h;
+}
+
+// ---- spec parsing ----------------------------------------------------------
+
+bool parse_slo_spec(const std::string& json_text,
+                    std::vector<SloObjective>* out, std::string* error) {
+  JsonValue doc;
+  if (!json_parse(json_text, &doc, error)) return false;
+  if (!doc.is_object()) {
+    *error = "SLO spec: top level must be an object";
+    return false;
+  }
+  const JsonValue* objectives = doc.find("objectives");
+  if (objectives == nullptr ||
+      objectives->type != JsonValue::Type::kArray) {
+    *error = "SLO spec: missing \"objectives\" array";
+    return false;
+  }
+  out->clear();
+  for (const JsonValue& jo : objectives->array) {
+    if (!jo.is_object()) {
+      *error = "SLO spec: each objective must be an object";
+      return false;
+    }
+    SloObjective obj;
+    const JsonValue* name = jo.find("name");
+    const JsonValue* series = jo.find("series");
+    const JsonValue* threshold = jo.find("threshold");
+    if (name == nullptr || name->type != JsonValue::Type::kString ||
+        series == nullptr || series->type != JsonValue::Type::kString ||
+        threshold == nullptr || !threshold->is_number()) {
+      *error = "SLO spec: objective needs string name/series and numeric "
+               "threshold";
+      return false;
+    }
+    obj.name = name->str;
+    obj.series = series->str;
+    obj.threshold = threshold->number;
+    if (obj.threshold <= 0) {
+      *error = "SLO spec: threshold must be > 0 for " + obj.name;
+      return false;
+    }
+    if (const JsonValue* sig = jo.find("signal")) {
+      if (sig->str == "mean") {
+        obj.signal = SloObjective::Signal::kMean;
+      } else if (sig->str == "rate") {
+        obj.signal = SloObjective::Signal::kRate;
+      } else if (sig->str == "latest") {
+        obj.signal = SloObjective::Signal::kLatest;
+      } else {
+        *error = "SLO spec: unknown signal \"" + sig->str + "\" for " +
+                 obj.name;
+        return false;
+      }
+    }
+    if (const JsonValue* cmp = jo.find("cmp")) {
+      if (cmp->str == "<") {
+        obj.cmp = SloObjective::Cmp::kLess;
+      } else if (cmp->str == ">") {
+        obj.cmp = SloObjective::Cmp::kGreater;
+      } else {
+        *error = "SLO spec: cmp must be \"<\" or \">\" for " + obj.name;
+        return false;
+      }
+    }
+    if (const JsonValue* v = jo.find("fast_window_s")) {
+      if (!v->is_number() || v->number <= 0) {
+        *error = "SLO spec: bad fast_window_s for " + obj.name;
+        return false;
+      }
+      obj.fast_window = TimeDelta::from_sec(v->number);
+    }
+    if (const JsonValue* v = jo.find("slow_window_s")) {
+      if (!v->is_number() || v->number <= 0) {
+        *error = "SLO spec: bad slow_window_s for " + obj.name;
+        return false;
+      }
+      obj.slow_window = TimeDelta::from_sec(v->number);
+    }
+    if (const JsonValue* v = jo.find("burn_factor")) {
+      if (!v->is_number() || v->number <= 0) {
+        *error = "SLO spec: bad burn_factor for " + obj.name;
+        return false;
+      }
+      obj.burn_factor = v->number;
+    }
+    if (obj.slow_window < obj.fast_window) {
+      *error = "SLO spec: slow_window_s < fast_window_s for " + obj.name;
+      return false;
+    }
+    out->push_back(std::move(obj));
+  }
+  return true;
+}
+
+// ---- artifacts -------------------------------------------------------------
+
+void write_alerts_json(const std::string& path, const SloEngine& engine,
+                       TimePoint end) {
+  char digest[32];
+  std::snprintf(digest, sizeof(digest), "%016llx",
+                static_cast<unsigned long long>(engine.timeline_digest()));
+  std::string out = "{\n";
+  out += "  \"breached\": ";
+  out += engine.breached() ? "true" : "false";
+  out += ",\n  \"end_s\": " + exact_double(end.sec());
+  out += ",\n  \"evaluations\": " + json_number(engine.evaluations());
+  out += ",\n  \"timeline_digest\": " + json_quote(digest);
+  out += ",\n  \"open_at_end\": [";
+  bool first = true;
+  for (const std::string& name : engine.open_objectives()) {
+    if (!first) out += ", ";
+    first = false;
+    out += json_quote(name);
+  }
+  out += "],\n  \"objectives\": [";
+  first = true;
+  for (const SloObjective& obj : engine.objectives()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": " + json_quote(obj.name) +
+           ", \"series\": " + json_quote(obj.series) +
+           ", \"signal\": " + json_quote(signal_name(obj.signal)) +
+           ", \"cmp\": " +
+           json_quote(obj.cmp == SloObjective::Cmp::kLess ? "<" : ">") +
+           ", \"threshold\": " + exact_double(obj.threshold) +
+           ", \"fast_window_s\": " + exact_double(obj.fast_window.sec()) +
+           ", \"slow_window_s\": " + exact_double(obj.slow_window.sec()) +
+           ", \"burn_factor\": " + exact_double(obj.burn_factor) +
+           ", \"open_s\": " +
+           exact_double(engine.total_open_time(obj.name, end).sec()) + "}";
+  }
+  out += "\n  ],\n  \"transitions\": [";
+  first = true;
+  for (const SloEngine::Transition& tr : engine.transitions()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"t_s\": " + exact_double(tr.t.sec()) +
+           ", \"objective\": " + json_quote(tr.objective) +
+           ", \"event\": " + json_quote(tr.open ? "open" : "close") +
+           ", \"fast\": " + exact_double(tr.fast_value) +
+           ", \"slow\": " + exact_double(tr.slow_value) + "}";
+  }
+  out += "\n  ]\n}\n";
+  write_text_file(path, out);
+}
+
+void write_slo_metrics_json(const std::string& path, const SloEngine& engine,
+                            TimePoint end) {
+  MetricsRegistry reg;
+  reg.counter("slo.evaluations")
+      .inc(static_cast<int64_t>(engine.evaluations()));
+  reg.counter("slo.transitions")
+      .inc(static_cast<int64_t>(engine.transitions().size()));
+  reg.counter("slo.opens").inc(static_cast<int64_t>(engine.total_opens()));
+  // The 64-bit digest split across two exact-compared counters (a gauge
+  // double cannot hold 64 bits losslessly).
+  const uint64_t digest = engine.timeline_digest();
+  reg.counter("slo.timeline.digest_hi")
+      .inc(static_cast<int64_t>(digest >> 32));
+  reg.counter("slo.timeline.digest_lo")
+      .inc(static_cast<int64_t>(digest & 0xffffffffull));
+  reg.gauge("slo.breached").set(engine.breached() ? 1 : 0);
+  for (const SloObjective& obj : engine.objectives()) {
+    const std::string prefix = "slo.obj." + obj.name;
+    reg.gauge(prefix + ".open_s")
+        .set(engine.total_open_time(obj.name, end).sec());
+  }
+  reg.write_json(path);
+}
+
+std::string slo_breach_report(const SloEngine& engine, TimePoint end) {
+  std::ostringstream os;
+  os << "SLO report @ " << end << " (" << engine.evaluations()
+     << " evaluations)\n";
+  const std::vector<std::string> open = engine.open_objectives();
+  for (const SloObjective& obj : engine.objectives()) {
+    uint64_t opens = 0;
+    for (const SloEngine::Transition& tr : engine.transitions()) {
+      if (tr.open && tr.objective == obj.name) ++opens;
+    }
+    os << "  " << (opens ? "BREACH " : "ok     ") << obj.name << ": "
+       << signal_name(obj.signal) << "(" << obj.series << ") "
+       << (obj.cmp == SloObjective::Cmp::kLess ? "<" : ">") << " "
+       << obj.threshold << " — " << opens << " alert(s), open "
+       << engine.total_open_time(obj.name, end) << "\n";
+  }
+  if (!open.empty()) {
+    os << "  open at end:";
+    for (const std::string& name : open) os << " " << name;
+    os << "\n";
+  }
+  os << (engine.breached() ? "RESULT: BREACHED\n" : "RESULT: CLEAN\n");
+  return os.str();
+}
+
+}  // namespace qa

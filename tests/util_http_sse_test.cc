@@ -125,21 +125,86 @@ TEST(LiveFeed, EventsReplayFromAnyHeldCursor) {
   EXPECT_EQ(frames[0].event, "c");
 }
 
-TEST(LiveFeed, BoundedRingEvictsOldestFrames) {
+TEST(LiveFeed, BoundedRingEvictsOldestFramesAndAnnouncesTheGap) {
   LiveFeed feed(/*ring_capacity=*/2);
   feed.publish_event("a", "1");
   feed.publish_event("b", "2");
   feed.publish_event("c", "3");
 
+  // Frame "a" was evicted before this consumer drained: it must see a
+  // resync frame marking the gap, then the surviving tail.
   uint64_t cursor = 0;
   std::string out;
   feed.next_events(&cursor, &out, 0);
   std::vector<SseFrame> frames;
   sse_parse(out, &frames);
-  ASSERT_EQ(frames.size(), 2u);
-  EXPECT_EQ(frames[0].event, "b");
-  EXPECT_EQ(frames[1].event, "c");
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].event, "resync");
+  EXPECT_EQ(frames[0].id, 1u);  // the last evicted id: replay is gapless
+  EXPECT_EQ(frames[1].event, "b");
+  EXPECT_EQ(frames[2].event, "c");
   EXPECT_EQ(feed.events_published(), 3u);
+}
+
+TEST(LiveFeed, SlowConsumerCursorWraparoundResyncs) {
+  LiveFeed feed(/*ring_capacity=*/4);
+  // Give the resync frame a real snapshot to carry.
+  MetricsRegistry reg;
+  reg.counter("pkts").inc(7);
+  MetricsSnapshotter snap(&reg);
+  snap.capture();
+  feed.publish_snapshot(snap.current());
+
+  // The consumer drains the first two events, stalls, and the ring laps it.
+  feed.publish_event("e1", "{}");
+  feed.publish_event("e2", "{}");
+  uint64_t cursor = 0;
+  std::string out;
+  ASSERT_TRUE(feed.next_events(&cursor, &out, 0));
+  EXPECT_EQ(cursor, 2u);
+  for (int i = 3; i <= 10; ++i) feed.publish_event("e" + std::to_string(i), "{}");
+
+  // Events 3..6 are gone (ring holds 7..10): one resync frame carrying
+  // the latest full snapshot, then gapless replay of the survivors.
+  out.clear();
+  ASSERT_TRUE(feed.next_events(&cursor, &out, 0));
+  std::vector<SseFrame> frames;
+  sse_parse(out, &frames);
+  ASSERT_EQ(frames.size(), 5u);
+  EXPECT_EQ(frames[0].event, "resync");
+  EXPECT_EQ(frames[0].id, 6u);
+  EXPECT_NE(frames[0].data.find("\"pkts\""), std::string::npos);
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_EQ(frames[i].event, "e" + std::to_string(6 + i));
+    EXPECT_EQ(frames[i].id, static_cast<uint64_t>(6 + i));
+  }
+  EXPECT_EQ(cursor, 10u);
+
+  // Once resynced, the consumer is a normal tail reader again: no second
+  // resync frame on the next drain.
+  feed.publish_event("e11", "{}");
+  out.clear();
+  ASSERT_TRUE(feed.next_events(&cursor, &out, 0));
+  frames.clear();
+  sse_parse(out, &frames);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].event, "e11");
+}
+
+TEST(LiveFeed, UpToDateConsumerNeverSeesResync) {
+  LiveFeed feed(/*ring_capacity=*/2);
+  feed.publish_event("a", "1");
+  uint64_t cursor = 0;
+  std::string out;
+  ASSERT_TRUE(feed.next_events(&cursor, &out, 0));
+  // Keep pace with the publisher across several evictions.
+  for (int i = 2; i <= 9; ++i) {
+    feed.publish_event("e" + std::to_string(i), "{}");
+    out.clear();
+    ASSERT_TRUE(feed.next_events(&cursor, &out, 0));
+    EXPECT_EQ(out.find("resync"), std::string::npos);
+  }
+  EXPECT_EQ(cursor, 9u);
 }
 
 TEST(LiveFeed, CloseDrainsThenTerminates) {

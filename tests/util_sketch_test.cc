@@ -1,0 +1,145 @@
+// QuantileSketch accuracy and mergeability, pinned against the exact
+// SampleSet quantiles on a 10^5-sample seeded corpus: p50/p95/p99 must
+// land within 2% relative error, a 16-way sharded merge must hold the
+// same bound, and the centroid set must stay bounded and deterministic.
+#include "util/sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace qa {
+namespace {
+
+// A long-tailed mixture (bulk uniform + exponential tail) — the shape of
+// the farm's rebuffer/goodput distributions, and the case log-bucketed
+// histograms resolve worst.
+std::vector<double> corpus(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<double> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    v.push_back(rng.bernoulli(0.8) ? rng.uniform(0.0, 1.0)
+                                   : 1.0 + rng.exponential(4.0));
+  }
+  return v;
+}
+
+double rel_err(double got, double want) {
+  return std::fabs(got - want) / std::fabs(want);
+}
+
+TEST(QuantileSketch, TailQuantilesWithinTwoPercentOfExact) {
+  const std::vector<double> v = corpus(42, 100'000);
+  SampleSet exact;
+  QuantileSketch sketch;
+  for (double x : v) {
+    exact.add(x);
+    sketch.add(x);
+  }
+  ASSERT_EQ(sketch.count(), 100'000u);
+  for (double p : {50.0, 95.0, 99.0}) {
+    EXPECT_LT(rel_err(sketch.percentile(p), exact.percentile(p)), 0.02)
+        << "p" << p << ": sketch " << sketch.percentile(p) << " exact "
+        << exact.percentile(p);
+  }
+}
+
+TEST(QuantileSketch, ExtremesCountAndSumAreExact) {
+  const std::vector<double> v = corpus(7, 10'000);
+  SampleSet exact;
+  QuantileSketch sketch;
+  double sum = 0;
+  for (double x : v) {
+    exact.add(x);
+    sketch.add(x);
+    sum += x;
+  }
+  EXPECT_DOUBLE_EQ(sketch.min(), exact.percentile(0));
+  EXPECT_DOUBLE_EQ(sketch.max(), exact.percentile(100));
+  EXPECT_DOUBLE_EQ(sketch.percentile(0), sketch.min());
+  EXPECT_DOUBLE_EQ(sketch.percentile(100), sketch.max());
+  EXPECT_DOUBLE_EQ(sketch.sum(), sum);
+  EXPECT_DOUBLE_EQ(sketch.mean(), sum / 10'000);
+}
+
+TEST(QuantileSketch, SixteenShardMergeHoldsTheAccuracyBound) {
+  const std::vector<double> v = corpus(42, 100'000);
+  SampleSet exact;
+  std::vector<QuantileSketch> shards(16, QuantileSketch(100));
+  for (size_t i = 0; i < v.size(); ++i) {
+    exact.add(v[i]);
+    shards[i % 16].add(v[i]);
+  }
+  // Fold in fixed shard order — the farm's per-access-class export does
+  // the same, so merged quantiles are deterministic.
+  QuantileSketch merged;
+  for (const QuantileSketch& s : shards) merged.merge(s);
+  ASSERT_EQ(merged.count(), 100'000u);
+  for (double p : {50.0, 95.0, 99.0}) {
+    EXPECT_LT(rel_err(merged.percentile(p), exact.percentile(p)), 0.02)
+        << "p" << p;
+  }
+  EXPECT_DOUBLE_EQ(merged.min(), exact.percentile(0));
+  EXPECT_DOUBLE_EQ(merged.max(), exact.percentile(100));
+}
+
+TEST(QuantileSketch, CentroidCountStaysBounded) {
+  QuantileSketch sketch(100);
+  Rng rng(3);
+  for (int i = 0; i < 200'000; ++i) sketch.add(rng.exponential(1.0));
+  // K1 with delta=100 keeps ~O(delta) centroids regardless of n.
+  EXPECT_LE(sketch.centroid_count(), 200u);
+  EXPECT_GE(sketch.centroid_count(), 20u);
+}
+
+TEST(QuantileSketch, SameSequenceIsBitIdentical) {
+  const std::vector<double> v = corpus(11, 50'000);
+  QuantileSketch a, b;
+  for (double x : v) {
+    a.add(x);
+    b.add(x);
+  }
+  for (double p : {1.0, 25.0, 50.0, 90.0, 95.0, 99.0, 99.9}) {
+    EXPECT_EQ(a.percentile(p), b.percentile(p));
+  }
+  EXPECT_EQ(a.centroid_count(), b.centroid_count());
+}
+
+TEST(QuantileSketch, EmptyAndSingletonAreWellDefined) {
+  QuantileSketch empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.percentile(50), 0.0);
+
+  QuantileSketch one;
+  one.add(3.5);
+  EXPECT_EQ(one.percentile(0), 3.5);
+  EXPECT_EQ(one.percentile(50), 3.5);
+  EXPECT_EQ(one.percentile(100), 3.5);
+
+  // Merging an empty sketch is a no-op; merging into an empty sketch
+  // copies.
+  QuantileSketch target;
+  target.merge(one);
+  target.merge(empty);
+  EXPECT_EQ(target.count(), 1u);
+  EXPECT_EQ(target.percentile(50), 3.5);
+}
+
+TEST(QuantileSketch, NonFiniteObservationsAreDropped) {
+  QuantileSketch sketch;
+  sketch.add(1.0);
+  sketch.add(std::nan(""));
+  sketch.add(INFINITY);
+  sketch.add(2.0);
+  EXPECT_EQ(sketch.count(), 2u);
+  EXPECT_EQ(sketch.max(), 2.0);
+}
+
+}  // namespace
+}  // namespace qa

@@ -1,0 +1,203 @@
+// SloEngine: multi-window burn-rate semantics (fast spike alone must not
+// alert, sustained violation must, recovery closes), rate/latest signals,
+// both comparison directions, spec parsing, and the timeline digest that
+// pins alert determinism for qa_diff.
+#include "util/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/timeseries.h"
+
+namespace qa {
+namespace {
+
+TimePoint at(double s) { return TimePoint::from_sec(s); }
+
+SloObjective mean_below(const std::string& series, double threshold,
+                        double fast_s, double slow_s) {
+  SloObjective o;
+  o.name = series + "_slo";
+  o.series = series;
+  o.signal = SloObjective::Signal::kMean;
+  o.cmp = SloObjective::Cmp::kLess;
+  o.threshold = threshold;
+  o.fast_window = TimeDelta::from_sec(fast_s);
+  o.slow_window = TimeDelta::from_sec(slow_s);
+  return o;
+}
+
+// Drives a constant-cadence evaluation grid with a value trajectory.
+void drive(TimeSeriesRecorder* rec, SloEngine* eng, const std::string& series,
+           double t0, double dt, const std::vector<double>& values) {
+  double t = t0;
+  for (double v : values) {
+    rec->inject(series, at(t), v);
+    eng->evaluate(at(t));
+    t += dt;
+  }
+}
+
+TEST(SloEngine, ShortSpikeDoesNotAlertSustainedBurnDoes) {
+  TimeSeriesRecorder rec(nullptr);
+  SloEngine eng(&rec);
+  eng.add(mean_below("x", 1.0, /*fast=*/2, /*slow=*/10));
+
+  // 10 s clean, one 2 s spike, clean again: the fast window violates
+  // (mean 2.0 > 1.0) but the 10 s window peaks at 0.48 — no alert.
+  std::vector<double> traj(10, 0.1);
+  traj.push_back(2.0);
+  traj.push_back(2.0);
+  traj.insert(traj.end(), 10, 0.1);
+  drive(&rec, &eng, "x", 1.0, 1.0, traj);
+  EXPECT_FALSE(eng.breached());
+  EXPECT_TRUE(eng.transitions().empty());
+
+  // Now a sustained burn: both windows violate -> exactly one open, and
+  // recovery closes it.
+  drive(&rec, &eng, "x", 24.0, 1.0, std::vector<double>(15, 5.0));
+  EXPECT_TRUE(eng.breached());
+  drive(&rec, &eng, "x", 39.0, 1.0, std::vector<double>(30, 0.01));
+  ASSERT_EQ(eng.transitions().size(), 2u);
+  EXPECT_TRUE(eng.transitions()[0].open);
+  EXPECT_FALSE(eng.transitions()[1].open);
+  EXPECT_EQ(eng.total_opens(), 1u);
+  EXPECT_TRUE(eng.open_objectives().empty());
+  EXPECT_GT(eng.total_open_time("x_slo", at(69)).sec(), 0.0);
+}
+
+TEST(SloEngine, GreaterDirectionGuardsLowerBounds) {
+  TimeSeriesRecorder rec(nullptr);
+  SloEngine eng(&rec);
+  SloObjective o;
+  o.name = "goodput_floor";
+  o.series = "rate";
+  o.signal = SloObjective::Signal::kLatest;
+  o.cmp = SloObjective::Cmp::kGreater;
+  o.threshold = 100.0;
+  o.fast_window = TimeDelta::from_sec(2);
+  o.slow_window = TimeDelta::from_sec(5);
+  eng.add(o);
+
+  drive(&rec, &eng, "rate", 1.0, 1.0, {500, 400, 300, 200, 150, 120});
+  EXPECT_FALSE(eng.breached());
+  // Collapse below the floor, long enough for both windows.
+  drive(&rec, &eng, "rate", 7.0, 1.0, std::vector<double>(8, 10.0));
+  EXPECT_TRUE(eng.breached());
+  ASSERT_FALSE(eng.transitions().empty());
+  EXPECT_EQ(eng.transitions()[0].objective, "goodput_floor");
+}
+
+TEST(SloEngine, RateSignalMeasuresCounterSlope) {
+  TimeSeriesRecorder rec(nullptr);
+  SloEngine eng(&rec);
+  SloObjective o;
+  o.name = "stall_rate";
+  o.series = "paused_s";
+  o.signal = SloObjective::Signal::kRate;
+  o.cmp = SloObjective::Cmp::kLess;
+  o.threshold = 0.1;  // at most 10% of time paused
+  o.fast_window = TimeDelta::from_sec(2);
+  o.slow_window = TimeDelta::from_sec(10);
+  eng.add(o);
+
+  // Counter flat at 3 -> rate 0 everywhere, clean.
+  drive(&rec, &eng, "paused_s", 1.0, 1.0, std::vector<double>(12, 3.0));
+  EXPECT_FALSE(eng.breached());
+  // Counter climbing 0.5/s: rate 0.5 > 0.1 on both windows once sustained.
+  std::vector<double> climb;
+  for (int i = 1; i <= 12; ++i) climb.push_back(3.0 + 0.5 * i);
+  drive(&rec, &eng, "paused_s", 13.0, 1.0, climb);
+  EXPECT_TRUE(eng.breached());
+}
+
+TEST(SloEngine, NoDataNeverViolates) {
+  TimeSeriesRecorder rec(nullptr);
+  SloEngine eng(&rec);
+  eng.add(mean_below("ghost", 1.0, 2, 10));
+  for (int i = 1; i <= 20; ++i) eng.evaluate(at(i));
+  EXPECT_FALSE(eng.breached());
+  EXPECT_EQ(eng.evaluations(), 20u);
+}
+
+TEST(SloEngine, TimelineDigestPinsTheTransitionSequence) {
+  auto run = [](double spike_at) {
+    TimeSeriesRecorder rec(nullptr);
+    SloEngine eng(&rec);
+    eng.add(mean_below("x", 1.0, 2, 6));
+    std::vector<double> traj(30, 0.1);
+    for (int i = 0; i < 10; ++i) traj[static_cast<int>(spike_at) + i] = 9.0;
+    drive(&rec, &eng, "x", 1.0, 1.0, traj);
+    return eng.timeline_digest();
+  };
+  EXPECT_EQ(run(5), run(5));    // identical timelines digest equal
+  EXPECT_NE(run(5), run(12));   // a shifted alert changes the digest
+}
+
+TEST(SloEngine, AlertHookFiresOnTransitions) {
+  TimeSeriesRecorder rec(nullptr);
+  SloEngine eng(&rec);
+  eng.add(mean_below("x", 1.0, 2, 4));
+  std::vector<std::pair<std::string, bool>> seen;
+  eng.set_alert_hook([&seen](const SloEngine::Transition& tr,
+                             const SloObjective& obj) {
+    seen.emplace_back(obj.name, tr.open);
+  });
+  drive(&rec, &eng, "x", 1.0, 1.0, std::vector<double>(8, 9.0));
+  drive(&rec, &eng, "x", 9.0, 1.0, std::vector<double>(8, 0.0));
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_TRUE(seen[0].second);
+  EXPECT_FALSE(seen[1].second);
+}
+
+TEST(SloSpec, ParsesFullAndDefaultedObjectives) {
+  const std::string spec = R"({"objectives": [
+    {"name": "a", "series": "s1", "signal": "rate", "cmp": ">",
+     "threshold": 2.5, "fast_window_s": 3, "slow_window_s": 30,
+     "burn_factor": 1.5},
+    {"name": "b", "series": "s2", "threshold": 0.01}
+  ]})";
+  std::vector<SloObjective> objs;
+  std::string err;
+  ASSERT_TRUE(parse_slo_spec(spec, &objs, &err)) << err;
+  ASSERT_EQ(objs.size(), 2u);
+  EXPECT_EQ(objs[0].signal, SloObjective::Signal::kRate);
+  EXPECT_EQ(objs[0].cmp, SloObjective::Cmp::kGreater);
+  EXPECT_EQ(objs[0].fast_window.ns(), TimeDelta::seconds(3).ns());
+  EXPECT_EQ(objs[0].burn_factor, 1.5);
+  // Defaults: mean, <, 5 s / 60 s, burn 1.0.
+  EXPECT_EQ(objs[1].signal, SloObjective::Signal::kMean);
+  EXPECT_EQ(objs[1].cmp, SloObjective::Cmp::kLess);
+  EXPECT_EQ(objs[1].fast_window.ns(), TimeDelta::seconds(5).ns());
+  EXPECT_EQ(objs[1].slow_window.ns(), TimeDelta::seconds(60).ns());
+  EXPECT_EQ(objs[1].burn_factor, 1.0);
+}
+
+TEST(SloSpec, RejectsMalformedSpecs) {
+  std::vector<SloObjective> objs;
+  std::string err;
+  EXPECT_FALSE(parse_slo_spec("not json", &objs, &err));
+  EXPECT_FALSE(parse_slo_spec("{}", &objs, &err));
+  EXPECT_FALSE(parse_slo_spec(
+      R"({"objectives": [{"name": "a", "series": "s"}]})", &objs, &err));
+  EXPECT_FALSE(err.empty());  // missing threshold is described
+  EXPECT_FALSE(parse_slo_spec(
+      R"({"objectives": [{"name": "a", "series": "s", "threshold": 1,
+          "signal": "median"}]})",
+      &objs, &err));
+}
+
+TEST(SloReport, BreachReportNamesTheObjective) {
+  TimeSeriesRecorder rec(nullptr);
+  SloEngine eng(&rec);
+  eng.add(mean_below("x", 1.0, 2, 4));
+  drive(&rec, &eng, "x", 1.0, 1.0, std::vector<double>(8, 9.0));
+  const std::string report = slo_breach_report(eng, at(8));
+  EXPECT_NE(report.find("x_slo"), std::string::npos);
+  EXPECT_NE(report.find("BREACH"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qa

@@ -1,0 +1,186 @@
+// TimeSeriesRecorder: selector forms, step-function query semantics,
+// bounded-ring downsampling, and the CSV/JSON-export <-> inject()
+// round-trip that qa_slo --eval relies on for offline replay parity.
+#include "util/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/metrics_registry.h"
+
+namespace qa {
+namespace {
+
+TimePoint at(double s) { return TimePoint::from_sec(s); }
+
+TEST(TimeSeriesRecorder, SelectorsPickExactPrefixAndHistogramColumns) {
+  MetricsRegistry reg;
+  TimeSeriesRecorder rec(&reg);
+  rec.select("farm.active");          // exact
+  rec.select("client.*");             // prefix
+  rec.select("journey.owd#p99");      // histogram column
+
+  reg.gauge("farm.active").set(3);
+  reg.gauge("farm.other").set(9);          // not selected
+  reg.gauge("client.buffer").set(100);
+  reg.gauge("clientele.x").set(1);         // prefix must not match
+  Histogram& owd = reg.histogram("journey.owd");
+  for (int i = 1; i <= 100; ++i) owd.observe(i);
+
+  rec.sample(at(1.0));
+  const std::vector<std::string> names = rec.series_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "client.buffer");
+  EXPECT_EQ(names[1], "farm.active");
+  EXPECT_EQ(names[2], "journey.owd#p99");
+  // Column plumbing, not histogram accuracy: p99 of 1..100 lands near the
+  // top even at log-bucket resolution.
+  EXPECT_GT(*rec.latest("journey.owd#p99"), 50.0);
+}
+
+TEST(TimeSeriesRecorder, PointsStoredOnlyOnChange) {
+  MetricsRegistry reg;
+  TimeSeriesRecorder rec(&reg);
+  rec.select("g");
+  Gauge& g = reg.gauge("g");
+
+  g.set(1);
+  rec.sample(at(1));
+  rec.sample(at(2));  // unchanged: no new point
+  rec.sample(at(3));
+  g.set(2);
+  rec.sample(at(4));
+  EXPECT_EQ(rec.points("g").size(), 2u);
+  EXPECT_EQ(rec.total_points(), 2u);
+}
+
+TEST(TimeSeriesRecorder, StepFunctionQueries) {
+  TimeSeriesRecorder rec(nullptr);
+  rec.inject("s", at(1), 10);
+  rec.inject("s", at(3), 20);
+  rec.inject("s", at(5), 40);
+
+  EXPECT_FALSE(rec.value_at("s", at(0.5)).has_value());
+  EXPECT_EQ(*rec.value_at("s", at(1)), 10);
+  EXPECT_EQ(*rec.value_at("s", at(2.9)), 10);
+  EXPECT_EQ(*rec.value_at("s", at(3)), 20);
+  EXPECT_EQ(*rec.value_at("s", at(100)), 40);  // clamped to latest
+  EXPECT_EQ(*rec.latest("s"), 40);
+  EXPECT_EQ(*rec.first_time("s"), at(1));
+
+  // Delta over [3, 5]: 40 - 20; over a window reaching before the first
+  // point, the start clips to the first recorded value.
+  EXPECT_EQ(*rec.window_delta("s", at(5), TimeDelta::seconds(2)), 20);
+  EXPECT_EQ(*rec.window_delta("s", at(5), TimeDelta::seconds(100)), 30);
+
+  // Time-weighted mean over [1, 5]: 10 for 2s, 20 for 2s.
+  EXPECT_DOUBLE_EQ(*rec.window_mean("s", at(5), TimeDelta::seconds(4)), 15.0);
+  // Over [4, 5]: constant 20.
+  EXPECT_DOUBLE_EQ(*rec.window_mean("s", at(5), TimeDelta::seconds(1)), 20.0);
+  EXPECT_FALSE(rec.window_mean("missing", at(5), TimeDelta::seconds(1)));
+}
+
+TEST(TimeSeriesRecorder, DownsamplingBoundsMemoryAndKeepsLatestExact) {
+  TimeSeriesRecorder::Options opts;
+  opts.capacity_per_series = 16;
+  TimeSeriesRecorder rec(nullptr, opts);
+  for (int i = 0; i < 10'000; ++i) {
+    rec.inject("s", at(0.1 * i), static_cast<double>(i));
+  }
+  // The ring halves on overflow and then enforces a minimum gap, so the
+  // stored count stays O(capacity) for any run length.
+  EXPECT_LE(rec.points("s").size(), 2 * opts.capacity_per_series);
+  // The latest value survives downsampling exactly.
+  EXPECT_EQ(*rec.latest("s"), 9999.0);
+  EXPECT_EQ(*rec.value_at("s", at(10'000)), 9999.0);
+  // Old values are coarsened, not wrong: value_at returns some recorded
+  // step value from the past, monotone here.
+  const double old_val = *rec.value_at("s", at(500.0));
+  EXPECT_GE(old_val, 0.0);
+  EXPECT_LE(old_val, 5000.0);
+}
+
+TEST(TimeSeriesRecorder, JsonExportInjectRoundTripIsExact) {
+  MetricsRegistry reg;
+  TimeSeriesRecorder rec(&reg);
+  rec.select("g");
+  Gauge& g = reg.gauge("g");
+  // Values chosen to stress %.17g round-tripping.
+  const double vals[] = {0.1, 1.0 / 3.0, 2.5e-8, 123456789.123456789};
+  double t = 0.5;
+  for (double v : vals) {
+    g.set(v);
+    rec.sample(TimePoint::from_sec(t));
+    t += 0.7;
+  }
+
+  const std::string path = ::testing::TempDir() + "/timeseries_rt.json";
+  rec.write_json(path);
+
+  // Parse the export and replay it through inject().
+  std::string text;
+  {
+    FILE* f = fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    size_t n;
+    while ((n = fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+    fclose(f);
+  }
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(json_parse(text, &doc, &err)) << err;
+  const JsonValue* series = doc.find("series");
+  ASSERT_NE(series, nullptr);
+
+  TimeSeriesRecorder replay(nullptr);
+  for (const auto& [name, pts] : series->object) {
+    for (const auto& pt : pts.array) {
+      replay.inject(name, TimePoint::from_sec(pt.array.at(0).number),
+                    pt.array.at(1).number);
+    }
+  }
+  const auto orig = rec.points("g");
+  const auto back = replay.points("g");
+  ASSERT_EQ(orig.size(), back.size());
+  for (size_t i = 0; i < orig.size(); ++i) {
+    EXPECT_EQ(orig[i].t.ns(), back[i].t.ns()) << i;
+    EXPECT_EQ(orig[i].value, back[i].value) << i;  // bit-exact
+  }
+  EXPECT_EQ(replay.last_sample_time().ns(), rec.last_sample_time().ns());
+}
+
+TEST(TimeSeriesRecorder, LateBindingSamplesAfterBind) {
+  MetricsRegistry reg;
+  reg.gauge("g").set(5);
+  TimeSeriesRecorder rec(nullptr);
+  rec.select("g");
+  rec.bind(&reg);
+  rec.sample(at(1));
+  EXPECT_EQ(*rec.latest("g"), 5.0);
+}
+
+TEST(TimeSeriesRecorder, CsvExportIsSortedAndHeadered) {
+  TimeSeriesRecorder rec(nullptr);
+  rec.inject("b", at(1), 2);
+  rec.inject("a", at(1), 1);
+  const std::string path = ::testing::TempDir() + "/timeseries.csv";
+  rec.write_csv(path);
+  std::string text;
+  {
+    FILE* f = fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    size_t n;
+    while ((n = fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+    fclose(f);
+  }
+  EXPECT_EQ(text.find("series,time_s,value"), 0u);
+  EXPECT_LT(text.find("\na,"), text.find("\nb,"));
+}
+
+}  // namespace
+}  // namespace qa

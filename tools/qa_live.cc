@@ -56,6 +56,9 @@ void usage() {
       "                         (default 100)\n"
       "  --no-serve             publish into the feed but start no server\n"
       "                         (digest-parity reference run)\n"
+      "  --live-journeys        also stream packet-journey milestones as\n"
+      "                         \"journey\" SSE events (opt-in: per-packet\n"
+      "                         volume)\n"
       "  --self-check           probe /metrics, /events, and / from a\n"
       "                         client thread; exit nonzero on failure\n"
       "  Scenario (as qa_trace):\n"
@@ -96,12 +99,17 @@ td.num{text-align:right}
      padding:4px;white-space:pre}
 svg{background:#181818;border:1px solid #333;margin-top:.8em}
 #spark path{fill:none;stroke:#fc6;stroke-width:1.5}
+#heat{margin-top:.8em;line-height:0}
+#heat span{display:inline-block;width:12px;height:12px;margin:1px}
+#heat .c0{background:#333}#heat .c1{background:#fc6}
+#heat .c2{background:#4a4}#heat .c3{background:#c33}
 </style></head><body>
 <h1>qa_live</h1>
 <div id="status">connecting&hellip;</div>
 <svg id="spark" width="640" height="90" viewBox="0 0 640 90">
   <path id="sparkpath" d=""></path></svg>
 <div>live.rap.rate_bytes_per_sec (<span id="sparklast">-</span> B/s)</div>
+<div id="heat"></div>
 <div id="log"></div>
 <table><thead><tr><th>metric</th><th>kind</th><th>value</th><th>count</th>
 </tr></thead><tbody id="rows"></tbody></table>
@@ -168,12 +176,42 @@ es.addEventListener("note", function (e) {
   logline("t=" + j.t.toFixed(3) + "s " + j.kind + " " +
           JSON.stringify(j.detail));
 });
+var cells = [], heatCols = 0;
+function heatSize(total) {
+  if (cells.length === total) return;
+  cells = new Array(total);
+  for (var i = 0; i < total; i++) cells[i] = 0;
+  heatCols = 1;
+  while (heatCols * heatCols < total) heatCols++;
+}
+function drawHeat() {
+  var html = "";
+  for (var i = 0; i < cells.length; i++) {
+    html += "<span class='c" + cells[i] + "' title='" + i + "'></span>";
+    if ((i + 1) % heatCols === 0) html += "<br>";
+  }
+  document.getElementById("heat").innerHTML = html;
+}
+es.addEventListener("sweep.start", function (e) {
+  var j = JSON.parse(e.data);
+  heatSize(j.total);
+  if (cells[j.index] === 0) cells[j.index] = 1;
+  drawHeat();
+});
 es.addEventListener("sweep.progress", function (e) {
   var j = JSON.parse(e.data);
+  heatSize(j.total);
+  cells[j.index] = j.ok ? 2 : 3;
+  drawHeat();
   logline("sweep " + j.done + "/" + j.total + " index " + j.index +
           (j.ok ? "" : " FAILED"));
   document.getElementById("status").textContent =
       "sweep " + j.done + "/" + j.total;
+});
+es.addEventListener("journey", function (e) {
+  var j = JSON.parse(e.data);
+  logline("t=" + j.t.toFixed(3) + "s journey " + j.stage + " flow " +
+          j.flow + " layer " + j.layer + " seq " + j.seq);
 });
 es.addEventListener("run.done", function (e) {
   document.getElementById("status").textContent = "run finished";
@@ -238,6 +276,7 @@ ScenarioSpec parse_scenario(const Flags& flags) {
   s.ocfg = observability_flags(flags, s.out_dir);
   s.ocfg.live.cadence =
       TimeDelta::from_sec(flags.get_double("cadence-ms", 100.0) / 1000.0);
+  s.ocfg.live.journey_events = flags.get_bool("live-journeys", false);
   // The pacer throttles whether or not a server is up: --no-serve must
   // replay the exact same event sequence as a served run, so only the
   // client connection may differ between digest-compared runs.
@@ -341,8 +380,9 @@ SelfCheckResult run_self_check(const SelfCheckSpec& spec) {
   if (spec.check_sweep) {
     body.clear();
     note(http_get(spec.port, "/sweep", &body) &&
-             body.find("\"total\"") != std::string::npos,
-         "/sweep reports progress");
+             body.find("\"total\"") != std::string::npos &&
+             body.find("\"cells\"") != std::string::npos,
+         "/sweep reports progress and the cell heatmap");
   }
   return r;
 }
@@ -387,12 +427,16 @@ int run_scenario(ScenarioSpec spec, LiveFeed* feed, bool serving,
 }
 
 // Progress shared between sweep workers (writers) and the /sweep handler
-// (server threads): everything behind one mutex.
+// (server threads): everything behind one mutex. `cells` holds one state
+// per grid point (0 pending, 1 running, 2 ok, 3 failed) — the console's
+// heatmap — and `cols` is the display wrap width (≈ sqrt of the grid).
 struct SweepProgress {
   std::mutex mu;
   size_t done = 0;
   size_t total = 0;
   size_t failed = 0;
+  size_t cols = 0;
+  std::vector<uint8_t> cells;
 };
 
 int run_sweep_mode(SweepSpec spec, LiveFeed* feed, SweepProgress* progress,
@@ -403,15 +447,35 @@ int run_sweep_mode(SweepSpec spec, LiveFeed* feed, SweepProgress* progress,
   {
     std::lock_guard<std::mutex> lock(progress->mu);
     progress->total = spec.grid.size();
+    progress->cells.assign(progress->total, 0);
+    progress->cols = 1;
+    while (progress->cols * progress->cols < progress->total) ++progress->cols;
   }
   // Worker threads land here concurrently; the mutex covers the counters
   // and publish_event is itself thread-safe.
+  spec.opts.on_job_start = [feed, progress](size_t index) {
+    size_t total;
+    {
+      std::lock_guard<std::mutex> lock(progress->mu);
+      if (index < progress->cells.size() && progress->cells[index] == 0) {
+        progress->cells[index] = 1;
+      }
+      total = progress->total;
+    }
+    feed->publish_event(
+        "sweep.start",
+        "{\"index\": " + json_number(static_cast<int64_t>(index)) +
+            ", \"total\": " + json_number(static_cast<int64_t>(total)) + "}");
+  };
   spec.opts.on_progress = [feed, progress](const SweepRow& row, size_t done,
                                            size_t total) {
     {
       std::lock_guard<std::mutex> lock(progress->mu);
       progress->done = done;
       if (!row.ok) ++progress->failed;
+      if (row.index < progress->cells.size()) {
+        progress->cells[row.index] = row.ok ? 2 : 3;
+      }
     }
     feed->publish_event(
         "sweep.progress",
@@ -495,12 +559,20 @@ int main(int argc, char** argv) {
         HttpResponse resp;
         resp.content_type = "application/json";
         std::lock_guard<std::mutex> lock(progress.mu);
+        std::string cells = "[";
+        for (size_t i = 0; i < progress.cells.size(); ++i) {
+          if (i != 0) cells += ", ";
+          cells += json_number(static_cast<int64_t>(progress.cells[i]));
+        }
+        cells += "]";
         resp.body =
             "{\"done\": " + json_number(static_cast<int64_t>(progress.done)) +
             ", \"total\": " +
             json_number(static_cast<int64_t>(progress.total)) +
             ", \"failed\": " +
-            json_number(static_cast<int64_t>(progress.failed)) + "}\n";
+            json_number(static_cast<int64_t>(progress.failed)) +
+            ", \"cols\": " + json_number(static_cast<int64_t>(progress.cols)) +
+            ", \"cells\": " + cells + "}\n";
         return resp;
       });
     }

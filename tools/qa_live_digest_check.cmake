@@ -4,10 +4,12 @@
 # and the console page mid-run), once with --no-serve — and require
 # byte-identical canonical metrics via qa_diff. This pins the DESIGN.md
 # §15 contract: connected consumers cannot perturb the simulation.
+# --live-journeys is on for both runs, so the per-packet journey event
+# class (the highest-volume SSE publisher) is covered by the parity check.
 # Inputs: QA_LIVE, QA_DIFF (executables), WORK_DIR.
 
 set(common_args --seed 1 --duration-s 5 --pace 0 --cadence-ms 100
-    --layers 4 --no-trace)
+    --layers 4 --no-trace --live-journeys)
 
 file(REMOVE_RECURSE "${WORK_DIR}")
 file(MAKE_DIRECTORY "${WORK_DIR}")

@@ -1,0 +1,102 @@
+# SLO-gate acceptance check driven by ctest (see tools/CMakeLists.txt):
+#   1. same-seed smoke runs write byte-identical alerts.json and a
+#      qa_diff-clean slo.json (the alert-timeline determinism contract,
+#      DESIGN.md §16) and stay within SLO (exit 0);
+#   2. offline replay (--eval) of a run dir reproduces its alerts.json
+#      byte-for-byte — recorded trajectories + reconstructed grid are a
+#      complete substitute for re-running the scenario;
+#   3. the fig-2 paper scenario passes its rebuffer-ratio objective and
+#      replays identically;
+#   4. uncontrolled overload (admission + ladder off) must breach: the
+#      gate exits 1, and the breach report names the objective.
+# Inputs: QA_SLO, QA_DIFF (executables), WORK_DIR.
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# --- 1. determinism + clean gate on the smoke preset -------------------------
+foreach(run a b)
+  execute_process(
+    COMMAND ${QA_SLO} --preset smoke --duration-s 40 --seed 1
+            --out-dir ${WORK_DIR}/${run} --print-digest
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "qa_slo smoke run '${run}' exited ${rc}:\n${out}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/a/alerts.json ${WORK_DIR}/b/alerts.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "same-seed alerts.json differ (timeline not "
+                      "deterministic)")
+endif()
+
+execute_process(
+  COMMAND ${QA_DIFF} ${WORK_DIR}/a/slo.json ${WORK_DIR}/b/slo.json
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "same-seed slo.json drifted (qa_diff ${rc}):\n${out}")
+endif()
+message(STATUS "same-seed SLO timeline deterministic")
+
+# --- 2. offline replay parity ------------------------------------------------
+execute_process(
+  COMMAND ${QA_SLO} --eval ${WORK_DIR}/a --out-dir ${WORK_DIR}/a_replay
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "qa_slo --eval exited ${rc}:\n${out}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/a/alerts.json ${WORK_DIR}/a_replay/alerts.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "replayed alerts.json differs from the live run")
+endif()
+message(STATUS "offline replay reproduces the live timeline")
+
+# --- 3. fig2 scenario: clean gate + replay parity ---------------------------
+execute_process(
+  COMMAND ${QA_SLO} --scenario fig2 --out-dir ${WORK_DIR}/fig2
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "qa_slo fig2 exited ${rc} (expected clean):\n${out}")
+endif()
+execute_process(
+  COMMAND ${QA_SLO} --eval ${WORK_DIR}/fig2 --out-dir ${WORK_DIR}/fig2_replay
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "qa_slo --eval fig2 exited ${rc}:\n${out}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/fig2/alerts.json ${WORK_DIR}/fig2_replay/alerts.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fig2 replayed alerts.json differs from the live run")
+endif()
+message(STATUS "fig2 within SLO; replay matches")
+
+# --- 4. uncontrolled overload must breach ------------------------------------
+execute_process(
+  COMMAND ${QA_SLO} --preset overload --no-admission --no-ladder
+          --out-dir ${WORK_DIR}/overload
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR
+          "uncontrolled overload exited ${rc}, expected breach (1):\n${out}")
+endif()
+string(FIND "${out}" "standing_queue" hit)
+if(hit EQUAL -1)
+  message(FATAL_ERROR "breach report does not name standing_queue:\n${out}")
+endif()
+message(STATUS "uncontrolled overload breaches as expected")
