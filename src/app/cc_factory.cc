@@ -1,0 +1,28 @@
+#include "app/cc_factory.h"
+
+#include "cc/nada_source.h"
+#include "cc/tfrc_source.h"
+#include "rap/rap_source.h"
+#include "util/logging.h"
+
+namespace qa::app {
+
+std::unique_ptr<cc::CongestionController> make_controller(
+    cc::Backend backend, sim::Scheduler* sched, sim::Node* local,
+    sim::NodeId peer, sim::FlowId flow, const cc::CcParams& params) {
+  switch (backend) {
+    case cc::Backend::kRap:
+      return std::make_unique<rap::RapSource>(sched, local, peer, flow,
+                                              params);
+    case cc::Backend::kTfrc:
+      return std::make_unique<cc::TfrcSource>(sched, local, peer, flow,
+                                              params);
+    case cc::Backend::kNada:
+      return std::make_unique<cc::NadaSource>(sched, local, peer, flow,
+                                              params);
+  }
+  QA_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace qa::app

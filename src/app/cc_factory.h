@@ -1,0 +1,19 @@
+// Backend factory. Lives in app/ (not cc/) on purpose: cc/ cannot name
+// concrete backends that live above it in the layering DAG (RAP sits in
+// rap/, which depends on cc/), while app/ already sees every transport.
+#pragma once
+
+#include <memory>
+
+#include "cc/congestion_controller.h"
+#include "sim/scheduler.h"
+
+namespace qa::app {
+
+// Builds the requested backend on the given node/flow. The returned
+// controller is not yet started; hand it to Network::adopt_agent.
+std::unique_ptr<cc::CongestionController> make_controller(
+    cc::Backend backend, sim::Scheduler* sched, sim::Node* local,
+    sim::NodeId peer, sim::FlowId flow, const cc::CcParams& params);
+
+}  // namespace qa::app

@@ -72,6 +72,7 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
 
   // --- The quality-adaptive flow (pair 0). -------------------------------
   SessionConfig scfg;
+  scfg.backend = params.backend;
   scfg.adapter.consumption_rate = params.layer_rate.bps();
   scfg.adapter.max_layers = params.stream_layers;
   scfg.adapter.kmax = params.kmax;
@@ -81,6 +82,7 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
   scfg.rap.packet_size = params.packet_size;
   scfg.rap.initial_rate = params.layer_rate;  // start near one layer's worth
   scfg.rap.initial_rtt = params.rtt;
+  scfg.rap.seed = params.seed;  // determinism contract: plumbed, not literal
   scfg.stream_layers = params.stream_layers;
   scfg.layer_rate = params.layer_rate;
   scfg.keep_client_packet_log = params.keep_client_packet_log;

@@ -26,6 +26,10 @@ namespace qa::app {
 class Observability;
 
 struct ExperimentParams {
+  // Congestion-control backend driving the quality-adaptive flow. The
+  // competing plain-RAP/TCP/CBR load is unaffected.
+  cc::Backend backend = cc::Backend::kRap;
+
   // Topology / competing load. The bottleneck queue defaults to 200
   // packets, mirroring ns-2's deep drop-tail defaults: on a slow link the
   // resulting ~0.5 s of queueing delay is what gives the paper its

@@ -261,6 +261,7 @@ class Farm {
 
   void admit(int slot, TimePoint now, bool base_only) {
     SessionConfig scfg;
+    scfg.backend = params_.backend;
     scfg.adapter.playout_delay = params_.playout_delay;
     scfg.rap.packet_size = params_.packet_size;
     scfg.layer_rate = params_.layer_rate;

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "app/admission.h"
+#include "cc/congestion_controller.h"
 #include "sim/topology.h"
 #include "util/chrome_trace.h"
 #include "util/flightrec.h"
@@ -44,6 +45,9 @@ struct FarmParams {
   uint64_t seed = 1;
   int slots = 64;            // concurrent-session capacity (topology size)
   TimeDelta duration = TimeDelta::seconds(120);
+
+  // Congestion-control backend every admitted session streams over.
+  cc::Backend backend = cc::Backend::kRap;
 
   // Topology.
   Rate bottleneck_bw = Rate::megabits_per_sec(8);

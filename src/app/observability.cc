@@ -201,35 +201,39 @@ void Observability::attach_link(sim::Link& link, const std::string& name) {
       }));
 }
 
-void Observability::attach_rap_source(rap::RapSource& src) {
-  Counter& rate_changes = registry_.counter("rap.rate_changes");
-  Counter& backoffs = registry_.counter("rap.backoffs");
-  Counter& timeout_losses = registry_.counter("rap.timeout_losses");
-  Counter& quiescence = registry_.counter("rap.quiescence_entries");
-  Histogram& rate_hist = registry_.histogram("rap.rate_bytes_per_sec");
+void Observability::attach_controller(cc::CongestionController& src) {
+  // Metric rows are keyed by the backend's canonical name, so the RAP rows
+  // keep their historic "rap.*" spelling (goldens pin them byte-for-byte)
+  // and other backends get their own namespace.
+  const std::string prefix = src.name();
+  Counter& rate_changes = registry_.counter(prefix + ".rate_changes");
+  Counter& backoffs = registry_.counter(prefix + ".backoffs");
+  Counter& timeout_losses = registry_.counter(prefix + ".timeout_losses");
+  Counter& quiescence = registry_.counter(prefix + ".quiescence_entries");
+  Histogram& rate_hist = registry_.histogram(prefix + ".rate_bytes_per_sec");
   if (cfg_.live.feed != nullptr) {
-    // Sampled every cadence tick: the rate sawtooth as a live gauge.
+    // Sampled every cadence tick: the rate trajectory as a live gauge.
     // Registered only in live mode so non-live tools' metrics.json stays
     // byte-stable across this feature.
-    registry_.register_gauge("live.rap.rate_bytes_per_sec",
+    registry_.register_gauge("live." + prefix + ".rate_bytes_per_sec",
                              [&src] { return src.rate().bps(); });
   }
 
   subs_.push_back(src.on_rate_change().subscribe_scoped(
-      [this, &rate_changes, &rate_hist](TimePoint t, Rate r) {
+      [this, prefix, &rate_changes, &rate_hist](TimePoint t, Rate r) {
         rate_changes.inc();
         rate_hist.observe(r.bps());
         if (trace_) {
-          trace_->counter(t, ChromeTraceWriter::kTransportTrack, "rap rate",
-                          "bytes_per_sec", r.bps());
+          trace_->counter(t, ChromeTraceWriter::kTransportTrack,
+                          prefix + " rate", "bytes_per_sec", r.bps());
         }
       }));
   subs_.push_back(src.on_backoff().subscribe_scoped(
-      [this, &backoffs](TimePoint t, Rate r) {
+      [this, prefix, &backoffs](TimePoint t, Rate r) {
         backoffs.inc();
-        flightrec_note(t, "rap.backoff",
+        flightrec_note(t, prefix + ".backoff",
                        "{\"rate_post\":" + json_number(r.bps()) + "}");
-        live_note(t, "rap.backoff",
+        live_note(t, prefix + ".backoff",
                   "{\"rate_post\": " + json_number(r.bps()) + "}");
         if (trace_) {
           trace_->instant(
@@ -248,12 +252,13 @@ void Observability::attach_rap_source(rap::RapSource& src) {
         }
       }));
   subs_.push_back(src.on_quiescence().subscribe_scoped(
-      [this, &quiescence](TimePoint t, bool active) {
+      [this, prefix, &quiescence](TimePoint t, bool active) {
         if (active) quiescence.inc();
-        flightrec_note(t, active ? "rap.quiescence_enter"
-                                 : "rap.quiescence_exit",
+        flightrec_note(t, active ? prefix + ".quiescence_enter"
+                                 : prefix + ".quiescence_exit",
                        "{}");
-        live_note(t, active ? "rap.quiescence_enter" : "rap.quiescence_exit",
+        live_note(t, active ? prefix + ".quiescence_enter"
+                            : prefix + ".quiescence_exit",
                   "{}");
         if (trace_) {
           trace_->instant(t, ChromeTraceWriter::kTransportTrack,
@@ -363,7 +368,7 @@ void Observability::attach_client(VideoClient& client) {
 }
 
 void Observability::attach_session(Session& session) {
-  attach_rap_source(session.rap_source());
+  attach_controller(session.controller());
   attach_adapter(session.server().adapter());
   attach_client(session.client());
   if (cfg_.journeys) {

@@ -21,8 +21,8 @@
 
 #include <set>
 
+#include "cc/congestion_controller.h"
 #include "core/quality_adapter.h"
-#include "rap/rap_source.h"
 #include "sim/link.h"
 #include "sim/profiler.h"
 #include "sim/scheduler.h"
@@ -120,10 +120,15 @@ class Observability {
   void attach_scheduler(sim::Scheduler& sched);
   // `name` keys the link's metrics ("link.<name>.*") and counter tracks.
   void attach_link(sim::Link& link, const std::string& name);
-  void attach_rap_source(rap::RapSource& src);
+  // Wires a congestion controller's trace points into counters, the rate
+  // histogram, flight-recorder notes, and live notes. Metric rows are
+  // prefixed with the controller's canonical name — "rap.*" for the RAP
+  // backend (the historic rows every golden pins), "tfrc.*"/"nada.*" for
+  // the others.
+  void attach_controller(cc::CongestionController& src);
   void attach_adapter(core::QualityAdapter& adapter);
   void attach_client(VideoClient& client);
-  // Convenience: RAP source + adapter + client + rebuffer log of one
+  // Convenience: controller + adapter + client + rebuffer log of one
   // session.
   void attach_session(Session& session);
   // Fault timeline: counts fault activations ("fault.events"), records

@@ -1,5 +1,6 @@
 #include "app/session.h"
 
+#include "app/cc_factory.h"
 #include "core/layered_video.h"
 
 namespace qa::app {
@@ -18,16 +19,15 @@ std::shared_ptr<const core::LayeredVideo> resolve_video(
 Session::Session(sim::Network& net, sim::Node* server_host,
                  sim::Node* client_host, const SessionConfig& cfg)
     : flow_(net.allocate_flow_id()),
-      rap_source_(net.adopt_agent(
+      controller_(net.adopt_agent(
           server_host, flow_,
-          std::make_unique<rap::RapSource>(&net.scheduler(), server_host,
-                                           client_host->id(), flow_,
-                                           cfg.rap))),
+          make_controller(cfg.backend, &net.scheduler(), server_host,
+                          client_host->id(), flow_, cfg.rap))),
       rap_sink_(net.adopt_agent(
           client_host, flow_,
           std::make_unique<rap::RapSink>(&net.scheduler(), client_host,
                                          cfg.rap.ack_size))),
-      server_(&net.scheduler(), rap_source_, cfg.adapter, resolve_video(cfg),
+      server_(&net.scheduler(), controller_, cfg.adapter, resolve_video(cfg),
               cfg.server),
       client_(&net.scheduler(), cfg.layer_rate.bps(),
               cfg.video != nullptr ? cfg.video->layers() : cfg.stream_layers,
@@ -39,7 +39,7 @@ Session::Session(sim::Network& net, sim::Node* server_host,
 void Session::stop() {
   if (stopped_) return;
   stopped_ = true;
-  rap_source_->stop();
+  controller_->stop();
   server_.detach_rap();
   rap_sink_->set_consumer(nullptr);
 }

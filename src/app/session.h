@@ -25,7 +25,10 @@ namespace qa::app {
 
 struct SessionConfig {
   core::AdapterConfig adapter;
-  rap::RapParams rap;
+  // Which congestion-control law drives the stream. The rest of the stack
+  // (server, adapter, client, sink) is backend-agnostic.
+  cc::Backend backend = cc::Backend::kRap;
+  rap::RapParams rap;  // shared CcParams (historic field name)
   VideoServerOptions server;
   int stream_layers = 8;
   Rate layer_rate = Rate::kilobytes_per_sec(10);
@@ -37,21 +40,22 @@ struct SessionConfig {
   std::shared_ptr<const core::LayeredVideo> video;
 };
 
-// A server on `server_host` streaming to `client_host` over RAP.
-// Not movable: the server/client members are wired into the RAP agents by
-// pointer. Place Sessions in stable storage (stack, std::optional slot,
-// std::list) — never in a reallocating vector.
+// A server on `server_host` streaming to `client_host` over the configured
+// congestion-control backend (RAP by default).
+// Not movable: the server/client members are wired into the transport
+// agents by pointer. Place Sessions in stable storage (stack, std::optional
+// slot, std::list) — never in a reallocating vector.
 class Session {
  public:
   Session(sim::Network& net, sim::Node* server_host, sim::Node* client_host,
           const SessionConfig& cfg);
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
-  // Detaches from the RAP agents (which the Network keeps alive) so a
+  // Detaches from the transport agents (which the Network keeps alive) so a
   // departed session's storage can be reused while late packets drain.
   ~Session();
 
-  // Ends the session: stops the RAP source and detaches the client from the
+  // Ends the session: stops the source and detaches the client from the
   // sink. Idempotent; the destructor calls it as a backstop. After stop()
   // the server/client objects remain readable (final metrics collection).
   void stop();
@@ -59,14 +63,18 @@ class Session {
 
   VideoServer& server() { return server_; }
   VideoClient& client() { return client_; }
-  rap::RapSource& rap_source() { return *rap_source_; }
+  // The session's congestion controller (whatever backend the config
+  // chose). `rap_source()` is the historic spelling; both return the
+  // backend-agnostic interface.
+  cc::CongestionController& controller() { return *controller_; }
+  cc::CongestionController& rap_source() { return *controller_; }
   rap::RapSink& rap_sink() { return *rap_sink_; }
   sim::FlowId flow_id() const { return flow_; }
 
  private:
   sim::FlowId flow_;
-  rap::RapSource* rap_source_;  // owned by the network
-  rap::RapSink* rap_sink_;      // owned by the network
+  cc::CongestionController* controller_;  // owned by the network
+  rap::RapSink* rap_sink_;                // owned by the network
   VideoServer server_;
   VideoClient client_;
   bool stopped_ = false;

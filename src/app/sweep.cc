@@ -17,13 +17,15 @@ namespace qa::app {
 
 namespace {
 
-// Axis order for index decomposition: seeds vary slowest, faults fastest.
+// Axis order for index decomposition: seeds vary slowest, backends fastest.
 struct Coords {
-  size_t seed, kmax, bw, rtt, loss, faults;
+  size_t seed, kmax, bw, rtt, loss, faults, backend;
 };
 
 Coords decompose(const SweepGrid& g, size_t index) {
   Coords c{};
+  c.backend = index % g.backends.size();
+  index /= g.backends.size();
   c.faults = index % g.faults.size();
   index /= g.faults.size();
   c.loss = index % g.loss_rate.size();
@@ -40,7 +42,8 @@ Coords decompose(const SweepGrid& g, size_t index) {
 
 void check_axes(const SweepGrid& g) {
   if (g.seeds.empty() || g.kmax.empty() || g.bottleneck_kbps.empty() ||
-      g.rtt_ms.empty() || g.loss_rate.empty() || g.faults.empty()) {
+      g.rtt_ms.empty() || g.loss_rate.empty() || g.faults.empty() ||
+      g.backends.empty()) {
     throw std::invalid_argument("sweep grid has an empty axis");
   }
 }
@@ -64,6 +67,7 @@ SweepRow run_point(const SweepGrid& grid, size_t index) {
   row.rtt = TimeDelta::from_sec(grid.rtt_ms[c.rtt] / 1000.0);
   row.loss_rate = grid.loss_rate[c.loss];
   row.faults = grid.faults[c.faults];
+  row.backend = grid.backends[c.backend];
   try {
     const ExperimentParams params = grid.params_at(index);
     const ExperimentResult r = run_experiment(params);
@@ -95,7 +99,7 @@ SweepRow run_point(const SweepGrid& grid, size_t index) {
 size_t SweepGrid::size() const {
   check_axes(*this);
   return seeds.size() * kmax.size() * bottleneck_kbps.size() *
-         rtt_ms.size() * loss_rate.size() * faults.size();
+         rtt_ms.size() * loss_rate.size() * faults.size() * backends.size();
 }
 
 uint64_t derive_job_seed(const SweepGrid& grid, size_t index) {
@@ -112,6 +116,7 @@ uint64_t derive_job_seed(const SweepGrid& grid, size_t index) {
   state ^= static_cast<uint64_t>(c.rtt) << 16;
   state ^= static_cast<uint64_t>(c.loss) << 24;
   state ^= static_cast<uint64_t>(c.faults) << 32;
+  state ^= static_cast<uint64_t>(c.backend) << 40;
   const uint64_t derived = splitmix64(state);
   return derived != 0 ? derived : 1;  // seed 0 is reserved-feeling; avoid it
 }
@@ -126,6 +131,7 @@ ExperimentParams SweepGrid::params_at(size_t index) const {
   p.rtt = TimeDelta::from_sec(rtt_ms[c.rtt] / 1000.0);
   p.bottleneck_loss_rate = loss_rate[c.loss];
   p.random_faults = faults[c.faults];
+  p.backend = backends[c.backend];
   p.seed = derive_job_seed(*this, index);
   p.observability = nullptr;  // per-job hubs are not supported (see header)
   return p;
@@ -153,6 +159,9 @@ void for_each_cell(const SweepRow& r, F&& f) {
   gauge("rtt_ms", r.rtt.sec() * 1e3);
   gauge("loss_rate", r.loss_rate);
   count("faults", r.faults);
+  // Digest-exact on the enum value; the CSV cell carries the name.
+  f("backend", true, static_cast<double>(static_cast<int>(r.backend)),
+    std::string(cc::to_string(r.backend)));
   count("ok", r.ok ? 1 : 0);
   gauge("mean_layers", r.mean_layers);
   count("quality_changes", r.quality_changes);
@@ -342,6 +351,13 @@ std::vector<int> parse_int_list(const std::string& s) {
 std::vector<uint64_t> parse_u64_list(const std::string& s) {
   return parse_list<uint64_t>(s, [](const std::string& t, size_t* used) {
     return static_cast<uint64_t>(std::stoull(t, used));
+  });
+}
+
+std::vector<cc::Backend> parse_backend_list(const std::string& s) {
+  return parse_list<cc::Backend>(s, [](const std::string& t, size_t* used) {
+    *used = t.size();  // parse_backend consumes the whole token or throws
+    return cc::parse_backend(t);
   });
 }
 

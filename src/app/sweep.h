@@ -4,8 +4,9 @@
 // backoff-scenario grids (figs 7–10), responsiveness trade-offs (fig 13) —
 // and every scenario is an independent simulation. This module fans a
 // declarative grid (the cartesian product of seed, Kmax, bottleneck
-// bandwidth, RTT, wire-loss rate, and fault-schedule intensity, applied
-// over a base ExperimentParams) across a pool of worker threads, one fully
+// bandwidth, RTT, wire-loss rate, fault-schedule intensity, and
+// congestion-control backend, applied over a base ExperimentParams) across
+// a pool of worker threads, one fully
 // isolated Scheduler + topology per job, and merges the per-scenario
 // summaries into a single CSV/JSON artifact plus a provenance manifest.
 //
@@ -51,6 +52,8 @@ struct SweepGrid {
   std::vector<double> rtt_ms = {40};
   std::vector<double> loss_rate = {0.0};  // Bernoulli wire loss, 0 = none
   std::vector<int> faults = {0};          // random fault count, 0 = none
+  // Congestion-control backend of the QA flow (fastest-varying axis).
+  std::vector<cc::Backend> backends = {cc::Backend::kRap};
 
   size_t size() const;
   // The fully resolved parameter set of grid point `index` (row-major over
@@ -74,6 +77,7 @@ struct SweepRow {
   TimeDelta rtt;
   double loss_rate = 0;
   int faults = 0;
+  cc::Backend backend = cc::Backend::kRap;
   bool ok = false;  // false: the job threw; measurement columns are zero
   // Quality/buffering summary.
   double mean_layers = 0;
@@ -150,5 +154,8 @@ void write_sweep_artifacts(const std::vector<SweepRow>& rows,
 std::vector<double> parse_double_list(const std::string& s);
 std::vector<int> parse_int_list(const std::string& s);
 std::vector<uint64_t> parse_u64_list(const std::string& s);
+// Backend names ("rap,tfrc"); each element goes through cc::parse_backend,
+// so an unknown name throws listing the valid values.
+std::vector<cc::Backend> parse_backend_list(const std::string& s);
 
 }  // namespace qa::app

@@ -4,7 +4,7 @@
 
 namespace qa::app {
 
-VideoServer::VideoServer(sim::Scheduler* sched, rap::RapSource* rap,
+VideoServer::VideoServer(sim::Scheduler* sched, cc::CongestionController* rap,
                          core::AdapterConfig adapter_cfg,
                          std::shared_ptr<const core::LayeredVideo> video,
                          VideoServerOptions options)
@@ -27,7 +27,7 @@ VideoServer::VideoServer(sim::Scheduler* sched, rap::RapSource* rap,
   rap_->set_listener(this);
 }
 
-VideoServer::VideoServer(sim::Scheduler* sched, rap::RapSource* rap,
+VideoServer::VideoServer(sim::Scheduler* sched, cc::CongestionController* rap,
                          core::AdapterConfig adapter_cfg,
                          core::LayeredVideo video, VideoServerOptions options)
     : VideoServer(sched, rap, adapter_cfg,

@@ -1,19 +1,26 @@
-// VideoServer: a stored layered stream + RAP transport + QualityAdapter.
+// VideoServer: a stored layered stream + congestion-controlled transport +
+// QualityAdapter.
 //
-// The server owns the paper's sender-side machinery: RAP paces packets and
-// reports ACKs/losses/backoffs; for every transmission slot the server asks
-// the QualityAdapter which layer the packet should carry and tags it with a
-// per-layer sequence number. Everything the adapter needs (rate, slope,
-// losses, backoffs) is forwarded from RAP.
+// The server owns the paper's sender-side machinery: the congestion
+// controller (RAP, TFRC, or NADA — any cc::CongestionController) paces
+// packets and reports ACKs/losses/backoffs; for every transmission slot the
+// server asks the QualityAdapter which layer the packet should carry and
+// tags it with a per-layer sequence number. Everything the adapter needs
+// (rate, slope, losses, backoffs) is forwarded through the backend-agnostic
+// interface; the server never names a concrete backend (DESIGN.md §17).
+//
+// Names: the transport parameter/accessors keep their historic `rap`
+// spelling (the paper's instance) even though any backend plugs in.
 #pragma once
 
 #include <deque>
 #include <memory>
 #include <vector>
 
+#include "cc/congestion_controller.h"
 #include "core/layered_video.h"
 #include "core/quality_adapter.h"
-#include "rap/rap_source.h"
+#include "sim/scheduler.h"
 
 namespace qa::app {
 
@@ -26,21 +33,21 @@ struct VideoServerOptions {
   int retransmit_below_layer = 0;
 };
 
-class VideoServer : public rap::RapListener {
+class VideoServer : public cc::CcListener {
  public:
   // Wires itself into `rap` (payload tagger + listener). `rap` must outlive
   // the server. The shared-ownership overload lets churning scenarios reuse
   // one stream description across hundreds of sessions instead of copying
   // the name and rate table per session.
-  VideoServer(sim::Scheduler* sched, rap::RapSource* rap,
+  VideoServer(sim::Scheduler* sched, cc::CongestionController* rap,
               core::AdapterConfig adapter_cfg,
               std::shared_ptr<const core::LayeredVideo> video,
               VideoServerOptions options = {});
-  VideoServer(sim::Scheduler* sched, rap::RapSource* rap,
+  VideoServer(sim::Scheduler* sched, cc::CongestionController* rap,
               core::AdapterConfig adapter_cfg, core::LayeredVideo video,
               VideoServerOptions options = {});
 
-  // RapListener:
+  // CcListener:
   void on_ack(const sim::Packet& data_pkt) override;
   void on_loss(const sim::Packet& data_pkt) override;
   void on_backoff(Rate new_rate) override;
@@ -52,7 +59,7 @@ class VideoServer : public rap::RapListener {
   core::QualityAdapter& adapter() { return adapter_; }
   const core::QualityAdapter& adapter() const { return adapter_; }
   const core::LayeredVideo& video() const { return *video_; }
-  rap::RapSource& rap() { return *rap_; }
+  cc::CongestionController& rap() { return *rap_; }
 
   // Detaches the tagger/listener hooks from the RAP source (session
   // teardown; the source may outlive this server in churning scenarios).
@@ -71,7 +78,7 @@ class VideoServer : public rap::RapListener {
   void tag_packet(sim::Packet& p);
 
   sim::Scheduler* sched_;
-  rap::RapSource* rap_;
+  cc::CongestionController* rap_;
   std::shared_ptr<const core::LayeredVideo> video_;
   VideoServerOptions options_;
   core::QualityAdapter adapter_;

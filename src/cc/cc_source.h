@@ -1,0 +1,144 @@
+// CcSource: the shared rate-based sender engine every congestion-control
+// backend builds on.
+//
+// The engine owns everything that is NOT the rate law: IPG pacing timers,
+// the sent-packet history, per-packet-ACK processing with RTT estimation
+// (RFC 6298 EWMA), loss detection (ACK-gap rule: a packet is lost once
+// three packets sent after it are ACKed; plus a conservative timeout),
+// cluster-loss suppression (all losses within one flight are one
+// congestion event, like TCP's one-halving-per-window rule), and the
+// ACK-starvation quiescence machinery (probe, slow restart — see
+// CcParams). Backends supply only the control law through three hooks:
+//
+//   * on_step()        — called once per step_interval() (default: one
+//                        SRTT); the additive-increase / equation-update /
+//                        gradual-update site;
+//   * on_congestion()  — called once per detected congestion event
+//                        (cluster of losses); must move rate_ via
+//                        set_rate(); the engine then audits the result and
+//                        notifies the listener/backoff event;
+//   * on_feedback()    — called for every processed ACK with its RTT
+//                        sample, after the RTT filters update (delay-based
+//                        laws live here; default no-op).
+//
+// Determinism: the engine is a pure function of (params, packet arrivals).
+// It holds no randomness; see the CongestionController header's contract.
+#pragma once
+
+#include <deque>
+
+#include "cc/congestion_controller.h"
+#include "sim/scheduler.h"
+
+namespace qa::cc {
+
+class CcSource : public CongestionController {
+ public:
+  CcSource(sim::Scheduler* sched, sim::Node* local, sim::NodeId peer,
+           sim::FlowId flow, CcParams params);
+
+  void start() override;
+  void on_packet(const sim::Packet& p) override;  // receives ACKs
+  void stop() override;
+  bool stopped() const override { return stopped_; }
+
+  Rate rate() const override { return rate_; }
+  TimeDelta srtt() const override { return srtt_; }
+  int32_t packet_size() const override { return params_.packet_size; }
+
+  int64_t packets_sent() const override { return packets_sent_; }
+  int64_t losses_detected() const override { return losses_; }
+  int64_t backoffs() const override { return backoffs_; }
+
+  bool quiescent() const override { return quiescent_; }
+  int64_t quiescence_entries() const override { return quiescence_entries_; }
+  TimePoint last_ack_at() const { return last_ack_at_; }
+  // The silence threshold that triggers quiescence at the current SRTT/IPG.
+  TimeDelta starvation_threshold() const;
+
+ protected:
+  // --- Backend law hooks (see file comment). -------------------------------
+  virtual void on_step() = 0;
+  virtual void on_congestion() = 0;
+  virtual void on_feedback(const sim::Packet& /*ack*/,
+                           TimeDelta /*rtt_sample*/) {}
+  // Spacing of the step timer. Default: one SRTT (AIMD-style laws); a
+  // fixed-interval law (NADA's delta) overrides.
+  virtual TimeDelta step_interval() const { return srtt_; }
+
+  // --- Shared helpers for backends. ----------------------------------------
+  // Clamps to the min-rate floor and emits on_rate_change on effective
+  // change. Backends apply their own max_rate clamp before calling.
+  void set_rate(Rate r);
+  TimeDelta current_ipg() const;
+  TimeDelta rto() const;
+
+  struct HistoryEntry {
+    sim::Packet pkt;      // as sent (keeps layer tagging for loss reports)
+    bool acked = false;
+    bool lost = false;
+  };
+
+  sim::Scheduler* sched_;
+  sim::Node* local_;
+  sim::NodeId peer_;
+  sim::FlowId flow_;
+  CcParams params_;
+
+  Rate rate_;
+  TimeDelta srtt_;
+  TimeDelta rttvar_;
+  bool have_rtt_sample_ = false;
+  TimeDelta srtt_short_;  // fine-grain EWMA (faster)
+
+  // Additive increase requires positive feedback: a step with no ACKs
+  // (e.g. a path blackout) must not raise the rate. Reset by the engine
+  // after every on_step().
+  bool backoff_since_step_ = false;
+  bool ack_since_step_ = false;
+
+ private:
+  void send_next();
+  void schedule_step();
+  void step();  // per-step_interval law update
+  void process_ack(const sim::Packet& ack);
+  void detect_losses_from_ack(int64_t acked_seq);
+  void check_timeouts();
+  void congestion_event(int64_t trigger_seq);
+  void maybe_enter_quiescence();
+  void exit_quiescence();
+  TimeDelta next_probe_interval();
+  void update_rtt(TimeDelta sample);
+  void prune_history();
+  HistoryEntry* find_entry(int64_t seq);
+
+  int64_t next_seq_ = 0;
+  int64_t highest_acked_ = -1;
+  // Cluster-loss suppression: losses with seq <= recovery_until_seq_ belong
+  // to an already-handled congestion event.
+  int64_t recovery_until_seq_ = -1;
+
+  std::deque<HistoryEntry> history_;  // ascending seq
+
+  sim::EventId send_timer_ = sim::kInvalidEventId;
+  sim::EventId step_timer_ = sim::kInvalidEventId;
+
+  bool stopped_ = false;
+
+  // ACK-starvation state (see CcParams). last_ack_at_ starts at the
+  // transmission start time so a connection that never hears back also goes
+  // quiescent.
+  bool quiescent_ = false;
+  TimePoint last_ack_at_;
+  // Sends with no ACK heard since; starvation requires several unanswered
+  // sends, not mere silence (a floor-paced flow is quiet between ACKs).
+  int64_t sent_since_ack_ = 0;
+  TimeDelta probe_interval_ = TimeDelta::zero();
+  int64_t quiescence_entries_ = 0;
+
+  int64_t packets_sent_ = 0;
+  int64_t losses_ = 0;
+  int64_t backoffs_ = 0;
+};
+
+}  // namespace qa::cc

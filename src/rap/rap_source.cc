@@ -2,143 +2,14 @@
 
 #include <algorithm>
 
-#include "util/logging.h"
-
 namespace qa::rap {
-
-RapSource::RapSource(sim::Scheduler* sched, sim::Node* local, sim::NodeId peer,
-                     sim::FlowId flow, RapParams params)
-    : sched_(sched),
-      local_(local),
-      peer_(peer),
-      flow_(flow),
-      params_(params),
-      rate_(params.initial_rate),
-      srtt_(params.initial_rtt),
-      rttvar_(params.initial_rtt / 2),
-      srtt_short_(params.initial_rtt) {
-  QA_CHECK(params_.packet_size > 0);
-  QA_CHECK(rate_.bps() > 0);
-}
-
-void RapSource::start() {
-  const TimeDelta defer = params_.start_time > sched_->now()
-                              ? params_.start_time - sched_->now()
-                              : TimeDelta::zero();
-  last_ack_at_ = sched_->now() + defer;
-  send_timer_ = sched_->schedule_after(defer, [this] { send_next(); },
-                                       sim::EventCategory::kTransport);
-  step_timer_ = sched_->schedule_after(defer + srtt_, [this] { step(); },
-                                       sim::EventCategory::kTransport);
-}
-
-void RapSource::stop() {
-  if (stopped_) return;
-  stopped_ = true;
-  sched_->cancel(send_timer_);
-  sched_->cancel(step_timer_);
-  send_timer_ = sim::kInvalidEventId;
-  step_timer_ = sim::kInvalidEventId;
-  history_.clear();
-}
-
-TimeDelta RapSource::current_ipg() const {
-  TimeDelta ipg = rate_.transmit_time(params_.packet_size);
-  if (params_.fine_grain && srtt_ > TimeDelta::zero()) {
-    // Fine-grain adaptation: stretch the gap when the short-term RTT rises
-    // above the long-term average (incipient queueing).
-    const double ratio = srtt_short_ / srtt_;
-    ipg = TimeDelta::from_sec(ipg.sec() * std::max(ratio, 0.5));
-  }
-  return ipg;
-}
 
 double RapSource::slope_bps_per_sec() const {
   const double s = srtt_.sec();
   return static_cast<double>(params_.packet_size) / (s * s);
 }
 
-TimeDelta RapSource::starvation_threshold() const {
-  // A healthy-but-slow flow hears one ACK per IPG, so silence only means a
-  // dead feedback path once it spans several packet opportunities *plus* the
-  // retransmission timeout; the SRTT factor dominates at normal rates.
-  return std::max(srtt_ * params_.starvation_srtt_factor,
-                  current_ipg() * 3 + rto());
-}
-
-void RapSource::maybe_enter_quiescence() {
-  if (quiescent_) return;
-  // Starvation means *unanswered* sends, not mere silence: a slow flow
-  // pacing at the floor hears one ACK per (long) IPG and must not mistake
-  // the gap for a dead path — nor may a just-restarted flow whose first
-  // paced packet is still a second away re-trigger on its own quiet.
-  if (sent_since_ack_ < 3) return;
-  if (sched_->now() - last_ack_at_ < starvation_threshold()) return;
-  quiescent_ = true;
-  ++quiescence_entries_;
-  set_rate(params_.min_rate);
-  // First probe after roughly an RTO (never tighter than the floor pacing),
-  // doubling from there up to the cap.
-  probe_interval_ = std::max(rto(), current_ipg());
-  if (listener_) listener_->on_quiescence(true);
-  on_quiescence_.emit(sched_->now(), true);
-}
-
-TimeDelta RapSource::next_probe_interval() {
-  const TimeDelta gap = probe_interval_;
-  probe_interval_ = std::min(probe_interval_ * 2, params_.probe_interval_cap);
-  return gap;
-}
-
-void RapSource::exit_quiescence() {
-  quiescent_ = false;
-  // Slow restart: resume paced sending from the AIMD floor and let additive
-  // increase rebuild the rate — the restore must not produce a burst. The
-  // pending probe timer is replaced by a normally paced send.
-  set_rate(params_.min_rate);
-  sched_->cancel(send_timer_);
-  send_timer_ = sched_->schedule_after(current_ipg(), [this] { send_next(); },
-                                       sim::EventCategory::kTransport);
-  if (listener_) listener_->on_quiescence(false);
-  on_quiescence_.emit(sched_->now(), false);
-}
-
-void RapSource::send_next() {
-  if (stopped_) return;
-  check_timeouts();
-  maybe_enter_quiescence();
-
-  sim::Packet p;
-  p.src = local_->id();
-  p.dst = peer_;
-  p.flow_id = flow_;
-  p.type = sim::PacketType::kData;
-  p.size_bytes = params_.packet_size;
-  p.seq = next_seq_++;
-  p.ts_sent = sched_->now();
-  if (tagger_) tagger_(p);
-  if (journeys_ != nullptr) {
-    JourneyOrigin origin;
-    origin.flow = flow_;
-    origin.layer = p.layer;
-    origin.seq = p.seq;
-    origin.layer_seq = p.layer_seq;
-    origin.size_bytes = p.size_bytes;
-    p.journey_id = journeys_->begin_journey(origin, sched_->now());
-  }
-
-  history_.push_back(HistoryEntry{p, false, false});
-  ++packets_sent_;
-  ++sent_since_ack_;
-  local_->send(p);
-
-  const TimeDelta gap = quiescent_ ? next_probe_interval() : current_ipg();
-  send_timer_ = sched_->schedule_after(gap, [this] { send_next(); },
-                                       sim::EventCategory::kTransport);
-}
-
-void RapSource::step() {
-  if (stopped_) return;
+void RapSource::on_step() {
   if (!backoff_since_step_ && ack_since_step_) {
     // Additive increase: one extra packet per SRTT, applied each SRTT.
     const double alpha =
@@ -146,164 +17,11 @@ void RapSource::step() {
     set_rate(Rate::bytes_per_sec(rate_.bps() + alpha));
     if (listener_) listener_->on_rate_increase(rate_);
   }
-  backoff_since_step_ = false;
-  ack_since_step_ = false;
-  schedule_step();
 }
 
-void RapSource::schedule_step() {
-  step_timer_ = sched_->schedule_after(srtt_, [this] { step(); },
-                                       sim::EventCategory::kTransport);
-}
-
-void RapSource::on_packet(const sim::Packet& p) {
-  if (stopped_) return;  // late ACKs after a churn departure
-  if (p.type != sim::PacketType::kAck) return;
-  process_ack(p);
-}
-
-void RapSource::process_ack(const sim::Packet& ack) {
-  ack_since_step_ = true;
-  last_ack_at_ = sched_->now();
-  sent_since_ack_ = 0;
-  if (quiescent_) exit_quiescence();
-  // RTT sample from the echoed send timestamp.
-  update_rtt(sched_->now() - ack.ts_echo);
-
-  HistoryEntry* e = find_entry(ack.ack_seq);
-  if (e != nullptr && !e->acked && !e->lost) {
-    e->acked = true;
-    if (listener_) listener_->on_ack(e->pkt);
-    if (journeys_ != nullptr && e->pkt.journey_id != kUntracedJourney) {
-      journeys_->record_ack(e->pkt.journey_id, sched_->now());
-    }
-  }
-  highest_acked_ = std::max(highest_acked_, ack.ack_seq);
-  detect_losses_from_ack(ack.ack_seq);
-  prune_history();
-}
-
-void RapSource::detect_losses_from_ack(int64_t acked_seq) {
-  // A packet is lost once three packets sent after it have been ACKed; with
-  // per-packet ACKs, an ACK for seq s condemns outstanding seq <= s-3.
-  const int64_t condemned_below = acked_seq - 2;
-  bool trigger_backoff = false;
-  int64_t max_lost_seq = -1;
-  for (auto& e : history_) {
-    if (e.pkt.seq >= condemned_below) break;
-    if (e.acked || e.lost) continue;
-    e.lost = true;
-    ++losses_;
-    if (listener_) listener_->on_loss(e.pkt);
-    if (journeys_ != nullptr && e.pkt.journey_id != kUntracedJourney) {
-      journeys_->record_loss_detected(e.pkt.journey_id, sched_->now());
-    }
-    if (e.pkt.seq > recovery_until_seq_) {
-      trigger_backoff = true;
-      max_lost_seq = std::max(max_lost_seq, e.pkt.seq);
-    }
-  }
-  if (trigger_backoff) backoff(max_lost_seq);
-}
-
-void RapSource::check_timeouts() {
-  // Conservative timeout: an outstanding packet older than the RTO is lost.
-  const TimePoint now = sched_->now();
-  bool trigger_backoff = false;
-  int64_t max_lost_seq = -1;
-  for (auto& e : history_) {
-    if (e.acked || e.lost) continue;
-    if (now - e.pkt.ts_sent < rto()) break;  // history ascends in ts_sent
-    e.lost = true;
-    ++losses_;
-    if (listener_) listener_->on_loss(e.pkt);
-    on_timeout_loss_.emit(now, e.pkt);
-    if (journeys_ != nullptr && e.pkt.journey_id != kUntracedJourney) {
-      journeys_->record_loss_detected(e.pkt.journey_id, now);
-    }
-    if (e.pkt.seq > recovery_until_seq_) {
-      trigger_backoff = true;
-      max_lost_seq = std::max(max_lost_seq, e.pkt.seq);
-    }
-  }
-  if (trigger_backoff) backoff(max_lost_seq);
-  prune_history();
-}
-
-void RapSource::backoff(int64_t trigger_seq) {
-  ++backoffs_;
-  backoff_since_step_ = true;
-  // Everything already in flight belongs to this congestion event: further
-  // losses among those packets must not halve the rate again.
-  recovery_until_seq_ = std::max(recovery_until_seq_, next_seq_ - 1);
-  (void)trigger_seq;
+void RapSource::on_congestion() {
   set_rate(Rate::bytes_per_sec(
       std::max(rate_.bps() * 0.5, params_.min_rate.bps())));
-  // Post-backoff sanity: the multiplicative decrease must land on the
-  // clamped AIMD range and keep the pacer well-defined — a zero or
-  // negative rate would make the next inter-packet gap infinite (stream
-  // wedged) or negative (scheduling into the past).
-  QA_INVARIANT_MSG(rate_ >= params_.min_rate,
-                   "post-backoff rate " << rate_.bps()
-                                        << " B/s below floor "
-                                        << params_.min_rate.bps());
-  QA_INVARIANT_MSG(current_ipg() > TimeDelta::zero(),
-                   "post-backoff ipg collapsed: rate=" << rate_.bps()
-                                                       << " B/s");
-  QA_INVARIANT_MSG(srtt_ > TimeDelta::zero(),
-                   "srtt must stay positive, got " << srtt_);
-  if (listener_) listener_->on_backoff(rate_);
-  on_backoff_.emit(sched_->now(), rate_);
-}
-
-void RapSource::update_rtt(TimeDelta sample) {
-  if (sample <= TimeDelta::zero()) return;
-  if (!have_rtt_sample_) {
-    have_rtt_sample_ = true;
-    srtt_ = sample;
-    rttvar_ = sample / 2;
-    srtt_short_ = sample;
-    return;
-  }
-  // TCP-style EWMA (RFC 6298 constants).
-  const double err = std::abs((sample - srtt_).sec());
-  rttvar_ = TimeDelta::from_sec(0.75 * rttvar_.sec() + 0.25 * err);
-  srtt_ = TimeDelta::from_sec(0.875 * srtt_.sec() + 0.125 * sample.sec());
-  // Faster EWMA for the fine-grain variant.
-  srtt_short_ =
-      TimeDelta::from_sec(0.5 * srtt_short_.sec() + 0.5 * sample.sec());
-}
-
-void RapSource::set_rate(Rate r) {
-  const double old_bps = rate_.bps();
-  rate_ = Rate::bytes_per_sec(std::max(r.bps(), params_.min_rate.bps()));
-  if (rate_.bps() != old_bps) on_rate_change_.emit(sched_->now(), rate_);
-}
-
-TimeDelta RapSource::rto() const {
-  const TimeDelta base = srtt_ + rttvar_ * 4;
-  // Floor well above one SRTT so queue-induced RTT inflation does not cause
-  // spurious timeouts; ACK-gap detection handles the common case anyway.
-  return std::max(base * 2, TimeDelta::millis(20));
-}
-
-void RapSource::prune_history() {
-  while (!history_.empty() &&
-         (history_.front().acked || history_.front().lost)) {
-    history_.pop_front();
-  }
-  // Bound memory against pathological ACK loss.
-  while (history_.size() > 10000) history_.pop_front();
-}
-
-RapSource::HistoryEntry* RapSource::find_entry(int64_t seq) {
-  if (history_.empty()) return nullptr;
-  const int64_t first = history_.front().pkt.seq;
-  const int64_t idx = seq - first;
-  if (idx < 0 || idx >= static_cast<int64_t>(history_.size())) return nullptr;
-  HistoryEntry& e = history_[static_cast<size_t>(idx)];
-  QA_CHECK(e.pkt.seq == seq);
-  return &e;
 }
 
 }  // namespace qa::rap

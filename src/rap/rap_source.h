@@ -17,208 +17,40 @@
 // optional short/long RTT-ratio fine-grain scaling is implemented behind a
 // flag (off by default) for the sensitivity extensions.
 //
-// The sender exposes hooks for the quality-adaptation layer:
-//   * a payload tagger invoked for every outgoing data packet (fills the
-//     layer / layer_seq fields from the stored video),
-//   * a listener notified of ACKs, detected losses (with the original layer
-//     tag) and backoffs,
-//   * accessors for the instantaneous rate R and the AIMD slope S that the
-//     QA formulas need.
+// Everything that is not the AIMD law itself — pacing, ACK processing,
+// loss detection, timeouts, quiescence — lives in the shared engine
+// cc::CcSource; RAP contributes only the additive-increase step and the
+// multiplicative decrease. TFRC and NADA plug the same engine (src/cc/),
+// which is how the QA layer stays controller-agnostic (DESIGN.md §17).
 #pragma once
 
-#include <deque>
-#include <functional>
-
-#include "sim/flow.h"
-#include "sim/node.h"
-#include "sim/scheduler.h"
-#include "util/event.h"
-#include "util/journey.h"
-#include "util/units.h"
+#include "cc/cc_source.h"
 
 namespace qa::rap {
 
-class RapListener {
- public:
-  virtual ~RapListener() = default;
-  // A data packet was acknowledged (the original packet is passed back).
-  virtual void on_ack(const sim::Packet& /*data_pkt*/) {}
-  // A data packet was declared lost (original layer tagging preserved).
-  virtual void on_loss(const sim::Packet& /*data_pkt*/) {}
-  // The AIMD loop halved the rate; it passes the post-backoff rate.
-  virtual void on_backoff(Rate /*new_rate*/) {}
-  // Rate changed by additive increase (once per SRTT step).
-  virtual void on_rate_increase(Rate /*new_rate*/) {}
-  // ACK starvation drove the source quiescent (active=true) or feedback
-  // returned and paced sending resumed (active=false).
-  virtual void on_quiescence(bool /*active*/) {}
-};
+// Historic names: the listener and parameter types are transport-generic
+// and now live in cc/ so every backend shares them.
+using RapListener = cc::CcListener;
+using RapParams = cc::CcParams;
 
-struct RapParams {
-  int32_t packet_size = 1000;      // bytes, data packets
-  int32_t ack_size = 40;           // bytes
-  Rate initial_rate = Rate::kilobytes_per_sec(5);
-  Rate min_rate = Rate::bytes_per_sec(500);   // 1 pkt / 2 s floor
-  TimeDelta initial_rtt = TimeDelta::millis(100);
-  bool fine_grain = false;         // short/long RTT ratio scaling of IPG
-  TimePoint start_time;            // when to begin transmitting
-
-  // Quiescence (ACK starvation) handling. The source goes quiescent once at
-  // least three sends have gone unanswered AND no ACK has arrived for
-  // starvation_srtt_factor * SRTT — but never sooner than a few packet gaps
-  // plus an RTO, so a healthy flow pacing at the rate floor (IPG >> SRTT,
-  // every packet answered) is not mistaken for a dead path. While
-  // quiescent it sends probe packets at exponentially backed-off intervals
-  // (starting near the RTO, doubling up to probe_interval_cap); the first
-  // ACK exits quiescence with a slow restart from min_rate — paced, never a
-  // burst.
-  double starvation_srtt_factor = 10.0;
-  TimeDelta probe_interval_cap = TimeDelta::seconds(2);
-};
-
-class RapSource : public sim::Agent {
+class RapSource : public cc::CcSource {
  public:
   RapSource(sim::Scheduler* sched, sim::Node* local, sim::NodeId peer,
-            sim::FlowId flow, RapParams params);
+            sim::FlowId flow, RapParams params)
+      : cc::CcSource(sched, local, peer, flow, params) {}
 
-  void start() override;
-  void on_packet(const sim::Packet& p) override;  // receives ACKs
-
-  // Ends the session: cancels the pacing and step timers and ignores any
-  // late ACKs still in flight. Idempotent; a stopped source never sends
-  // again (there is no restart — churning scenarios build a new source per
-  // session). The agent object stays attached to its node so stray packets
-  // are absorbed silently instead of tripping the no-agent warning.
-  void stop();
-  bool stopped() const { return stopped_; }
-
-  // QA hooks.
-  void set_payload_tagger(std::function<void(sim::Packet&)> tagger) {
-    tagger_ = std::move(tagger);
-  }
-  void set_listener(RapListener* listener) { listener_ = listener; }
-
-  // Attaches journey tracing: every outgoing data packet opens a journey
-  // (stamped after the payload tagger runs, so the origin carries the
-  // video-layer tag), and the ACK/loss bookkeeping closes it. Nullptr
-  // detaches; detached costs one branch per site.
-  void set_journey_recorder(JourneyRecorder* recorder) {
-    journeys_ = recorder;
-  }
-
-  // Congestion controller state, as the QA formulas consume it.
-  Rate rate() const { return rate_; }
-  TimeDelta srtt() const { return srtt_; }
   // Slope of linear increase S in bytes/s per second: one packet per SRTT,
   // gained every SRTT.
-  double slope_bps_per_sec() const;
-  int32_t packet_size() const { return params_.packet_size; }
+  double slope_bps_per_sec() const override;
+  const char* name() const override { return "rap"; }
+  cc::Backend backend() const override { return cc::Backend::kRap; }
 
-  // Run statistics.
-  int64_t packets_sent() const { return packets_sent_; }
-  int64_t losses_detected() const { return losses_; }
-  int64_t backoffs() const { return backoffs_; }
-
-  // --- Trace points (util/event.h). ---------------------------------------
-  // The single RapListener slot stays the QA control path; these events
-  // are the multi-subscriber observation path (exporters, metrics).
-  // Every effective rate change, whatever caused it (additive increase,
-  // backoff, quiescence floor, slow restart): time and new rate.
-  Event<TimePoint, Rate>& on_rate_change() { return on_rate_change_; }
-  // Multiplicative decrease: time and post-backoff rate.
-  Event<TimePoint, Rate>& on_backoff() { return on_backoff_; }
-  // A packet condemned by the conservative timeout (as opposed to the
-  // ACK-gap rule); the original packet keeps its layer tagging.
-  Event<TimePoint, const sim::Packet&>& on_timeout_loss() {
-    return on_timeout_loss_;
-  }
-  // Quiescence transitions: true on entry, false on exit.
-  Event<TimePoint, bool>& on_quiescence() { return on_quiescence_; }
-
-  // Quiescent-state introspection (graceful degradation under ACK
-  // starvation; see RapParams).
-  bool quiescent() const { return quiescent_; }
-  int64_t quiescence_entries() const { return quiescence_entries_; }
-  TimePoint last_ack_at() const { return last_ack_at_; }
-  // The silence threshold that triggers quiescence at the current SRTT/IPG.
-  TimeDelta starvation_threshold() const;
-
- private:
-  struct HistoryEntry {
-    sim::Packet pkt;      // as sent (keeps layer tagging for loss reports)
-    bool acked = false;
-    bool lost = false;
-  };
-
-  void send_next();
-  void schedule_step();
-  void step();  // per-SRTT additive increase
-  void process_ack(const sim::Packet& ack);
-  void detect_losses_from_ack(int64_t acked_seq);
-  void check_timeouts();
-  void backoff(int64_t trigger_seq);
-  void maybe_enter_quiescence();
-  void exit_quiescence();
-  TimeDelta next_probe_interval();
-  void update_rtt(TimeDelta sample);
-  void set_rate(Rate r);
-  TimeDelta current_ipg() const;
-  TimeDelta rto() const;
-  void prune_history();
-  HistoryEntry* find_entry(int64_t seq);
-
-  sim::Scheduler* sched_;
-  sim::Node* local_;
-  sim::NodeId peer_;
-  sim::FlowId flow_;
-  RapParams params_;
-
-  std::function<void(sim::Packet&)> tagger_;
-  RapListener* listener_ = nullptr;
-  JourneyRecorder* journeys_ = nullptr;
-
-  Event<TimePoint, Rate> on_rate_change_;
-  Event<TimePoint, Rate> on_backoff_;
-  Event<TimePoint, const sim::Packet&> on_timeout_loss_;
-  Event<TimePoint, bool> on_quiescence_;
-
-  Rate rate_;
-  TimeDelta srtt_;
-  TimeDelta rttvar_;
-  bool have_rtt_sample_ = false;
-  TimeDelta srtt_short_;  // fine-grain EWMA (faster)
-
-  int64_t next_seq_ = 0;
-  int64_t highest_acked_ = -1;
-  // Cluster-loss suppression: losses with seq <= recovery_until_seq_ belong
-  // to an already-handled congestion event.
-  int64_t recovery_until_seq_ = -1;
-  bool backoff_since_step_ = false;
-  // Additive increase requires positive feedback: a step with no ACKs
-  // (e.g. a path blackout) must not raise the rate.
-  bool ack_since_step_ = false;
-
-  std::deque<HistoryEntry> history_;  // ascending seq
-
-  sim::EventId send_timer_ = sim::kInvalidEventId;
-  sim::EventId step_timer_ = sim::kInvalidEventId;
-
-  bool stopped_ = false;
-
-  // ACK-starvation state (see RapParams). last_ack_at_ starts at the
-  // transmission start time so a connection that never hears back also goes
-  // quiescent.
-  bool quiescent_ = false;
-  TimePoint last_ack_at_;
-  // Sends with no ACK heard since; starvation requires several unanswered
-  // sends, not mere silence (a floor-paced flow is quiet between ACKs).
-  int64_t sent_since_ack_ = 0;
-  TimeDelta probe_interval_ = TimeDelta::zero();
-  int64_t quiescence_entries_ = 0;
-
-  int64_t packets_sent_ = 0;
-  int64_t losses_ = 0;
-  int64_t backoffs_ = 0;
+ protected:
+  // Additive increase: one extra packet per SRTT, applied each SRTT —
+  // gated on positive feedback and on no backoff this step.
+  void on_step() override;
+  // Multiplicative decrease: the rate halves (floored at min_rate).
+  void on_congestion() override;
 };
 
 }  // namespace qa::rap

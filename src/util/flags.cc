@@ -74,4 +74,15 @@ std::vector<std::string> Flags::unused() const {
   return out;
 }
 
+std::string invalid_choice(const std::string& flag, const std::string& got,
+                           const std::vector<std::string>& valid) {
+  std::string msg = "unknown " + flag + " '" + got + "' (valid values: ";
+  for (size_t i = 0; i < valid.size(); ++i) {
+    if (i > 0) msg += ", ";
+    msg += valid[i];
+  }
+  msg += ")";
+  return msg;
+}
+
 }  // namespace qa

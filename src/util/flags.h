@@ -37,4 +37,11 @@ class Flags {
   std::vector<std::string> positional_;
 };
 
+// The canonical diagnostic for an enumerated flag set to something outside
+// its value set: "unknown --preset 'fig99' (valid values: fig12, fig13)".
+// Every tool routes its --preset/--backend rejections through this so the
+// message always names the alternatives the user can actually type.
+std::string invalid_choice(const std::string& flag, const std::string& got,
+                           const std::vector<std::string>& valid);
+
 }  // namespace qa

@@ -35,8 +35,8 @@ EXPECTED_TREE_ERRORS = {
     "wall-clock": 5,        # src/core/wall_clock_bad.cc
     "unordered-iter": 2,    # src/sim/unordered_iter_bad.cc
     "smallfn-capture": 2,   # src/sim/smallfn_bad.cc
-    "layering": 2,          # src/core/layering_bad.cc
-    "seed-plumbing": 3,     # src/sim/seed_bad.cc
+    "layering": 4,          # src/core/layering_bad.cc, src/cc/backend_bad.cc
+    "seed-plumbing": 4,     # src/sim/seed_bad.cc, src/cc/backend_bad.cc
     "bad-suppression": 1,   # src/core/suppression_bad.cc (no reason)
 }
 EXPECTED_TREE_WARNINGS = {

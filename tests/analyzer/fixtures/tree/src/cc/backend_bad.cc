@@ -1,0 +1,19 @@
+// Fixture: cc-module violations — the backend layer reaching up into rap
+// (the factory in app/ exists precisely so cc never names a concrete
+// transport above it) and sideways into core, plus a literal-seeded Rng
+// inside a backend (seeds must arrive through CcParams). The sim include
+// is a permitted downward edge and must not fire.
+// Expected findings: 2 layering + 1 seed-plumbing.
+#include "core/metrics.h"    // finding 1: cc -> core
+#include "rap/rap_source.h"  // finding 2: cc -> rap
+#include "sim/scheduler.h"   // OK: cc -> sim
+#include "util/rng.h"        // OK: cc -> util
+
+namespace qa::cc {
+
+double fixture_backend_jitter() {
+  Rng rng(7);  // finding 3: literal seed instead of CcParams plumbing
+  return rng.uniform();
+}
+
+}  // namespace qa::cc

@@ -110,6 +110,57 @@ TEST(SweepTest, ShardUnionEqualsUnshardedRun) {
   }
 }
 
+// The backend axis composes with the rest of the grid: it multiplies the
+// size, varies fastest (existing single-backend grids keep their index
+// decomposition for every other axis), rides into params and rows, and
+// stays deterministic across worker counts and shard splits.
+TEST(SweepTest, BackendAxisDecomposesShardsAndDigestsDeterministically) {
+  SweepGrid grid = small_grid();
+  grid.bottleneck_kbps = {240};  // keep CI cost at 2*2*3 = 12 scenarios
+  grid.backends = {cc::Backend::kRap, cc::Backend::kTfrc, cc::Backend::kNada};
+  ASSERT_EQ(grid.size(), 12u);
+
+  // Fastest-varying: consecutive indices walk the backend list first.
+  for (size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(grid.params_at(i).backend, grid.backends[i % 3]) << i;
+  }
+  EXPECT_EQ(grid.params_at(0).kmax, grid.params_at(2).kmax);
+
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions parallel;
+  parallel.jobs = 8;
+  const SweepResult a = run_sweep(grid, serial);
+  const SweepResult b = run_sweep(grid, parallel);
+  ASSERT_EQ(a.rows.size(), 12u);
+  EXPECT_EQ(sweep_digest(a.rows), sweep_digest(b.rows));
+
+  // Shard union over the backend-bearing grid equals the unsharded run.
+  std::vector<SweepRow> merged;
+  for (int shard = 0; shard < 3; ++shard) {
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.shard_index = shard;
+    opts.shard_count = 3;
+    const SweepResult part = run_sweep(grid, opts);
+    merged.insert(merged.end(), part.rows.begin(), part.rows.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const SweepRow& x, const SweepRow& y) {
+              return x.index < y.index;
+            });
+  ASSERT_EQ(merged.size(), a.rows.size());
+  EXPECT_EQ(sweep_digest(merged), sweep_digest(a.rows));
+
+  // Every row carries its backend, and the CSV has the column.
+  for (const SweepRow& r : a.rows) {
+    EXPECT_TRUE(r.ok) << "scenario " << r.index;
+    EXPECT_EQ(r.backend, grid.backends[r.index % 3]);
+  }
+  const auto& cols = sweep_columns();
+  EXPECT_NE(std::find(cols.begin(), cols.end(), "backend"), cols.end());
+}
+
 TEST(SweepTest, RejectsBadOptionsAndEmptyAxes) {
   const SweepGrid grid = small_grid();
   SweepOptions opts;

@@ -6,6 +6,7 @@
 
 #include "app/video_client.h"
 #include "rap/rap_sink.h"
+#include "rap/rap_source.h"
 #include "sim/network.h"
 #include "sim/topology.h"
 

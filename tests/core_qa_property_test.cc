@@ -18,6 +18,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <functional>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -234,6 +236,149 @@ TEST(QaPropertyTest, RandomEpisodesHoldCoreInvariants) {
   EXPECT_GT(activity.backoffs, 500);
   EXPECT_GT(activity.adds, 200);
   EXPECT_GT(activity.drops, 50);
+}
+
+// Backend-shaped trajectories (satellite to the cc backend work): TFRC
+// delivers a smooth, near-constant equation rate and NADA a
+// piecewise-constant rate with delay-driven steps — neither is the AIMD
+// sawtooth the adapter was designed around. The add/drop hysteresis must
+// not flap on them: once the layer count matches the sustainable rate,
+// no further add/drop events may fire until the rate genuinely moves.
+
+struct ShapedLog {
+  std::vector<TimePoint> adds;
+  std::vector<TimePoint> drops;
+  int final_layers = 0;
+};
+
+// Drives a fresh adapter with an arbitrary rate function (no transport
+// underneath): send opportunities are paced by the instantaneous rate,
+// `backoff_times` deliver explicit on_backoff notifications (empty for
+// pure delay-based responses, which the adapter only sees as a rate move).
+ShapedLog drive_shaped(const core::AdapterConfig& cfg, double slope,
+                       double duration_sec,
+                       const std::function<double(double)>& rate_at,
+                       const std::vector<double>& backoff_times) {
+  core::QualityAdapter adapter(cfg);
+  ShapedLog log;
+  adapter.on_add().subscribe(
+      [&log](const core::AddEvent& ev) { log.adds.push_back(ev.time); });
+  adapter.on_drop().subscribe(
+      [&log](const core::DropEvent& ev) { log.drops.push_back(ev.time); });
+  adapter.begin(TimePoint::origin());
+
+  size_t backoff_idx = 0;
+  double credit = 0;
+  const int64_t steps = static_cast<int64_t>(duration_sec / kStepSec);
+  for (int64_t step = 0; step < steps; ++step) {
+    const double t = static_cast<double>(step) * kStepSec;
+    const TimePoint now = TimePoint::from_sec(t);
+    while (backoff_idx < backoff_times.size() &&
+           backoff_times[backoff_idx] <= t) {
+      const double tb = backoff_times[backoff_idx];
+      adapter.on_backoff(TimePoint::from_sec(tb), rate_at(tb), slope);
+      ++backoff_idx;
+    }
+    const double rate = rate_at(t);
+    credit += rate * kStepSec;
+    while (credit >= kPacketBytes) {
+      credit -= kPacketBytes;
+      adapter.on_send_opportunity(now, rate, slope, kPacketBytes);
+    }
+  }
+  log.final_layers = adapter.active_layers();
+  return log;
+}
+
+// Events inside [from, to) — flap detection over a window where the rate
+// was steady and the layer count should be too.
+int events_within(const std::vector<TimePoint>& events, double from,
+                  double to) {
+  int n = 0;
+  for (const TimePoint& t : events) {
+    if (t.sec() >= from && t.sec() < to) ++n;
+  }
+  return n;
+}
+
+// TFRC shape: a gently oscillating equation rate pitched between layer
+// boundaries. The adapter must climb to exactly the sustainable layer
+// count, then hold it — no drops ever, no adds after the climb.
+TEST(QaPropertyTest, TfrcShapedSmoothRateDoesNotFlap) {
+  constexpr double kDurationSec = 14.0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(kBaseSeed ^ (0x7f1c + seed));
+    core::AdapterConfig cfg;
+    cfg.consumption_rate = 10'000;
+    cfg.max_layers = 6;
+    cfg.kmax = 1 + static_cast<int>(rng.next_below(3));
+    // k + (0.3..0.7) layers' worth: bounded away from both boundaries so
+    // the +/- amplitude cannot legitimately change the sustainable count.
+    const int k = 1 + static_cast<int>(rng.next_below(3));
+    const double r0 = (k + rng.uniform(0.3, 0.7)) * cfg.consumption_rate;
+    const double amp = rng.uniform(0.02, 0.06);
+    const double period = rng.uniform(0.5, 2.0);
+    const double slope = rng.uniform(5e4, 2e5);
+    const ShapedLog log = drive_shaped(
+        cfg, slope, kDurationSec,
+        [&](double t) {
+          constexpr double kTwoPi = 6.283185307179586;
+          return r0 * (1.0 + amp * std::sin(kTwoPi * t / period));
+        },
+        /*backoff_times=*/{});
+
+    EXPECT_EQ(log.drops.size(), 0u)
+        << "seed " << seed << ": smooth rate " << r0 << " caused drops";
+    EXPECT_EQ(log.final_layers, k) << "seed " << seed;
+    EXPECT_EQ(events_within(log.adds, 8.0, kDurationSec), 0)
+        << "seed " << seed << ": adds still firing after the climb (flap)";
+  }
+}
+
+// NADA shape: piecewise-constant rate with a delay-driven step down and a
+// later step back up, no loss events (so no on_backoff — the adapter only
+// sees the rate move). Layer counts must follow the steps monotonically
+// and hold steady between them.
+TEST(QaPropertyTest, NadaShapedDelayStepDoesNotFlap) {
+  constexpr double kHigh = 3.5 * 10'000;  // sustains 3 layers
+  constexpr double kLow = 1.5 * 10'000;   // sustains 1
+  constexpr double kStepDownAt = 12.0;
+  constexpr double kStepUpAt = 24.0;
+  constexpr double kDurationSec = 36.0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(kBaseSeed ^ (0xda5a + seed));
+    core::AdapterConfig cfg;
+    cfg.consumption_rate = 10'000;
+    cfg.max_layers = 6;
+    cfg.kmax = 1 + static_cast<int>(rng.next_below(2));
+    const double slope = rng.uniform(5e4, 2e5);
+    const ShapedLog log = drive_shaped(
+        cfg, slope, kDurationSec,
+        [](double t) {
+          return (t < kStepDownAt || t >= kStepUpAt) ? kHigh : kLow;
+        },
+        /*backoff_times=*/{});
+
+    // Steady windows, each well past the settle transient of its phase:
+    // no add/drop events may fire in any of them.
+    const struct {
+      double from, to;
+    } steady[] = {{8.0, kStepDownAt}, {20.0, kStepUpAt}, {32.0, kDurationSec}};
+    for (const auto& w : steady) {
+      EXPECT_EQ(events_within(log.adds, w.from, w.to) +
+                    events_within(log.drops, w.from, w.to),
+                0)
+          << "seed " << seed << ": adapter flapped in steady window ["
+          << w.from << ", " << w.to << ")";
+    }
+    // The step down sheds exactly the unsustainable layers; the step up
+    // regains them.
+    EXPECT_EQ(events_within(log.drops, kStepDownAt, kStepUpAt), 2)
+        << "seed " << seed;
+    EXPECT_EQ(events_within(log.adds, kStepUpAt, kDurationSec), 2)
+        << "seed " << seed;
+    EXPECT_EQ(log.final_layers, 3) << "seed " << seed;
+  }
 }
 
 // The efficiency predicate itself: monotone profiles pass, an inversion

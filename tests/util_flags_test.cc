@@ -66,5 +66,17 @@ TEST(Flags, HasMarksQueried) {
   EXPECT_TRUE(f.unused().empty());
 }
 
+// The canonical enumerated-flag diagnostic: it must quote the rejected
+// value and list every alternative, so tools never reject a --preset or
+// --backend without telling the user what they could have typed.
+TEST(Flags, InvalidChoiceListsTheValidValues) {
+  EXPECT_EQ(invalid_choice("--preset", "fig99", {"fig12", "fig13"}),
+            "unknown --preset 'fig99' (valid values: fig12, fig13)");
+  EXPECT_EQ(invalid_choice("--backend", "cubic", {"rap", "tfrc", "nada"}),
+            "unknown --backend 'cubic' (valid values: rap, tfrc, nada)");
+  EXPECT_EQ(invalid_choice("--mode", "", {"only"}),
+            "unknown --mode '' (valid values: only)");
+}
+
 }  // namespace
 }  // namespace qa

@@ -38,12 +38,14 @@ DIGEST_MODULES = ("core", "sim", "rap", "cbr", "tcp", "app", "tracedrive")
 LAYER_DAG: dict[str, set[str]] = {
     "util": {"util"},
     "sim": {"sim", "util"},
+    "cc": {"cc", "sim", "util"},
     "core": {"core", "util"},
-    "rap": {"rap", "sim", "util"},
+    "rap": {"rap", "cc", "sim", "util"},
     "tcp": {"tcp", "sim", "util"},
     "cbr": {"cbr", "sim", "util"},
     "tracedrive": {"tracedrive", "core", "util"},
-    "app": {"app", "core", "rap", "tcp", "cbr", "tracedrive", "sim", "util"},
+    "app": {"app", "core", "cc", "rap", "tcp", "cbr", "tracedrive", "sim",
+            "util"},
 }
 
 

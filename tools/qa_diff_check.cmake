@@ -4,9 +4,13 @@
 #      (drift detected and reported), not 2 (comparison error).
 # The perturbation is the sim length, not the seed: the fig-2 scenario has
 # no stochastic elements, so only a workload change guarantees drift.
-# Inputs: QA_TRACE, QA_DIFF (executables), WORK_DIR.
+# Inputs: QA_TRACE, QA_DIFF (executables), WORK_DIR, BACKEND (congestion
+# control backend; defaults to rap).
 
-set(common_args --layers 4 --no-trace --no-profile)
+if(NOT BACKEND)
+  set(BACKEND rap)
+endif()
+set(common_args --backend ${BACKEND} --layers 4 --no-trace --no-profile)
 
 file(REMOVE_RECURSE "${WORK_DIR}")
 file(MAKE_DIRECTORY "${WORK_DIR}")

@@ -34,6 +34,8 @@ void usage() {
   std::printf(
       "qa_farm [flags]\n"
       "  --preset NAME         smoke | churn500 | overload (default smoke)\n"
+      "  --backend NAME        session congestion control: rap, tfrc, or\n"
+      "                        nada (default rap)\n"
       "  --seed N              farm seed (default 1)\n"
       "  --slots N             concurrent-session capacity\n"
       "  --duration-s SECS     simulated duration\n"
@@ -100,7 +102,10 @@ FarmParams preset_params(const std::string& preset) {
     p.arrival_rate_hz = 0.5;
     p.mean_session = TimeDelta::seconds(60);
   } else {
-    std::fprintf(stderr, "unknown preset '%s'\n", preset.c_str());
+    std::fprintf(stderr, "qa_farm: %s\n",
+                 invalid_choice("--preset", preset,
+                                {"smoke", "churn500", "overload"})
+                     .c_str());
     std::exit(1);
   }
   return p;
@@ -116,6 +121,14 @@ int main(int argc, char** argv) {
   }
 
   FarmParams p = preset_params(flags.get_or("preset", "smoke"));
+  if (flags.has("backend")) {
+    try {
+      p.backend = cc::parse_backend(flags.get_or("backend", "rap"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "qa_farm: %s\n", e.what());
+      return 1;
+    }
+  }
   p.seed = static_cast<uint64_t>(flags.get_int("seed", 1));
   p.slots = static_cast<int>(flags.get_int("slots", p.slots));
   p.duration =

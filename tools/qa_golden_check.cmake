@@ -2,11 +2,15 @@
 # pinned fig-2 scenario and diff its metrics against the checked-in golden.
 # Counters compare exactly; double-valued fields get a loose relative
 # tolerance to absorb libm variation across hosts/compilers.
-# Inputs: QA_TRACE, QA_DIFF (executables), WORK_DIR, GOLDEN (metrics.json).
+# Inputs: QA_TRACE, QA_DIFF (executables), WORK_DIR, GOLDEN (metrics.json),
+# BACKEND (congestion-control backend; defaults to rap).
 
 if(NOT EXISTS "${GOLDEN}")
   message(FATAL_ERROR "golden artifact missing: ${GOLDEN} "
           "(regenerate with tools/update_goldens.sh)")
+endif()
+if(NOT BACKEND)
+  set(BACKEND rap)
 endif()
 
 file(REMOVE_RECURSE "${WORK_DIR}")
@@ -14,12 +18,13 @@ file(MAKE_DIRECTORY "${WORK_DIR}")
 
 # Must match tools/update_goldens.sh exactly.
 execute_process(
-  COMMAND ${QA_TRACE} --out-dir ${WORK_DIR}/run --seed 1 --duration-s 10
-          --layers 4 --kmax 1 --no-trace --no-profile
+  COMMAND ${QA_TRACE} --out-dir ${WORK_DIR}/run --backend ${BACKEND}
+          --seed 1 --duration-s 10 --layers 4 --kmax 1
+          --no-trace --no-profile
   RESULT_VARIABLE rc
   OUTPUT_QUIET)
 if(NOT rc EQUAL 0)
-  message(FATAL_ERROR "qa_trace golden scenario failed with ${rc}")
+  message(FATAL_ERROR "qa_trace golden scenario (${BACKEND}) failed with ${rc}")
 endif()
 
 execute_process(
@@ -29,4 +34,4 @@ execute_process(
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "run drifted from golden (qa_diff exit ${rc}):\n${out}")
 endif()
-message(STATUS "golden fig-2 diff clean:\n${out}")
+message(STATUS "golden fig-2 (${BACKEND}) diff clean:\n${out}")

@@ -53,6 +53,8 @@ void usage() {
       "  --scenario NAME       farm | fig2 (default farm)\n"
       "  --preset NAME         farm preset: smoke | churn500 | overload\n"
       "                        (default smoke; farm scenario only)\n"
+      "  --backend NAME        session congestion control: rap, tfrc, or\n"
+      "                        nada (default rap; farm scenario only)\n"
       "  --spec FILE           SLO spec JSON (default: built-in per-scenario\n"
       "                        objectives)\n"
       "  --eval DIR            replay DIR's timeseries.json offline instead\n"
@@ -187,7 +189,8 @@ FarmParams farm_preset(const std::string& preset) {
     p.arrival_rate_hz = 0.5;
     p.mean_session = TimeDelta::seconds(60);
   } else {
-    throw std::runtime_error("unknown preset '" + preset + "'");
+    throw std::runtime_error(
+        invalid_choice("--preset", preset, {"smoke", "churn500", "overload"}));
   }
   return p;
 }
@@ -197,6 +200,9 @@ GateResult run_farm_mode(const Flags& flags,
                          const std::string& spec_text,
                          const std::string& out_dir, int argc, char** argv) {
   FarmParams p = farm_preset(flags.get_or("preset", "smoke"));
+  if (flags.has("backend")) {
+    p.backend = cc::parse_backend(flags.get_or("backend", "rap"));
+  }
   p.seed = static_cast<uint64_t>(flags.get_int("seed", 1));
   p.slots = static_cast<int>(flags.get_int("slots", p.slots));
   p.duration =
@@ -415,6 +421,7 @@ int main(int argc, char** argv) {
   // Touch every mode flag before the unknown-flag check; the mode
   // functions re-read the ones they consume.
   (void)flags.get_or("preset", "");
+  (void)flags.get_or("backend", "");
   (void)flags.get_int("seed", 1);
   (void)flags.get_double("duration-s", 0);
   (void)flags.get_int("slots", 0);

@@ -1,7 +1,8 @@
 // qa_sweep — parallel experiment sweep runner.
 //
 // Fans the cartesian product of the axis flags (seed x Kmax x bottleneck
-// bandwidth x RTT x wire-loss rate x fault count, over one base scenario)
+// bandwidth x RTT x wire-loss rate x fault count x backend, over one base
+// scenario)
 // across a thread pool, one isolated simulation per grid point, and merges
 // the per-scenario summaries into sweep.csv / sweep.json / manifest.json.
 // Per-job seeds are derived from grid coordinates (SplitMix64), so the
@@ -41,6 +42,8 @@ void usage() {
       "  --rtt-ms LIST          round-trip times (default 40)\n"
       "  --loss LIST            Bernoulli wire-loss rates (default 0)\n"
       "  --faults LIST          random fault counts (default 0)\n"
+      "  --backends LIST        QA-flow congestion control backends\n"
+      "                         (rap, tfrc, nada; default rap)\n"
       "  Base scenario:\n"
       "  --duration-s SECS      run length (default 20)\n"
       "  --rap-flows N          RAP flows incl. the QA one (default 2)\n"
@@ -91,8 +94,8 @@ void apply_preset(const std::string& name, SweepGrid* grid) {
     grid->seeds = {1, 2, 3};
     grid->base = ExperimentParams::t2(/*kmax=*/4, /*seed=*/1);
   } else {
-    throw std::invalid_argument("unknown --preset '" + name +
-                                "' (expected fig12 or fig13)");
+    throw std::invalid_argument(
+        invalid_choice("--preset", name, {"fig12", "fig13"}));
   }
 }
 
@@ -122,6 +125,9 @@ int main(int argc, char** argv) {
     if (auto v = flags.get("rtt-ms")) grid.rtt_ms = parse_double_list(*v);
     if (auto v = flags.get("loss")) grid.loss_rate = parse_double_list(*v);
     if (auto v = flags.get("faults")) grid.faults = parse_int_list(*v);
+    if (auto v = flags.get("backends")) {
+      grid.backends = parse_backend_list(*v);
+    }
 
     grid.base.duration_sec =
         flags.get_double("duration-s", grid.base.duration_sec);

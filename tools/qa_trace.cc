@@ -42,6 +42,8 @@ void usage() {
       "  --kmax N               max backoffs survivable, K_max (default 1)\n"
       "  --rap-flows N          RAP flows incl. the QA one (default 1)\n"
       "  --tcp-flows N          competing TCP flows (default 0)\n"
+      "  --backend NAME         QA flow congestion control: rap, tfrc, or\n"
+      "                         nada (default rap)\n"
       "%s",
       observability_flags_usage());
 }
@@ -70,6 +72,14 @@ int main(int argc, char** argv) {
       Rate::bytes_per_sec(flags.get_double("layer-rate", 10'000.0));
   params.stream_layers = static_cast<int>(flags.get_int("layers", 8));
   params.kmax = static_cast<int>(flags.get_int("kmax", 1));
+  if (flags.has("backend")) {
+    try {
+      params.backend = cc::parse_backend(flags.get_or("backend", "rap"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "qa_trace: %s\n", e.what());
+      return 1;
+    }
+  }
 
   const ObservabilityConfig ocfg = observability_flags(flags, out_dir);
 
@@ -103,6 +113,7 @@ int main(int argc, char** argv) {
     obs.manifest().set_int("kmax", params.kmax);
     obs.manifest().set_int("rap_flows", params.rap_flows);
     obs.manifest().set_int("tcp_flows", params.tcp_flows);
+    obs.manifest().set("backend", cc::to_string(params.backend));
     params.observability = &obs;
 
     const ExperimentResult result = run_experiment(params);

@@ -1,5 +1,5 @@
 #!/usr/bin/env sh
-# Regenerates the checked-in golden artifacts in tests/goldens/ after an
+# Regenerates EVERY checked-in golden artifact in tests/goldens/ after an
 # *intentional* behavior change. Run from the repo root with a configured
 # build (cmake -B build -S . && cmake --build build -j), review the metric
 # deltas in the git diff, and explain the change in the commit message.
@@ -17,10 +17,17 @@ fi
 work="$(mktemp -d)"
 trap 'rm -rf "$work"' EXIT
 
-# The pinned fig-2 scenario; must match tools/qa_golden_check.cmake.
-"$qa_trace" --out-dir "$work/fig2" --seed 1 --duration-s 10 \
-    --layers 4 --kmax 1 --no-trace --no-profile > /dev/null
-
-mkdir -p "$root/tests/goldens/fig2"
-cp "$work/fig2/metrics.json" "$root/tests/goldens/fig2/metrics.json"
-echo "updated $root/tests/goldens/fig2/metrics.json"
+# The pinned fig-2 scenario, once per congestion-control backend; the
+# flags must match tools/qa_golden_check.cmake. The rap golden keeps its
+# historic directory name (fig2); the other backends get fig2_<backend>.
+for backend in rap tfrc nada; do
+  case "$backend" in
+    rap) dir="fig2" ;;
+    *) dir="fig2_$backend" ;;
+  esac
+  "$qa_trace" --out-dir "$work/$dir" --backend "$backend" --seed 1 \
+      --duration-s 10 --layers 4 --kmax 1 --no-trace --no-profile > /dev/null
+  mkdir -p "$root/tests/goldens/$dir"
+  cp "$work/$dir/metrics.json" "$root/tests/goldens/$dir/metrics.json"
+  echo "updated $root/tests/goldens/$dir/metrics.json"
+done
